@@ -1,0 +1,70 @@
+// Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
+// one testing.B benchmark per derived experiment E1-E13, so
+// `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
+// The rendered tables themselves come from `go run ./cmd/arbd-bench`.
+package arbd
+
+import (
+	"testing"
+	"time"
+
+	"arbd/internal/bench"
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Run(); tbl.NumRows() == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1LogIngest(b *testing.B)          { runExperiment(b, "E1") }
+func BenchmarkE2StreamWindows(b *testing.B)      { runExperiment(b, "E2") }
+func BenchmarkE3IncrementalVsBatch(b *testing.B) { runExperiment(b, "E3") }
+func BenchmarkE4Offload(b *testing.B)            { runExperiment(b, "E4") }
+func BenchmarkE5GeoIndex(b *testing.B)           { runExperiment(b, "E5") }
+func BenchmarkE6Layout(b *testing.B)             { runExperiment(b, "E6") }
+func BenchmarkE7Recommend(b *testing.B)          { runExperiment(b, "E7") }
+func BenchmarkE8HealthAlerts(b *testing.B)       { runExperiment(b, "E8") }
+func BenchmarkE9Traffic(b *testing.B)            { runExperiment(b, "E9") }
+func BenchmarkE10Privacy(b *testing.B)           { runExperiment(b, "E10") }
+func BenchmarkE11Interpret(b *testing.B)         { runExperiment(b, "E11") }
+func BenchmarkE12Sketches(b *testing.B)          { runExperiment(b, "E12") }
+func BenchmarkE13Influence(b *testing.B)         { runExperiment(b, "E13") }
+
+// BenchmarkFrameLoop measures the end-to-end per-frame cost of the core
+// pipeline — the number the §4.1 timeliness budget is spent against.
+func BenchmarkFrameLoop(b *testing.B) {
+	platform, err := core.NewPlatform(core.Config{
+		Seed: 1,
+		City: geo.CityConfig{
+			Center:  geo.Point{Lat: 22.3364, Lon: 114.2655},
+			RadiusM: 2000,
+			NumPOIs: 2000,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := platform.NewSession()
+	now := time.Now()
+	if err := s.OnGPS(sensor.GPSFix{Time: now, Position: geo.Point{Lat: 22.3364, Lon: 114.2655}, AccuracyM: 5}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Frame(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

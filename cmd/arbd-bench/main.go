@@ -1,0 +1,56 @@
+// Command arbd-bench runs the derived experiment suite E1-E13 (DESIGN.md §3)
+// and prints each experiment's result table — the source of the numbers in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	arbd-bench             # run everything
+//	arbd-bench -exp E5     # one experiment
+//	arbd-bench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"arbd/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arbd-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp  = flag.String("exp", "", "run a single experiment (E1..E13)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	exps := bench.All()
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		table := e.Run()
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command arbd-loadgen drives an arbd-server with simulated devices:
+// each client walks the city, streams GPS/IMU at device rates, requests
+// frames at the target FPS, and reports end-to-end frame latency.
+//
+// Usage:
+//
+//	arbd-loadgen -addr 127.0.0.1:7600 -clients 16 -duration 10s -fps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arbd-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "server address")
+		clients  = flag.Int("clients", 8, "concurrent simulated devices")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		fps      = flag.Int("fps", 10, "frame requests per second per client")
+		lat      = flag.Float64("lat", 22.3364, "city center latitude")
+		lon      = flag.Float64("lon", 114.2655, "city center longitude")
+	)
+	flag.Parse()
+
+	center := geo.Point{Lat: *lat, Lon: *lon}
+	var (
+		hist    metrics.Histogram
+		frames  metrics.Counter
+		errsCtr metrics.Counter
+		wg      sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := server.Dial(*addr)
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			defer cl.Close()
+			walker := sensor.NewWalker(sensor.WalkerConfig{Center: center, RadiusM: 800, Seed: int64(c)})
+			gps := sensor.NewGPS(int64(c), 5)
+			imu := sensor.NewIMU(int64(c))
+			tick := time.Second / time.Duration(*fps)
+			i := 0
+			for time.Now().Before(deadline) {
+				now := time.Now()
+				truth := walker.Step(tick)
+				if i%(*fps) == 0 { // GPS at 1 Hz
+					if err := cl.SendGPS(gps.Fix(now, truth.Position)); err != nil {
+						errsCtr.Inc()
+						return
+					}
+				}
+				if err := cl.SendIMU(imu.Sample(now, truth, tick)); err != nil {
+					errsCtr.Inc()
+					return
+				}
+				_, rtt, err := cl.RequestFrame()
+				if err != nil {
+					errsCtr.Inc()
+					return
+				}
+				hist.Observe(rtt)
+				frames.Inc()
+				i++
+				if rem := tick - time.Since(now); rem > 0 {
+					time.Sleep(rem)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	s := hist.Snapshot()
+	fmt.Printf("clients=%d duration=%v fps=%d\n", *clients, *duration, *fps)
+	fmt.Printf("frames=%d errors=%d\n", frames.Value(), errsCtr.Value())
+	fmt.Printf("frame rtt: p50=%v p95=%v p99=%v max=%v\n", s.P50, s.P95, s.P99, s.Max)
+	if errsCtr.Value() > 0 {
+		return fmt.Errorf("%d client errors", errsCtr.Value())
+	}
+	return nil
+}

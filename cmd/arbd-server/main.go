@@ -1,0 +1,76 @@
+// Command arbd-server runs the ARBD platform behind a TCP endpoint speaking
+// the wire protocol: clients stream sensor envelopes and request AR overlay
+// frames. See cmd/arbd-loadgen for a matching client.
+//
+// Usage:
+//
+//	arbd-server -addr :7600 -pois 5000 -seed 1 [-epsilon 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arbd-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7600", "listen address")
+		seed    = flag.Int64("seed", 1, "world seed")
+		pois    = flag.Int("pois", 5000, "synthetic city POI count")
+		radius  = flag.Float64("radius", 3000, "city radius, meters")
+		lat     = flag.Float64("lat", 22.3364, "city center latitude")
+		lon     = flag.Float64("lon", 114.2655, "city center longitude")
+		epsilon = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
+	)
+	flag.Parse()
+
+	platform, err := core.NewPlatform(core.Config{
+		Seed: *seed,
+		City: geo.CityConfig{
+			Center:    geo.Point{Lat: *lat, Lon: *lon},
+			RadiusM:   *radius,
+			NumPOIs:   *pois,
+			TallRatio: 0.2,
+		},
+		LocationEpsilon: *epsilon,
+	})
+	if err != nil {
+		return err
+	}
+	if err := platform.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := platform.Stop(); err != nil {
+			log.Printf("stopping platform: %v", err)
+		}
+	}()
+
+	srv := server.New(platform, log.Default())
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("arbd-server listening on %s (%d POIs, seed %d)", bound, *pois, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	return srv.Close()
+}

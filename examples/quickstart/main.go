@@ -1,0 +1,65 @@
+// Quickstart: build a platform over a synthetic city, open a session, feed
+// one GPS fix, and print the AR overlay for the first frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"arbd"
+)
+
+func main() {
+	platform, err := arbd.New(arbd.Config{
+		Seed: 42,
+		City: arbd.CityConfig{
+			Center:  arbd.Point{Lat: 22.3364, Lon: 114.2655}, // HKUST
+			RadiusM: 2000,
+			NumPOIs: 1500,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := platform.Stop(); err != nil {
+			log.Printf("stop: %v", err)
+		}
+	}()
+
+	session := platform.NewSession()
+	now := time.Now()
+	if err := session.OnGPS(arbd.GPSFix{
+		Time:      now,
+		Position:  arbd.Point{Lat: 22.3364, Lon: 114.2655},
+		AccuracyM: 5,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	frame, err := session.Frame(now)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pose: %s heading %.0f°\n", frame.Pose.Position, frame.Pose.HeadingDeg)
+	fmt.Printf("overlay: %d annotations (level %v, %v)\n",
+		len(frame.Annotations), frame.Level, frame.Elapsed.Round(time.Microsecond))
+	for i, a := range frame.Annotations {
+		style := ""
+		if a.XRay {
+			style = " [x-ray]"
+		}
+		fmt.Printf("  %2d. %-22s box=(%4.0f,%4.0f) depth=%.0fm%s\n",
+			i+1, a.Label, a.X, a.Y, a.Pos.Depth, style)
+	}
+
+	armlDoc, err := frame.ToARML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nARML export: %d bytes\n", len(armlDoc))
+}

@@ -1,0 +1,130 @@
+package analytics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"arbd/internal/sim"
+)
+
+func genRows(seed int64, n, groups int) []Row {
+	rng := sim.NewRand(seed)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Group: fmt.Sprintf("g%d", rng.Intn(groups)),
+			Value: rng.Uniform(0, 100),
+		}
+	}
+	return rows
+}
+
+func TestViewBasicAggregates(t *testing.T) {
+	v := NewView()
+	v.Apply(Row{Group: "a", Value: 10})
+	v.Apply(Row{Group: "a", Value: 20})
+	v.Apply(Row{Group: "b", Value: 5})
+	g, ok := v.Get("a")
+	if !ok {
+		t.Fatal("group a missing")
+	}
+	if g.Count != 2 || g.Sum != 30 || g.Min != 10 || g.Max != 20 || g.Mean() != 15 {
+		t.Fatalf("stats = %+v", g)
+	}
+	if _, ok := v.Get("missing"); ok {
+		t.Fatal("phantom group")
+	}
+	if v.Rows() != 3 || v.Groups() != 2 {
+		t.Fatalf("rows=%d groups=%d", v.Rows(), v.Groups())
+	}
+}
+
+func TestIncrementalEqualsBatch(t *testing.T) {
+	rows := genRows(5, 5000, 40)
+	inc := NewView()
+	for _, r := range rows {
+		inc.Apply(r)
+	}
+	batch := BatchCompute(rows)
+	if !inc.Equal(batch) {
+		t.Fatal("incremental view diverged from batch recompute")
+	}
+}
+
+func TestIncrementalEqualsBatchProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, nRaw, gRaw uint8) bool {
+		n := int(nRaw)%400 + 1
+		g := int(gRaw)%10 + 1
+		rows := genRows(seed, n, g)
+		inc := NewView()
+		// Apply in two chunks to exercise ApplyBatch too.
+		half := len(rows) / 2
+		for _, r := range rows[:half] {
+			inc.Apply(r)
+		}
+		inc.ApplyBatch(rows[half:])
+		return inc.Equal(BatchCompute(rows))
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewTopBySum(t *testing.T) {
+	v := NewView()
+	v.Apply(Row{Group: "small", Value: 1})
+	v.Apply(Row{Group: "big", Value: 100})
+	v.Apply(Row{Group: "mid", Value: 50})
+	top := v.TopBySum(2)
+	if len(top) != 2 || top[0].Group != "big" || top[1].Group != "mid" {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestViewTopBySumTieOrder(t *testing.T) {
+	v := NewView()
+	v.Apply(Row{Group: "zeta", Value: 10})
+	v.Apply(Row{Group: "alpha", Value: 10})
+	top := v.TopBySum(2)
+	if top[0].Group != "alpha" {
+		t.Fatalf("tie order = %v", top)
+	}
+}
+
+func TestViewConcurrentApply(t *testing.T) {
+	v := NewView()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v.Apply(Row{Group: fmt.Sprintf("g%d", i%10), Value: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Rows() != 4000 {
+		t.Fatalf("rows = %d", v.Rows())
+	}
+	var total float64
+	for _, g := range v.TopBySum(100) {
+		total += g.Stats.Sum
+	}
+	if total != 4000 {
+		t.Fatalf("sum of sums = %v", total)
+	}
+}
+
+func TestViewEqualDetectsDifferences(t *testing.T) {
+	a, b := NewView(), NewView()
+	a.Apply(Row{Group: "g", Value: 1})
+	if a.Equal(b) {
+		t.Fatal("different views equal")
+	}
+	b.Apply(Row{Group: "g", Value: 2})
+	if a.Equal(b) {
+		t.Fatal("different sums equal")
+	}
+}

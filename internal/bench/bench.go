@@ -1,0 +1,68 @@
+// Package bench implements the experiment harness: one function per derived
+// experiment E1-E13 (see DESIGN.md §3 — the paper is a vision paper with no
+// measured evaluation, so each experiment quantifies one of its qualitative
+// claims). Each function returns a rendered table; cmd/arbd-bench prints
+// them and the root bench_test.go wraps them in testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"arbd/internal/metrics"
+)
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *metrics.Table
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "ingest throughput (mq)", E1LogIngest},
+		{"E2", "stream window throughput", E2StreamWindows},
+		{"E3", "incremental vs batch views", E3IncrementalVsBatch},
+		{"E4", "offloading latency/energy", E4Offload},
+		{"E5", "geo index query latency", E5GeoIndex},
+		{"E6", "annotation layout quality", E6Layout},
+		{"E7", "recommendation lift", E7Recommend},
+		{"E8", "health alert latency", E8HealthAlerts},
+		{"E9", "collision warning recall", E9Traffic},
+		{"E10", "privacy/utility trade-off", E10Privacy},
+		{"E11", "ARML interpretation cost", E11Interpret},
+		{"E12", "sketch accuracy vs memory", E12Sketches},
+		{"E13", "Figure 5 influence matrix", E13Influence},
+	}
+	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
+	return exps
+}
+
+func idNum(id string) int {
+	var n int
+	_, _ = fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ms renders a duration as fractional milliseconds for table cells.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+}
+
+// us renders a duration as fractional microseconds.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"arbd/internal/analytics"
+	"arbd/internal/arml"
+	"arbd/internal/ehr"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/privacy"
+	"arbd/internal/recommend"
+	"arbd/internal/sensor"
+	"arbd/internal/sim"
+	"arbd/internal/traffic"
+)
+
+// E10Privacy sweeps ε for the three §4.3 mechanisms, reporting utility loss:
+// count-query error for Laplace, POI recall under planar-Laplace location
+// perturbation, and cell size under k-anonymity.
+func E10Privacy() *metrics.Table {
+	t := metrics.NewTable("E10: privacy/utility — lower ε = stronger privacy",
+		"mechanism", "ε", "utility metric", "value")
+	rng := sim.NewRand(10)
+
+	// Laplace counts: mean absolute error on a count of 1000.
+	for _, eps := range []float64{0.1, 1, 10} {
+		var mae float64
+		const n = 4000
+		for i := 0; i < n; i++ {
+			v, err := privacy.Laplace(rng, 1000, 1, eps)
+			if err != nil {
+				panic(err)
+			}
+			mae += math.Abs(v - 1000)
+		}
+		t.AddRow("laplace-count", eps, "MAE on count=1000", fmt.Sprintf("%.2f", mae/n))
+	}
+
+	// Planar Laplace: recall of the true 10 nearest POIs when querying from
+	// the perturbed location.
+	city := geo.GenerateCity(geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: 5000, Seed: 10})
+	store, err := geo.LoadStore(city, geo.IndexRTree)
+	if err != nil {
+		panic(err)
+	}
+	for _, eps := range []float64{0.005, 0.02, 0.1} { // per-meter: mean error 400/100/20 m
+		var recall float64
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			truthLoc := geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1000)
+			want := store.Nearest(truthLoc, 10)
+			noisy, err := privacy.PlanarLaplace(rng, truthLoc, eps)
+			if err != nil {
+				panic(err)
+			}
+			got := store.Nearest(noisy, 10)
+			wantSet := make(map[uint64]bool, len(want))
+			for _, p := range want {
+				wantSet[p.ID] = true
+			}
+			hits := 0
+			for _, p := range got {
+				if wantSet[p.ID] {
+					hits++
+				}
+			}
+			recall += float64(hits) / 10
+		}
+		t.AddRow("planar-laplace", eps,
+			fmt.Sprintf("10-NN recall (mean err %.0fm)", privacy.ExpectedPlanarError(eps)),
+			fmt.Sprintf("%.2f", recall/trials))
+	}
+
+	// k-anonymity: mean released cell size for a downtown crowd.
+	var pts []geo.Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*rng.Float64()*2000))
+	}
+	for _, k := range []int{5, 20, 50} {
+		_, sizes := privacy.KAnonymize(pts, k, nil)
+		var mean float64
+		for _, s := range sizes {
+			mean += s
+		}
+		t.AddRow("k-anonymity", k, "mean cell size (m)", fmt.Sprintf("%.0f", mean/float64(len(sizes))))
+	}
+	return t
+}
+
+// E11Interpret measures ARML encode/decode plus semantic-tagging throughput
+// at growing overlay sizes (§4.2: interpretation must not break frame
+// budgets).
+func E11Interpret() *metrics.Table {
+	t := metrics.NewTable("E11: ARML + interpretation cost",
+		"features", "encode", "decode", "tagging/POI", "doc KB")
+	interp := arml.RetailVocabulary()
+	rng := sim.NewRand(11)
+	for _, n := range []int{10, 100, 1000} {
+		city := geo.GenerateCity(geo.CityConfig{Center: benchCenter, RadiusM: 1000, NumPOIs: n, Seed: 11})
+		doc := &arml.Document{}
+		for _, p := range city {
+			metricsIn := map[string]float64{
+				"crowding": rng.Float64(),
+				"stock":    float64(rng.Intn(10)),
+				"discount": rng.Float64() * 0.5,
+			}
+			tags := interp.Interpret(metricsIn)
+			doc.Features = append(doc.Features, arml.FeatureFromPOI(p, tags))
+		}
+		const reps = 20
+		start := time.Now()
+		var data []byte
+		var err error
+		for i := 0; i < reps; i++ {
+			data, err = arml.Encode(doc)
+			if err != nil {
+				panic(err)
+			}
+		}
+		encT := time.Since(start) / reps
+
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := arml.Decode(data); err != nil {
+				panic(err)
+			}
+		}
+		decT := time.Since(start) / reps
+
+		start = time.Now()
+		const tagReps = 2000
+		for i := 0; i < tagReps; i++ {
+			interp.Interpret(map[string]float64{"crowding": 0.8, "stock": 2, "discount": 0.2})
+		}
+		tagT := time.Since(start) / tagReps
+
+		t.AddRow(n, ms(encT), ms(decT), us(tagT), len(data)/1024)
+	}
+	return t
+}
+
+// E12Sketches compares sketch estimates against exact computation: error vs
+// memory at stream scales (§1 volume — you cannot keep exact state for
+// everything).
+func E12Sketches() *metrics.Table {
+	t := metrics.NewTable("E12: sketches vs exact at 1M zipf events, 100k key space",
+		"structure", "memory KB", "metric", "value")
+	rng := sim.NewRand(12)
+	z := rng.NewZipf(1.3, 100_000)
+	const n = 1_000_000
+	exactCounts := make(map[string]uint64)
+	exactDistinct := make(map[string]bool)
+	cm := analytics.NewCountMin(0.0005, 0.01)
+	hll := analytics.NewHyperLogLog(12)
+	ss := analytics.NewSpaceSaving(100)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", z.Next())
+		exactCounts[key]++
+		exactDistinct[key] = true
+		cm.Add(key, 1)
+		hll.Add(key)
+		ss.Add(key)
+	}
+	// Count-min: mean relative error over the top 100 true keys.
+	top := ss.TopK(100)
+	var relErr float64
+	for _, hh := range top {
+		truth := exactCounts[hh.Key]
+		est := cm.Count(hh.Key)
+		relErr += math.Abs(float64(est)-float64(truth)) / float64(truth)
+	}
+	t.AddRow("count-min", cm.MemoryBytes()/1024, "mean rel err, top-100 keys",
+		fmt.Sprintf("%.4f", relErr/float64(len(top))))
+
+	hllErr := math.Abs(hll.Estimate()-float64(len(exactDistinct))) / float64(len(exactDistinct))
+	t.AddRow("hyperloglog", hll.MemoryBytes()/1024, "cardinality rel err", fmt.Sprintf("%.4f", hllErr))
+
+	// Space-saving: how many of the true top-20 are in the sketch top-20.
+	type kv struct {
+		k string
+		v uint64
+	}
+	var all []kv
+	for k, v := range exactCounts {
+		all = append(all, kv{k, v})
+	}
+	// Partial selection of true top 20.
+	for i := 0; i < 20; i++ {
+		maxJ := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].v > all[maxJ].v {
+				maxJ = j
+			}
+		}
+		all[i], all[maxJ] = all[maxJ], all[i]
+	}
+	trueTop := make(map[string]bool, 20)
+	for i := 0; i < 20; i++ {
+		trueTop[all[i].k] = true
+	}
+	hits := 0
+	for _, hh := range ss.TopK(20) {
+		if trueTop[hh.Key] {
+			hits++
+		}
+	}
+	t.AddRow("space-saving(100)", (100*32)/1024+1, "true top-20 recall", fmt.Sprintf("%d/20", hits))
+
+	exactMem := len(exactCounts) * 24 / 1024
+	t.AddRow("exact map", exactMem, "baseline", "-")
+	return t
+}
+
+// E13Influence recomputes Figure 5, the paper's qualitative "influence
+// circles": each field gets a measured improvement score from the scenario
+// experiments, mapped onto the paper's five levels, and compared with the
+// level the paper assigns.
+func E13Influence() *metrics.Table {
+	t := metrics.NewTable("E13: Figure 5 influence levels, measured vs paper",
+		"field", "measured signal", "score", "measured level", "paper level")
+
+	// Retail: HR@10 lift of context-aware over popularity (E7 at small
+	// scale).
+	w := analyticsShoppers()
+	retailScore := w.ctxHR / math.Max(w.popHR, 1e-6)
+
+	// Tourism: geo-index speedup enabling city-scale POI context (E5 shape).
+	tourismScore := geoSpeedup()
+
+	// Healthcare: episode detection rate (E8 at small scale).
+	healthScore := healthDetection()
+
+	// Public services: x-ray recall gain (E9 at small scale).
+	publicScore := xrayGain()
+
+	rows := []struct {
+		field string
+		sig   string
+		score float64
+		paper string
+	}{
+		{"retail", "context rec lift", retailScore, "very high"},
+		{"tourism", "geo ctx speedup", tourismScore, "very high"},
+		{"healthcare", "episode detection", healthScore, "very high"},
+		{"public services", "x-ray recall gain", publicScore, "high"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.field, r.sig, fmt.Sprintf("%.2f", r.score), levelOf(r.score), r.paper)
+	}
+	return t
+}
+
+// levelOf maps a composite improvement score onto the paper's five levels.
+func levelOf(score float64) string {
+	switch {
+	case score >= 3:
+		return "very high"
+	case score >= 1.5:
+		return "high"
+	case score >= 1.1:
+		return "medium"
+	case score > 1.0:
+		return "low"
+	default:
+		return "absent"
+	}
+}
+
+type shopperScores struct{ popHR, ctxHR float64 }
+
+// analyticsShoppers runs a small-scale E7 and returns the popularity and
+// context-aware hit rates.
+func analyticsShoppers() shopperScores {
+	w := recommend.GenerateShoppers(recommend.ShopperConfig{
+		Seed: 13, NumUsers: 150, NumItems: 200, EventsPerUser: 25, Center: benchCenter,
+	})
+	sp := recommend.LeaveOneOut(w.Log, 5)
+	pop := recommend.Evaluate(recommend.NewPopularity(sp.Train), sp, 10)
+	cf := recommend.NewItemCF(sp.Train)
+	ctx := recommend.Evaluate(recommend.NewContextAware(cf, w.Catalog, w.ContextFor(sp)), sp, 10)
+	return shopperScores{popHR: pop.HitRate, ctxHR: ctx.HitRate}
+}
+
+// geoSpeedup returns the R-tree-over-scan 10-NN speedup at 50k POIs (the
+// per-frame context lookup), capped so a single subsystem cannot dominate
+// the influence score.
+func geoSpeedup() float64 {
+	city := geo.GenerateCity(geo.CityConfig{Center: benchCenter, RadiusM: 5000, NumPOIs: 50_000, Seed: 13})
+	scan, err := geo.LoadStore(city, geo.IndexScan)
+	if err != nil {
+		panic(err)
+	}
+	rt, err := geo.LoadStore(city, geo.IndexRTree)
+	if err != nil {
+		panic(err)
+	}
+	const queries = 30
+	rng := sim.NewRand(13)
+	var centers []geo.Point
+	for i := 0; i < queries; i++ {
+		centers = append(centers, geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*3000))
+	}
+	start := time.Now()
+	for _, c := range centers {
+		_ = scan.Nearest(c, 10)
+	}
+	scanT := time.Since(start)
+	start = time.Now()
+	for _, c := range centers {
+		_ = rt.Nearest(c, 10)
+	}
+	rtT := time.Since(start)
+	return math.Min(10, float64(scanT)/float64(rtT+1))
+}
+
+// healthDetection returns detected episodes / injected episodes scaled to
+// the influence range (detection of 100% maps to 4.0).
+func healthDetection() float64 {
+	store := ehr.NewStore()
+	engine := ehr.NewAlertEngine(store, ehr.StandardRules())
+	rng := sim.NewRand(13)
+	const patients = 40
+	detected, episodes := 0, 0
+	for pid := 1; pid <= patients; pid++ {
+		v := sensor.NewVitals(int64(2000 + pid))
+		var epAt time.Time
+		if rng.Bool(0.5) {
+			epAt = sim.Epoch.Add(time.Duration(30+rng.Intn(120)) * time.Second)
+			v.StartEpisode(epAt, 2*time.Minute)
+			episodes++
+		}
+		hit := false
+		for sec := 0; sec < 360; sec++ {
+			now := sim.Epoch.Add(time.Duration(sec) * time.Second)
+			for _, samp := range v.Sample(now) {
+				if len(engine.Ingest(uint64(pid), samp)) > 0 && !epAt.IsZero() && !hit {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			detected++
+		}
+	}
+	if episodes == 0 {
+		return 0
+	}
+	return 4 * float64(detected) / float64(episodes)
+}
+
+// xrayGain returns cloud-shared detection recall relative to line-of-sight
+// recall, scaled so a 2x gain maps to 2.0.
+func xrayGain() float64 {
+	s := traffic.NewSim(traffic.Config{Seed: 13, NumVehicles: 50, Penetration: 1}, sim.Epoch)
+	var los, shared, truth int
+	for step := 0; step < 80; step++ {
+		s.Step(500 * time.Millisecond)
+		l := s.MeasureDetection(250, false, 8*time.Second, 12)
+		sh := s.MeasureDetection(250, true, 8*time.Second, 12)
+		los += l.DetectedPairs
+		shared += sh.DetectedPairs
+		truth += sh.TruthPairs
+	}
+	if los == 0 {
+		return 4
+	}
+	return float64(shared) / float64(los)
+}

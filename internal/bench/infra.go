@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"arbd/internal/analytics"
+	"arbd/internal/cluster"
+	"arbd/internal/metrics"
+	"arbd/internal/mq"
+	"arbd/internal/offload"
+	"arbd/internal/sim"
+	"arbd/internal/stream"
+)
+
+// E1LogIngest measures broker produce/consume throughput across producer and
+// partition counts (§1 "velocity": data streaming in at high speed).
+func E1LogIngest() *metrics.Table {
+	t := metrics.NewTable("E1: commit-log ingest (100k records, 100B values)",
+		"producers", "partitions", "produce k/s", "consume k/s")
+	const total = 100_000
+	value := make([]byte, 100)
+	for _, producers := range []int{1, 4} {
+		for _, partitions := range []int{1, 4, 8} {
+			b := mq.NewBroker()
+			if err := b.CreateTopic("t", mq.TopicConfig{Partitions: partitions}); err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			done := make(chan struct{}, producers)
+			per := total / producers
+			for p := 0; p < producers; p++ {
+				go func(p int) {
+					key := []byte(fmt.Sprintf("p%d", p))
+					for i := 0; i < per; i++ {
+						key[0] = byte('a' + i%23)
+						if _, _, err := b.Produce("t", key, value); err != nil {
+							panic(err)
+						}
+					}
+					done <- struct{}{}
+				}(p)
+			}
+			for p := 0; p < producers; p++ {
+				<-done
+			}
+			produceRate := float64(producers*per) / time.Since(start).Seconds() / 1e3
+
+			g, err := b.NewGroup("t")
+			if err != nil {
+				panic(err)
+			}
+			start = time.Now()
+			consumed := 0
+			for {
+				recs, err := g.Poll(4096)
+				if err != nil {
+					panic(err)
+				}
+				if len(recs) == 0 {
+					break
+				}
+				consumed += len(recs)
+				for _, r := range recs {
+					g.Commit(r.Partition, r.Offset+1)
+				}
+			}
+			consumeRate := float64(consumed) / time.Since(start).Seconds() / 1e3
+			t.AddRow(producers, partitions, fmt.Sprintf("%.0f", produceRate), fmt.Sprintf("%.0f", consumeRate))
+		}
+	}
+	return t
+}
+
+// E2StreamWindows measures windowed-aggregation throughput as worker
+// parallelism grows (§2: the analysis pipeline must keep up with streams).
+func E2StreamWindows() *metrics.Table {
+	t := metrics.NewTable("E2: stream engine, keyed 1s tumbling sum over 200k events",
+		"parallelism", "events/s (k)", "results")
+	const total = 200_000
+	for _, par := range []int{1, 2, 4, 8} {
+		p := stream.NewPipeline("bench", stream.WithChannelSize(1024))
+		results := 0
+		var resMu chan struct{} = make(chan struct{}, 1)
+		resMu <- struct{}{}
+		p.Source("in").
+			Window("sum", par, stream.Tumbling(time.Second), stream.Sum()).
+			Sink("out", func(stream.Event) {
+				<-resMu
+				results++
+				resMu <- struct{}{}
+			})
+		if err := p.Start(); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		base := sim.Epoch
+		for i := 0; i < total; i++ {
+			evt := stream.Event{
+				Key:   fmt.Sprintf("k%d", i%64),
+				Time:  base.Add(time.Duration(i) * 50 * time.Microsecond),
+				Value: 1,
+			}
+			if err := p.Push("in", evt); err != nil {
+				panic(err)
+			}
+		}
+		if err := p.Drain(); err != nil {
+			panic(err)
+		}
+		rate := float64(total) / time.Since(start).Seconds() / 1e3
+		t.AddRow(par, fmt.Sprintf("%.0f", rate), results)
+	}
+	return t
+}
+
+// E3IncrementalVsBatch compares per-update cost of an incrementally
+// maintained view against full recomputation at growing log sizes — §4.1's
+// timeliness argument made quantitative.
+func E3IncrementalVsBatch() *metrics.Table {
+	t := metrics.NewTable("E3: per-update cost, incremental view vs batch recompute",
+		"log size", "incremental/update", "batch/update", "batch/incremental")
+	rng := sim.NewRand(3)
+	for _, n := range []int{1_000, 10_000, 100_000, 500_000} {
+		rows := make([]analytics.Row, n)
+		for i := range rows {
+			rows[i] = analytics.Row{Group: fmt.Sprintf("g%d", rng.Intn(200)), Value: rng.Float64()}
+		}
+		v := analytics.NewView()
+		v.ApplyBatch(rows)
+
+		const updates = 50
+		start := time.Now()
+		for i := 0; i < updates; i++ {
+			v.Apply(analytics.Row{Group: "g1", Value: 1})
+		}
+		incPer := time.Since(start) / updates
+
+		batchRuns := 3
+		start = time.Now()
+		for i := 0; i < batchRuns; i++ {
+			_ = analytics.BatchCompute(rows)
+		}
+		batchPer := time.Since(start) / time.Duration(batchRuns)
+
+		ratio := float64(batchPer) / float64(incPer+1)
+		t.AddRow(n, us(incPer), ms(batchPer), fmt.Sprintf("%.0fx", ratio))
+	}
+	return t
+}
+
+// E4Offload reproduces the CloudRiDAR-style crossover: per-frame latency and
+// device energy for local/edge/cloud placements across network profiles
+// (§4.1).
+func E4Offload() *metrics.Table {
+	t := metrics.NewTable("E4: AR pipeline placement per network profile (per frame)",
+		"network", "placement", "latency", "energy mJ", "chosen")
+	device := cluster.Node{ID: "mobile", Class: cluster.ClassMobile, SpeedFactor: 1,
+		ActiveWatts: 2.5, IdleWatts: 0.8, TxWatts: 1.8}
+	edge := cluster.Node{ID: "edge", Class: cluster.ClassEdge, SpeedFactor: 6,
+		ActiveWatts: 65, IdleWatts: 20, TxWatts: 5}
+	cloud := cluster.Node{ID: "cloud", Class: cluster.ClassCloud, SpeedFactor: 32,
+		ActiveWatts: 250, IdleWatts: 80, TxWatts: 10}
+	stages := offload.ARPipeline(0, 0)
+
+	profiles := []cluster.Profile{cluster.ProfileLAN, cluster.ProfileWiFi, cluster.ProfileLTE, cluster.Profile3G}
+	for _, link := range profiles {
+		wan := link
+		wan.RTT += 40 * time.Millisecond
+		remotes := []offload.RemoteOption{
+			{Node: edge, Link: link},
+			{Node: cloud, Link: wan},
+		}
+		best, err := offload.Best(stages, device, remotes, offload.MinLatency, 0)
+		if err != nil {
+			panic(err)
+		}
+		candidates := []struct {
+			name string
+			est  func() (offload.Estimate, error)
+		}{
+			{"local", func() (offload.Estimate, error) {
+				return offload.Evaluate(stages, device, device, cluster.ProfileLoopback, offload.Local(), nil)
+			}},
+			{"edge[1:4]", func() (offload.Estimate, error) {
+				return offload.Evaluate(stages, device, edge, link,
+					offload.Placement{RemoteStart: 1, RemoteEnd: 4, RemoteNode: "edge"}, nil)
+			}},
+			{"cloud[1:4]", func() (offload.Estimate, error) {
+				return offload.Evaluate(stages, device, cloud, wan,
+					offload.Placement{RemoteStart: 1, RemoteEnd: 4, RemoteNode: "cloud"}, nil)
+			}},
+		}
+		shown := false
+		for _, c := range candidates {
+			est, err := c.est()
+			if err != nil {
+				panic(err)
+			}
+			chosen := ""
+			if c.name == best.Placement.String() || (c.name == "local" && best.Placement.IsLocal()) {
+				chosen = "<-- best"
+				shown = true
+			}
+			t.AddRow(link.Name, c.name, ms(est.Latency),
+				fmt.Sprintf("%.1f", est.DeviceEnergyJ*1e3), chosen)
+		}
+		// The planner may pick a split not in the display set (e.g. on WiFi
+		// it extracts features locally and ships only descriptors); always
+		// show its actual decision.
+		if !shown {
+			t.AddRow(link.Name, best.Placement.String(), ms(best.Estimate.Latency),
+				fmt.Sprintf("%.1f", best.Estimate.DeviceEnergyJ*1e3), "<-- best")
+		}
+	}
+	return t
+}

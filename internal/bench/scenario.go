@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"arbd/internal/ehr"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/recommend"
+	"arbd/internal/render"
+	"arbd/internal/sensor"
+	"arbd/internal/sim"
+	"arbd/internal/traffic"
+)
+
+var benchCenter = geo.Point{Lat: 22.3364, Lon: 114.2655}
+
+// E5GeoIndex compares POI query latency across index structures and dataset
+// sizes (§3.2: every AR frame is a geospatial context query). Range queries
+// share result post-processing across indexes; 10-NN queries isolate the
+// search structure, which is where trees win by orders of magnitude.
+func E5GeoIndex() *metrics.Table {
+	t := metrics.NewTable("E5: POI queries, mean latency (150m range / 10-NN)",
+		"POIs", "range scan", "range rtree", "knn scan", "knn quadtree", "knn rtree", "knn speedup")
+	for _, n := range []int{1_000, 10_000, 50_000, 200_000} {
+		city := geo.GenerateCity(geo.CityConfig{
+			Center: benchCenter, RadiusM: 5000, NumPOIs: n, TallRatio: 0.2, Seed: 5,
+		})
+		kinds := []geo.IndexKind{geo.IndexScan, geo.IndexQuadtree, geo.IndexRTree}
+		stores := make(map[geo.IndexKind]*geo.Store, len(kinds))
+		for _, kind := range kinds {
+			store, err := geo.LoadStore(city, kind)
+			if err != nil {
+				panic(err)
+			}
+			stores[kind] = store
+		}
+		queryCenters := func() []geo.Point {
+			rng := sim.NewRand(55)
+			out := make([]geo.Point, 40)
+			for i := range out {
+				out[i] = geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*3000)
+			}
+			return out
+		}
+		rangeLat := make(map[geo.IndexKind]time.Duration)
+		knnLat := make(map[geo.IndexKind]time.Duration)
+		for _, kind := range kinds {
+			centers := queryCenters()
+			start := time.Now()
+			for _, c := range centers {
+				_ = stores[kind].QueryRadius(c, 150, 0)
+			}
+			rangeLat[kind] = time.Since(start) / time.Duration(len(centers))
+			start = time.Now()
+			for _, c := range centers {
+				_ = stores[kind].Nearest(c, 10)
+			}
+			knnLat[kind] = time.Since(start) / time.Duration(len(centers))
+		}
+		speedup := float64(knnLat[geo.IndexScan]) / float64(knnLat[geo.IndexRTree]+1)
+		t.AddRow(n,
+			us(rangeLat[geo.IndexScan]), us(rangeLat[geo.IndexRTree]),
+			us(knnLat[geo.IndexScan]), us(knnLat[geo.IndexQuadtree]), us(knnLat[geo.IndexRTree]),
+			fmt.Sprintf("%.0fx", speedup))
+	}
+	return t
+}
+
+// E6Layout compares the floating-bubble baseline against the anchored
+// engine on clutter metrics and cost as annotation density grows (§2.1).
+func E6Layout() *metrics.Table {
+	t := metrics.NewTable("E6: layout quality, bubbles vs anchored",
+		"annotations", "engine", "drawn", "overlap%", "occl viol", "ms/frame")
+	pose := sensor.Pose{Position: benchCenter, HeadingDeg: 0, AltitudeM: 1.6}
+	cam := render.DefaultCamera
+	for _, n := range []int{25, 100, 400} {
+		city := geo.GenerateCity(geo.CityConfig{
+			Center: benchCenter, RadiusM: 300, NumPOIs: n, TallRatio: 0.3, Seed: 6,
+		})
+		occl := render.OccludersFromPOIs(city, 30)
+		anns := render.AnnotationsFromPOIs(pose, city)
+
+		const frames = 30
+		start := time.Now()
+		var laidB []render.Annotation
+		for f := 0; f < frames; f++ {
+			laidB = render.LayoutBubbles(cam, pose, anns)
+		}
+		bubbleTime := time.Since(start) / frames
+		mB := render.MeasureClutter(cam, pose, laidB, occl)
+
+		start = time.Now()
+		var laidA []render.Annotation
+		for f := 0; f < frames; f++ {
+			laidA = render.LayoutAnchored(cam, pose, anns, occl, render.LayoutOptions{})
+		}
+		anchorTime := time.Since(start) / frames
+		mA := render.MeasureClutter(cam, pose, laidA, occl)
+
+		t.AddRow(n, "bubbles", mB.Drawn, fmt.Sprintf("%.1f", mB.OverlapFraction*100),
+			mB.OcclusionViolations, ms(bubbleTime))
+		t.AddRow(n, "anchored", mA.Drawn, fmt.Sprintf("%.1f", mA.OverlapFraction*100),
+			mA.OcclusionViolations, ms(anchorTime))
+	}
+	return t
+}
+
+// E7Recommend evaluates recommendation lift: popularity vs item-CF vs
+// context-aware, HR@10 and NDCG@10 on synthetic shoppers (§3.1).
+func E7Recommend() *metrics.Table {
+	t := metrics.NewTable("E7: recommendation quality (leave-one-out, K=10)",
+		"model", "HR@10", "NDCG@10", "users")
+	w := recommend.GenerateShoppers(recommend.ShopperConfig{
+		Seed: 7, NumUsers: 400, NumItems: 500, EventsPerUser: 30, Center: benchCenter,
+	})
+	sp := recommend.LeaveOneOut(w.Log, 5)
+	pop := recommend.NewPopularity(sp.Train)
+	cf := recommend.NewItemCF(sp.Train)
+	ctx := recommend.NewContextAware(cf, w.Catalog, w.ContextFor(sp))
+	for _, rec := range []recommend.Recommender{pop, cf, ctx} {
+		m := recommend.Evaluate(rec, sp, 10)
+		t.AddRow(rec.Name(), fmt.Sprintf("%.3f", m.HitRate), fmt.Sprintf("%.3f", m.NDCG), m.Users)
+	}
+	return t
+}
+
+// E8HealthAlerts measures alert detection latency and precision/recall as
+// the monitored population grows (§3.3).
+func E8HealthAlerts() *metrics.Table {
+	t := metrics.NewTable("E8: vitals alerting, 10-minute episodes at 1Hz sampling",
+		"patients", "episodes", "detected", "false alarms", "mean latency", "ingest k/s")
+	for _, patients := range []int{10, 100, 500} {
+		store := ehr.NewStore()
+		engine := ehr.NewAlertEngine(store, ehr.StandardRules())
+		rng := sim.NewRand(8)
+		vitals := make([]*sensor.Vitals, patients)
+		episodeAt := make([]time.Time, patients)
+		for i := range vitals {
+			vitals[i] = sensor.NewVitals(int64(1000 + i))
+			_ = store.PutPatient(ehr.Patient{ID: uint64(i + 1), Name: fmt.Sprintf("p%d", i+1)})
+		}
+		// A third of patients get an episode at a random minute.
+		episodes := 0
+		for i := range vitals {
+			if rng.Bool(0.33) {
+				at := sim.Epoch.Add(time.Duration(60+rng.Intn(240)) * time.Second)
+				vitals[i].StartEpisode(at, 2*time.Minute)
+				episodeAt[i] = at
+				episodes++
+			}
+		}
+		const duration = 600 // seconds
+		firstAlert := make(map[uint64]time.Time)
+		falseAlarms := 0
+		samples := 0
+		start := time.Now()
+		for sec := 0; sec < duration; sec++ {
+			now := sim.Epoch.Add(time.Duration(sec) * time.Second)
+			for i, v := range vitals {
+				pid := uint64(i + 1)
+				for _, samp := range v.Sample(now) {
+					samples++
+					for _, a := range engine.Ingest(pid, samp) {
+						if episodeAt[i].IsZero() {
+							falseAlarms++
+						} else if _, seen := firstAlert[pid]; !seen {
+							firstAlert[pid] = a.Time
+						}
+					}
+				}
+			}
+		}
+		wall := time.Since(start)
+		detected := 0
+		var latSum time.Duration
+		for i := range vitals {
+			if episodeAt[i].IsZero() {
+				continue
+			}
+			if at, ok := firstAlert[uint64(i+1)]; ok && !at.Before(episodeAt[i]) {
+				detected++
+				latSum += at.Sub(episodeAt[i])
+			}
+		}
+		meanLat := time.Duration(0)
+		if detected > 0 {
+			meanLat = latSum / time.Duration(detected)
+		}
+		rate := float64(samples) / wall.Seconds() / 1e3
+		t.AddRow(patients, episodes, detected, falseAlarms, meanLat.Round(time.Second),
+			fmt.Sprintf("%.0f", rate))
+	}
+	return t
+}
+
+// E9Traffic measures collision-warning recall and the "x-ray vision"
+// benefit of cloud-shared beacons across penetration rates (§3.4).
+func E9Traffic() *metrics.Table {
+	t := metrics.NewTable("E9: conflict detection recall over 60s urban sim",
+		"penetration", "mode", "truth pairs", "detected", "recall", "mean TTC")
+	for _, pen := range []float64{0.3, 0.6, 1.0} {
+		for _, shared := range []bool{false, true} {
+			s := traffic.NewSim(traffic.Config{
+				Seed: 9, GridN: 6, BlockM: 120, NumVehicles: 60, Penetration: pen,
+			}, sim.Epoch)
+			var truth, det int
+			var ttcSum time.Duration
+			ttcN := 0
+			for step := 0; step < 120; step++ {
+				s.Step(500 * time.Millisecond)
+				st := s.MeasureDetection(250, shared, 8*time.Second, 12)
+				truth += st.TruthPairs
+				det += st.DetectedPairs
+				if st.DetectedPairs > 0 {
+					ttcSum += st.MeanTTC
+					ttcN++
+				}
+			}
+			mode := "line-of-sight"
+			if shared {
+				mode = "cloud-shared"
+			}
+			recall := 0.0
+			if truth > 0 {
+				recall = float64(det) / float64(truth)
+			}
+			meanTTC := time.Duration(0)
+			if ttcN > 0 {
+				meanTTC = (ttcSum / time.Duration(ttcN)).Round(100 * time.Millisecond)
+			}
+			t.AddRow(fmt.Sprintf("%.0f%%", pen*100), mode, truth, det,
+				fmt.Sprintf("%.2f", recall), meanTTC)
+		}
+	}
+	return t
+}

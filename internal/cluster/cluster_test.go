@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"arbd/internal/sim"
+)
+
+func newTestCluster(t *testing.T) (*Cluster, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler(sim.NewVirtualClock(time.Time{}))
+	c := New(sched, 1)
+	for _, n := range []Node{
+		{ID: "a", Class: ClassMobile, SpeedFactor: 1},
+		{ID: "b", Class: ClassCloud, SpeedFactor: 32},
+	} {
+		if err := c.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect("a", "b", ProfileLAN); err != nil {
+		t.Fatal(err)
+	}
+	return c, sched
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	c, _ := newTestCluster(t)
+	if err := c.AddNode(Node{ID: "a"}); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConnectUnknownNode(t *testing.T) {
+	c, _ := newTestCluster(t)
+	if err := c.Connect("a", "ghost", ProfileLAN); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendDeliversAfterLinkDelay(t *testing.T) {
+	c, sched := newTestCluster(t)
+	var got *Message
+	c.Handle("b", func(m Message) { got = &m })
+	payload := make([]byte, 125000) // 1 Mbit over 1000 Mbps = 1 ms
+	if err := c.Send("a", "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	sched.Drain(10)
+	if got == nil {
+		t.Fatal("message not delivered")
+	}
+	lat := got.Arrived.Sub(got.SentAt)
+	// base = RTT/2 (0.25ms) + 1ms serialisation, ±10% jitter.
+	if lat < 800*time.Microsecond || lat > 1700*time.Microsecond {
+		t.Fatalf("latency = %v, want ~1.25ms", lat)
+	}
+	if got.From != "a" || got.To != "b" || len(got.Payload) != 125000 {
+		t.Fatalf("message = %+v", got)
+	}
+	delivered, dropped := c.Stats()
+	if delivered != 1 || dropped != 0 {
+		t.Fatalf("stats = %d, %d", delivered, dropped)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	c, _ := newTestCluster(t)
+	if err := c.Send("ghost", "b", nil); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("unknown sender: %v", err)
+	}
+	if err := c.Send("a", "ghost", nil); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("unknown receiver: %v", err)
+	}
+	c2 := New(sim.NewScheduler(sim.NewVirtualClock(time.Time{})), 1)
+	_ = c2.AddNode(Node{ID: "x"})
+	_ = c2.AddNode(Node{ID: "y"})
+	if err := c2.Send("x", "y", nil); !errors.Is(err, ErrNoLink) {
+		t.Fatalf("no link: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	c, sched := newTestCluster(t)
+	delivered := 0
+	c.Handle("b", func(Message) { delivered++ })
+	c.Partition("a", "b")
+	if err := c.Send("a", "b", []byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("send through partition: %v", err)
+	}
+	c.Heal("a", "b")
+	if err := c.Send("a", "b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Drain(10)
+	if delivered != 1 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	_, dropped := c.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c, sched := newTestCluster(t)
+	var got []byte
+	c.Handle("b", func(m Message) { got = m.Payload })
+	buf := []byte("original")
+	_ = c.Send("a", "b", buf)
+	buf[0] = 'X'
+	sched.Drain(10)
+	if string(got) != "original" {
+		t.Fatalf("payload aliased: %q", got)
+	}
+}
+
+func TestProfileOneWayScalesWithSize(t *testing.T) {
+	small := Profile3G.OneWay(100, nil)
+	large := Profile3G.OneWay(1_000_000, nil)
+	if large <= small {
+		t.Fatalf("transfer time not increasing: %v vs %v", small, large)
+	}
+	// 1 MB over 2 Mbps = 4 s serialisation + 60ms propagation.
+	if large < 3*time.Second || large > 6*time.Second {
+		t.Fatalf("1MB over 3G = %v, want ~4s", large)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// Same payload must be strictly slower on slower profiles.
+	const bytes = 200_000
+	profiles := []Profile{ProfileLoopback, ProfileLAN, ProfileWiFi, ProfileLTE, Profile3G}
+	prev := time.Duration(-1)
+	for _, p := range profiles {
+		d := p.OneWay(bytes, nil)
+		if d <= prev {
+			t.Fatalf("%s (%v) not slower than previous (%v)", p.Name, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestNodeExecTimeScalesWithSpeed(t *testing.T) {
+	mobile := Node{SpeedFactor: 1}
+	cloud := Node{SpeedFactor: 32}
+	work := 2e9 // one second on mobile
+	tm := mobile.ExecTime(work)
+	tc := cloud.ExecTime(work)
+	if tm != time.Second {
+		t.Fatalf("mobile exec = %v, want 1s", tm)
+	}
+	if tc < tm/40 || tc > tm/25 {
+		t.Fatalf("cloud exec = %v, want ~1/32 of mobile", tc)
+	}
+	dead := Node{SpeedFactor: 0}
+	if dead.ExecTime(1) < time.Hour {
+		t.Fatal("zero-speed node finished work")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	n := Node{ActiveWatts: 2, IdleWatts: 0.5, TxWatts: 1.5}
+	if got := n.ComputeEnergyJoules(2 * time.Second); got != 4 {
+		t.Fatalf("compute energy = %v", got)
+	}
+	if got := n.IdleEnergyJoules(4 * time.Second); got != 2 {
+		t.Fatalf("idle energy = %v", got)
+	}
+	if got := n.RadioEnergyJoules(2 * time.Second); got != 3 {
+		t.Fatalf("radio energy = %v", got)
+	}
+}
+
+func TestStandardDeployment(t *testing.T) {
+	sched := sim.NewScheduler(sim.NewVirtualClock(time.Time{}))
+	c, err := StandardDeployment(sched, 7, ProfileWiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"mobile", "edge", "cloud"} {
+		if _, err := c.Node(id); err != nil {
+			t.Fatalf("missing node %s: %v", id, err)
+		}
+	}
+	me, err := c.Link("mobile", "edge")
+	if err != nil || me.Name != "wifi" {
+		t.Fatalf("mobile-edge link = %+v, %v", me, err)
+	}
+	mc, err := c.Link("mobile", "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.RTT <= me.RTT {
+		t.Fatal("cloud path not slower than edge path")
+	}
+	// Messages flow end to end.
+	got := 0
+	c.Handle("cloud", func(Message) { got++ })
+	if err := c.Send("mobile", "cloud", []byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Drain(10)
+	if got != 1 {
+		t.Fatal("mobile->cloud message lost")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for _, c := range []Class{ClassMobile, ClassEdge, ClassCloud} {
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+	if Class(9).String() != "class(9)" {
+		t.Fatal("unknown class format")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"arbd/internal/arml"
+	"arbd/internal/render"
+	"arbd/internal/wire"
+)
+
+// ToARML exports the frame as an ARML document — the interchange form the
+// paper's §4.2 argues AR clients and data producers should meet on.
+func (f *Frame) ToARML() ([]byte, error) {
+	doc := &arml.Document{}
+	for _, a := range f.Annotations {
+		feat := arml.Feature{
+			ID:      fmt.Sprintf("ann-%d", a.ID),
+			Name:    a.Label,
+			Enabled: true,
+			Tags:    f.TagsFor[a.ID],
+			Anchors: []arml.Anchor{{
+				Lat:  a.Anchor.Lat,
+				Lon:  a.Anchor.Lon,
+				AltM: a.AnchorHM,
+				Assets: []arml.VisualAsset{{
+					Kind: arml.AssetText,
+					Text: a.Label,
+				}},
+			}},
+		}
+		if a.XRay {
+			feat.Tags = append(feat.Tags, arml.Tag{Key: "style", Value: "xray"})
+		}
+		doc.Features = append(doc.Features, feat)
+	}
+	return arml.Encode(doc)
+}
+
+// EncodeFrame serialises the frame's overlay for the TCP server protocol:
+// count, then per annotation (id, label, box, anchor, flags).
+func EncodeFrame(f *Frame) []byte {
+	var b wire.Buffer
+	b.Uvarint(uint64(len(f.Annotations)))
+	for _, a := range f.Annotations {
+		b.Uvarint(a.ID)
+		b.String(a.Label)
+		b.Float64(a.X)
+		b.Float64(a.Y)
+		b.Float64(a.W)
+		b.Float64(a.H)
+		b.Float64(a.Anchor.Lat)
+		b.Float64(a.Anchor.Lon)
+		b.Bool(a.XRay)
+	}
+	b.Uvarint(uint64(f.Level))
+	b.Uvarint(uint64(f.Elapsed.Nanoseconds()))
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// DecodedFrame is the client-side view of an encoded frame.
+type DecodedFrame struct {
+	Annotations []render.Annotation
+	Level       DegradeLevel
+	ElapsedNs   uint64
+}
+
+// DecodeFrame parses EncodeFrame output.
+func DecodeFrame(p []byte) (*DecodedFrame, error) {
+	r := wire.NewReader(p)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, r.Err(err, "count")
+	}
+	if n > 10000 {
+		return nil, fmt.Errorf("core: implausible annotation count %d", n)
+	}
+	out := &DecodedFrame{Annotations: make([]render.Annotation, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var a render.Annotation
+		if a.ID, err = r.Uvarint(); err != nil {
+			return nil, r.Err(err, "id")
+		}
+		if a.Label, err = r.String(); err != nil {
+			return nil, r.Err(err, "label")
+		}
+		for _, dst := range []*float64{&a.X, &a.Y, &a.W, &a.H, &a.Anchor.Lat, &a.Anchor.Lon} {
+			if *dst, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "geometry")
+			}
+		}
+		if a.XRay, err = r.Bool(); err != nil {
+			return nil, r.Err(err, "flags")
+		}
+		a.Placed = true
+		out.Annotations = append(out.Annotations, a)
+	}
+	lvl, err := r.Uvarint()
+	if err != nil {
+		return nil, r.Err(err, "level")
+	}
+	out.Level = DegradeLevel(lvl)
+	if out.ElapsedNs, err = r.Uvarint(); err != nil {
+		return nil, r.Err(err, "elapsed")
+	}
+	return out, nil
+}

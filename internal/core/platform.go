@@ -1,0 +1,271 @@
+// Package core implements the paper's primary contribution: the convergence
+// platform that feeds AR front-ends from big-data backends. A Platform owns
+// the substrates — POI store, message broker, stream analytics, recommender,
+// semantic interpreter, privacy accountant — and Sessions run the per-frame
+// loop: fuse sensors → privacy-gate location telemetry → query geospatial
+// and analytic context → interpret it into semantic tags → lay out the AR
+// overlay, all under a frame deadline with graceful degradation (§4.1).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"arbd/internal/analytics"
+	"arbd/internal/arml"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/mq"
+	"arbd/internal/privacy"
+	"arbd/internal/recommend"
+	"arbd/internal/sim"
+	"arbd/internal/stream"
+)
+
+// Platform errors.
+var (
+	ErrStarted    = errors.New("core: platform already started")
+	ErrNotStarted = errors.New("core: platform not started")
+)
+
+// Topic names on the platform broker.
+const (
+	TopicLocations    = "telemetry.locations"
+	TopicInteractions = "telemetry.interactions"
+)
+
+// Config parameterises a Platform.
+type Config struct {
+	Seed int64
+	// City describes the synthetic world; Center must be set.
+	City geo.CityConfig
+	// POIIndex selects the spatial index (default R-tree).
+	POIIndex geo.IndexKind
+	// FrameDeadline is the per-frame latency budget (default 33 ms — 30 fps).
+	FrameDeadline time.Duration
+	// AnnotationRadiusM bounds the context query around the user
+	// (default 250 m).
+	AnnotationRadiusM float64
+	// MaxAnnotations caps the overlay size (default 20).
+	MaxAnnotations int
+	// LocationEpsilon enables the geo-indistinguishability gate on outgoing
+	// location telemetry (per-meter ε; 0 disables perturbation).
+	LocationEpsilon float64
+	// PrivacyBudget is the total ε each session may spend (default 100).
+	PrivacyBudget float64
+	// Clock defaults to the wall clock; tests inject a virtual one.
+	Clock sim.Clock
+}
+
+func (c *Config) defaults() {
+	if c.FrameDeadline <= 0 {
+		c.FrameDeadline = 33 * time.Millisecond
+	}
+	if c.AnnotationRadiusM <= 0 {
+		c.AnnotationRadiusM = 250
+	}
+	if c.MaxAnnotations <= 0 {
+		c.MaxAnnotations = 20
+	}
+	if c.PrivacyBudget <= 0 {
+		c.PrivacyBudget = 100
+	}
+	if c.POIIndex == 0 {
+		c.POIIndex = geo.IndexRTree
+	}
+	if c.Clock == nil {
+		c.Clock = sim.RealClock{}
+	}
+	if c.City.NumPOIs <= 0 {
+		c.City.NumPOIs = 2000
+	}
+	if c.City.RadiusM <= 0 {
+		c.City.RadiusM = 3000
+	}
+}
+
+// Platform is the ARBD convergence system.
+type Platform struct {
+	cfg    Config
+	rng    *sim.Rand
+	reg    *metrics.Registry
+	pois   *geo.Store
+	broker *mq.Broker
+	acct   *privacy.Accountant
+
+	// crowd maintains per-POI interaction aggregates incrementally — the
+	// context analytics overlays draw on.
+	crowd *analytics.View
+	// hot tracks trending POIs with a space-saving sketch.
+	hot *analytics.SpaceSaving
+
+	interp *arml.Interpreter
+	rec    recommend.Recommender
+	recMu  sync.RWMutex
+
+	pipe *stream.Pipeline
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	nextSess uint64
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// NewPlatform builds a platform over a generated synthetic city.
+func NewPlatform(cfg Config) (*Platform, error) {
+	cfg.defaults()
+	// A zero-value center means the config was never filled in; the real
+	// (0,0) coordinate is open ocean, so rejecting it loses nothing.
+	if !cfg.City.Center.Valid() || cfg.City.Center == (geo.Point{}) {
+		return nil, fmt.Errorf("core: city center %v invalid or unset", cfg.City.Center)
+	}
+	cfg.City.Seed = cfg.Seed
+	pois, err := geo.LoadStore(geo.GenerateCity(cfg.City), cfg.POIIndex)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading city: %w", err)
+	}
+	p := &Platform{
+		cfg:    cfg,
+		rng:    sim.NewRand(cfg.Seed).Child("platform"),
+		reg:    metrics.NewRegistry(),
+		pois:   pois,
+		broker: mq.NewBroker(mq.WithClock(cfg.Clock)),
+		acct:   privacy.NewAccountant(cfg.PrivacyBudget),
+		crowd:  analytics.NewView(),
+		hot:    analytics.NewSpaceSaving(64),
+		interp: arml.RetailVocabulary(),
+	}
+	for _, topic := range []string{TopicLocations, TopicInteractions} {
+		if err := p.broker.CreateTopic(topic, mq.TopicConfig{Partitions: 4}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// POIs exposes the platform's POI store.
+func (p *Platform) POIs() *geo.Store { return p.pois }
+
+// Broker exposes the ingestion broker.
+func (p *Platform) Broker() *mq.Broker { return p.broker }
+
+// Metrics exposes the platform registry.
+func (p *Platform) Metrics() *metrics.Registry { return p.reg }
+
+// CrowdView exposes the incrementally-maintained interaction view.
+func (p *Platform) CrowdView() *analytics.View { return p.crowd }
+
+// SetRecommender installs the recommendation model sessions consult.
+func (p *Platform) SetRecommender(r recommend.Recommender) {
+	p.recMu.Lock()
+	defer p.recMu.Unlock()
+	p.rec = r
+}
+
+// SetInterpreter replaces the semantic vocabulary (default: retail).
+func (p *Platform) SetInterpreter(in *arml.Interpreter) { p.interp = in }
+
+// Start launches the analytics plane: a consumer group over the interaction
+// topic feeding a stream pipeline whose windowed output updates the crowd
+// view. Frame serving works without Start, but context tags will be empty.
+func (p *Platform) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return ErrStarted
+	}
+	p.started = true
+
+	p.pipe = stream.NewPipeline("crowd", stream.WithRegistry(p.reg))
+	p.pipe.Source("interactions").
+		Window("per-poi-1m", 4, stream.Tumbling(time.Minute), stream.Sum()).
+		Sink("crowd-view", func(e stream.Event) {
+			p.crowd.Apply(analytics.Row{Group: e.Key, Value: e.Value})
+		})
+	if err := p.pipe.Start(); err != nil {
+		return err
+	}
+
+	group, err := p.broker.NewGroup(TopicInteractions)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		_ = group.Consume(ctx, 256, func(recs []mq.Record) error {
+			for _, r := range recs {
+				evt, err := decodeInteraction(r.Value)
+				if err != nil {
+					p.reg.Counter("core.interactions.bad").Inc()
+					continue
+				}
+				p.hot.Add(evt.POIKey)
+				if err := p.pipe.Push("interactions", stream.Event{
+					Key:   evt.POIKey,
+					Time:  r.Time,
+					Value: evt.Weight,
+				}); err != nil {
+					return err
+				}
+			}
+			p.reg.Counter("core.interactions.consumed").Add(int64(len(recs)))
+			return nil
+		})
+	}()
+	return nil
+}
+
+// Stop drains the analytics plane. Safe to call once after Start.
+func (p *Platform) Stop() error {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return ErrNotStarted
+	}
+	if p.stopped {
+		p.mu.Unlock()
+		return nil
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	p.cancel()
+	<-p.done
+	return p.pipe.Drain()
+}
+
+// WaitAnalyticsIdle blocks until the consumer has caught up with the
+// interaction topic (used by tests and examples for determinism).
+func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		lag := int64(0)
+		for pi := 0; pi < 4; pi++ {
+			_, newest, err := p.broker.Offsets(TopicInteractions, pi)
+			if err != nil {
+				return err
+			}
+			lag += newest
+		}
+		consumed := p.reg.Counter("core.interactions.consumed").Value()
+		if consumed >= lag {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: analytics still %d behind after %v", lag-consumed, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// HotPOIs returns the trending POI keys.
+func (p *Platform) HotPOIs(k int) []analytics.HeavyHitter {
+	return p.hot.TopK(k)
+}

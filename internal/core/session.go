@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"arbd/internal/arml"
+	"arbd/internal/geo"
+	"arbd/internal/privacy"
+	"arbd/internal/render"
+	"arbd/internal/sensor"
+	"arbd/internal/tracking"
+	"arbd/internal/wire"
+)
+
+// DegradeLevel is the timeliness controller's state: when frames blow the
+// deadline the session sheds work instead of stalling (§4.1). Level zero is
+// full quality.
+type DegradeLevel int
+
+// Degradation levels.
+const (
+	DegradeNone DegradeLevel = iota
+	DegradeRadius
+	DegradeInterp
+)
+
+// String names the level for stats output.
+func (d DegradeLevel) String() string {
+	switch d {
+	case DegradeNone:
+		return "full"
+	case DegradeRadius:
+		return "reduced-radius"
+	case DegradeInterp:
+		return "skip-interpretation"
+	default:
+		return fmt.Sprintf("degrade(%d)", int(d))
+	}
+}
+
+// Session is one device's connection to the platform.
+type Session struct {
+	ID       uint64
+	platform *Platform
+	fuser    *tracking.Fuser
+	gaze     map[uint64]float64 // annotation dwell, ms
+	camera   render.Camera
+	occl     []render.Occluder
+
+	level      DegradeLevel
+	lastLayout []render.Annotation
+	frames     uint64
+	overruns   uint64
+	principal  string
+}
+
+// NewSession opens a session for a device. The session owns the device's
+// tracking state and privacy principal.
+func (p *Platform) NewSession() *Session {
+	p.mu.Lock()
+	p.nextSess++
+	id := p.nextSess
+	p.mu.Unlock()
+	city := p.pois.All()
+	return &Session{
+		ID:        id,
+		platform:  p,
+		fuser:     tracking.NewFuser(p.cfg.City.Center, p.pois),
+		gaze:      make(map[uint64]float64),
+		camera:    render.DefaultCamera,
+		occl:      render.OccludersFromPOIs(city, 30),
+		principal: fmt.Sprintf("session-%d", id),
+	}
+}
+
+// OnGPS feeds a position fix: it updates tracking and publishes a
+// privacy-gated location record to the telemetry topic. If the session's
+// privacy budget is exhausted, telemetry stops but tracking continues —
+// privacy never degrades the user's own experience.
+func (s *Session) OnGPS(fix sensor.GPSFix) error {
+	s.fuser.OnGPS(fix)
+	reported := fix.Position
+	p := s.platform
+	if p.cfg.LocationEpsilon > 0 {
+		if err := p.acct.Spend(s.principal, p.cfg.LocationEpsilon); err != nil {
+			p.reg.Counter("core.privacy.suppressed").Inc()
+			return nil //nolint:nilerr // suppression is the intended behaviour
+		}
+		noisy, err := privacy.PlanarLaplace(p.rng, fix.Position, p.cfg.LocationEpsilon)
+		if err != nil {
+			return err
+		}
+		reported = noisy
+	}
+	var buf wire.Buffer
+	buf.Uvarint(s.ID)
+	buf.Float64(reported.Lat)
+	buf.Float64(reported.Lon)
+	_, _, err := p.broker.Produce(TopicLocations, []byte(s.principal), buf.Bytes())
+	return err
+}
+
+// OnIMU feeds an inertial sample into tracking.
+func (s *Session) OnIMU(samp sensor.IMUSample) {
+	s.fuser.OnIMU(samp)
+}
+
+// OnVision feeds camera landmark observations into tracking.
+func (s *Session) OnVision(now time.Time, obs []sensor.LandmarkObservation) {
+	s.fuser.OnVision(now, obs)
+}
+
+// OnGaze accumulates dwell on an annotation and records it as an implicit
+// interaction (gazing at a shop is a signal, §3.1).
+func (s *Session) OnGaze(sample sensor.GazeSample) error {
+	if sample.TargetID == 0 {
+		return nil
+	}
+	s.gaze[sample.TargetID] += sample.DwellMS
+	if sample.DwellMS < 1500 {
+		return nil // only sustained attention becomes telemetry
+	}
+	return s.RecordInteraction(sample.TargetID, 0.3)
+}
+
+// RecordInteraction publishes an explicit user-POI interaction (purchase,
+// check-in, tap) to the analytics plane.
+func (s *Session) RecordInteraction(poiID uint64, weight float64) error {
+	payload := encodeInteraction(interaction{
+		POIKey: poiKey(poiID),
+		User:   s.ID,
+		Weight: weight,
+	})
+	_, _, err := s.platform.broker.Produce(TopicInteractions, []byte(s.principal), payload)
+	return err
+}
+
+// Pose returns the fused pose estimate.
+func (s *Session) Pose() sensor.Pose { return s.fuser.Pose() }
+
+// Level returns the current degradation level.
+func (s *Session) Level() DegradeLevel { return s.level }
+
+// Stats summarises session health.
+type Stats struct {
+	Frames   uint64
+	Overruns uint64
+	Level    DegradeLevel
+}
+
+// Stats returns session counters.
+func (s *Session) Stats() Stats {
+	return Stats{Frames: s.frames, Overruns: s.overruns, Level: s.level}
+}
+
+// Frame is one rendered overlay.
+type Frame struct {
+	Time        time.Time
+	Pose        sensor.Pose
+	Annotations []render.Annotation
+	// TagsFor maps annotation IDs to their semantic tags (when
+	// interpretation ran).
+	TagsFor map[uint64][]arml.Tag
+	// Recommended lists recommended POI IDs in rank order (empty without a
+	// recommender).
+	Recommended []uint64
+	Elapsed     time.Duration
+	Level       DegradeLevel
+	JitterPx    float64
+}
+
+// Frame runs the per-frame pipeline at the fused pose and returns the
+// overlay. It implements the timeliness loop: measure, and if over budget,
+// degrade the next frame; if comfortably under budget, recover.
+func (s *Session) Frame(now time.Time) (*Frame, error) {
+	start := s.platform.cfg.Clock.Now()
+	pose := s.fuser.Pose()
+
+	radius := s.platform.cfg.AnnotationRadiusM
+	maxAnn := s.platform.cfg.MaxAnnotations
+	if s.level >= DegradeRadius {
+		radius /= 2
+		maxAnn /= 2
+	}
+
+	// 1. Geospatial context.
+	pois := s.platform.pois.QueryRadius(pose.Position, radius, 0)
+	if len(pois) > maxAnn*3 {
+		pois = pois[:maxAnn*3] // nearest first; cap the working set
+	}
+
+	// 2. Interpretation: analytics → semantic tags (skipped at the deepest
+	// degradation level).
+	tags := make(map[uint64][]arml.Tag)
+	if s.level < DegradeInterp {
+		for _, poi := range pois {
+			m := s.contextMetrics(poi)
+			if len(m) == 0 {
+				continue
+			}
+			if fired := s.platform.interp.Interpret(m); len(fired) > 0 {
+				tags[poi.ID] = fired
+			}
+		}
+	}
+
+	// 3. Recommendations re-ranked by live context.
+	var recommended []uint64
+	s.platform.recMu.RLock()
+	rec := s.platform.rec
+	s.platform.recMu.RUnlock()
+	if rec != nil {
+		for _, sc := range rec.Recommend(s.ID, 5) {
+			recommended = append(recommended, sc.ItemID)
+		}
+	}
+
+	// 4. Layout.
+	anns := render.AnnotationsFromPOIs(pose, pois)
+	for i := range anns {
+		if t, ok := tags[anns[i].ID]; ok {
+			anns[i].Priority *= 1.5 // tagged content is more relevant
+			anns[i].Label = anns[i].Label + " [" + t[0].Value + "]"
+		}
+	}
+	laid := render.LayoutAnchored(s.camera, pose, anns, s.occl, render.LayoutOptions{})
+	if len(laid) > maxAnn {
+		laid = laid[:maxAnn]
+	}
+	jitter := render.Jitter(s.lastLayout, laid)
+	s.lastLayout = laid
+
+	elapsed := s.platform.cfg.Clock.Since(start)
+	s.frames++
+	s.adapt(elapsed)
+	s.platform.reg.Histogram("core.frame.latency").Observe(elapsed)
+
+	return &Frame{
+		Time:        now,
+		Pose:        pose,
+		Annotations: laid,
+		TagsFor:     tags,
+		Recommended: recommended,
+		Elapsed:     elapsed,
+		Level:       s.level,
+		JitterPx:    jitter,
+	}, nil
+}
+
+// adapt moves the degradation level: one step harsher on overrun, one step
+// back toward full quality when under half the budget.
+func (s *Session) adapt(elapsed time.Duration) {
+	deadline := s.platform.cfg.FrameDeadline
+	switch {
+	case elapsed > deadline:
+		s.overruns++
+		if s.level < DegradeInterp {
+			s.level++
+		}
+	case elapsed < deadline/2 && s.level > DegradeNone:
+		s.level--
+	}
+}
+
+// contextMetrics assembles the metric map for one POI from the live
+// analytics views.
+func (s *Session) contextMetrics(poi geo.POI) map[string]float64 {
+	stats, ok := s.platform.crowd.Get(poiKey(poi.ID))
+	if !ok {
+		return nil
+	}
+	m := map[string]float64{
+		"visits": stats.Sum,
+	}
+	// Crowding is this POI's traffic relative to the hottest POI.
+	if top := s.platform.hot.TopK(1); len(top) > 0 && top[0].Count > 0 {
+		m["crowding"] = stats.Sum / float64(top[0].Count)
+	}
+	return m
+}
+
+// GazeTargets returns the IDs of the current layout's annotations in
+// priority order, for feeding the gaze simulator.
+func (s *Session) GazeTargets() []uint64 {
+	out := make([]uint64, 0, len(s.lastLayout))
+	for _, a := range s.lastLayout {
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+// poiKey renders a POI ID as the string key the analytics plane groups by.
+func poiKey(id uint64) string { return fmt.Sprintf("poi-%d", id) }
+
+// interaction is the wire-level telemetry record for user-POI events.
+type interaction struct {
+	POIKey string
+	User   uint64
+	Weight float64
+}
+
+func encodeInteraction(ev interaction) []byte {
+	var b wire.Buffer
+	b.String(ev.POIKey)
+	b.Uvarint(ev.User)
+	b.Float64(ev.Weight)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+func decodeInteraction(p []byte) (interaction, error) {
+	r := wire.NewReader(p)
+	var ev interaction
+	var err error
+	if ev.POIKey, err = r.String(); err != nil {
+		return ev, r.Err(err, "poi key")
+	}
+	if ev.User, err = r.Uvarint(); err != nil {
+		return ev, r.Err(err, "user")
+	}
+	if ev.Weight, err = r.Float64(); err != nil {
+		return ev, r.Err(err, "weight")
+	}
+	return ev, nil
+}

@@ -1,0 +1,213 @@
+// Package ehr implements the §3.3 healthcare substrate: an electronic
+// health record store over the storage engine, vitals ingestion into the
+// time-series store, and a streaming alert engine with hysteresis whose
+// output feeds AR overlays ("in-situ display of relevant information when
+// required"). Ground-truth anomaly labels from the sensor simulator let the
+// E8 experiment measure alert latency, precision, and recall.
+package ehr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"arbd/internal/sensor"
+	"arbd/internal/storage"
+)
+
+// EHR errors.
+var ErrNoPatient = errors.New("ehr: patient not found")
+
+// Patient is one health record.
+type Patient struct {
+	ID          uint64   `json:"id"`
+	Name        string   `json:"name"`
+	Age         int      `json:"age"`
+	Conditions  []string `json:"conditions,omitempty"`
+	Medications []string `json:"medications,omitempty"`
+	Allergies   []string `json:"allergies,omitempty"`
+}
+
+// Store persists patients in the KV engine and vitals in the time-series
+// store. Safe for concurrent use.
+type Store struct {
+	kv  *storage.KV
+	ts  *storage.TSDB
+	mu  sync.RWMutex
+	ids []uint64
+}
+
+// NewStore returns an empty EHR store.
+func NewStore() *Store {
+	return &Store{kv: storage.NewKV(), ts: storage.NewTSDB()}
+}
+
+func patientKey(id uint64) []byte {
+	return []byte(fmt.Sprintf("patient/%016d", id))
+}
+
+func seriesName(id uint64, kind sensor.VitalKind) string {
+	return fmt.Sprintf("vitals/%d/%s", id, kind)
+}
+
+// PutPatient stores or replaces a record.
+func (s *Store) PutPatient(p Patient) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("ehr: encoding patient: %w", err)
+	}
+	isNew := !s.kv.Has(patientKey(p.ID))
+	if err := s.kv.Put(patientKey(p.ID), data); err != nil {
+		return err
+	}
+	if isNew {
+		s.mu.Lock()
+		s.ids = append(s.ids, p.ID)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// GetPatient fetches a record.
+func (s *Store) GetPatient(id uint64) (Patient, error) {
+	data, err := s.kv.Get(patientKey(id))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return Patient{}, fmt.Errorf("%w: %d", ErrNoPatient, id)
+		}
+		return Patient{}, err
+	}
+	var p Patient
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Patient{}, fmt.Errorf("ehr: decoding patient %d: %w", id, err)
+	}
+	return p, nil
+}
+
+// PatientIDs returns all patient IDs in insertion order.
+func (s *Store) PatientIDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]uint64(nil), s.ids...)
+}
+
+// RecordVital appends a vitals sample for the patient.
+func (s *Store) RecordVital(patientID uint64, v sensor.VitalSample) {
+	s.ts.Append(seriesName(patientID, v.Kind), storage.Point{Time: v.Time, Value: v.Value})
+}
+
+// VitalsWindow returns samples of one vital in [from, to].
+func (s *Store) VitalsWindow(patientID uint64, kind sensor.VitalKind, from, to time.Time) ([]storage.Point, error) {
+	return s.ts.Query(seriesName(patientID, kind), from, to)
+}
+
+// LatestVital returns the most recent sample of one vital.
+func (s *Store) LatestVital(patientID uint64, kind sensor.VitalKind) (storage.Point, error) {
+	return s.ts.Latest(seriesName(patientID, kind))
+}
+
+// AlertRule fires when the windowed mean of a vital crosses a bound.
+type AlertRule struct {
+	Name   string
+	Kind   sensor.VitalKind
+	Window time.Duration
+	// Above fires when mean > Above (use with High=true); Below fires when
+	// mean < Below. Zero disables that side.
+	Above float64
+	Below float64
+	// Cooldown suppresses re-alerts for the same (patient, rule).
+	Cooldown time.Duration
+}
+
+// StandardRules returns clinically-plausible defaults matching the anomaly
+// episodes the sensor simulator injects.
+func StandardRules() []AlertRule {
+	return []AlertRule{
+		{Name: "tachycardia", Kind: sensor.VitalHeartRate, Window: 15 * time.Second, Above: 130, Cooldown: time.Minute},
+		{Name: "bradycardia", Kind: sensor.VitalHeartRate, Window: 15 * time.Second, Below: 40, Cooldown: time.Minute},
+		{Name: "hypoxemia", Kind: sensor.VitalSpO2, Window: 15 * time.Second, Below: 91, Cooldown: time.Minute},
+	}
+}
+
+// Alert is one fired alert.
+type Alert struct {
+	Time      time.Time
+	PatientID uint64
+	Rule      string
+	Value     float64 // windowed mean that triggered
+}
+
+// AlertEngine evaluates rules over per-patient sliding windows as samples
+// arrive. Safe for concurrent use across patients; per-patient streams are
+// expected in time order (the usual per-device guarantee).
+type AlertEngine struct {
+	store *Store
+	rules []AlertRule
+
+	mu       sync.Mutex
+	lastFire map[string]time.Time // patient/rule -> last alert
+	alerts   []Alert
+}
+
+// NewAlertEngine returns an engine over the store with the given rules.
+func NewAlertEngine(store *Store, rules []AlertRule) *AlertEngine {
+	return &AlertEngine{store: store, rules: rules, lastFire: make(map[string]time.Time)}
+}
+
+// Ingest records the sample and evaluates rules, returning any alerts fired
+// by this sample.
+func (e *AlertEngine) Ingest(patientID uint64, v sensor.VitalSample) []Alert {
+	e.store.RecordVital(patientID, v)
+	var fired []Alert
+	for _, r := range e.rules {
+		if r.Kind != v.Kind {
+			continue
+		}
+		pts, err := e.store.VitalsWindow(patientID, r.Kind, v.Time.Add(-r.Window), v.Time)
+		if err != nil || len(pts) == 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		mean := sum / float64(len(pts))
+		trigger := (r.Above != 0 && mean > r.Above) || (r.Below != 0 && mean < r.Below)
+		if !trigger {
+			continue
+		}
+		key := fmt.Sprintf("%d/%s", patientID, r.Name)
+		e.mu.Lock()
+		if last, ok := e.lastFire[key]; ok && v.Time.Sub(last) < r.Cooldown {
+			e.mu.Unlock()
+			continue
+		}
+		e.lastFire[key] = v.Time
+		a := Alert{Time: v.Time, PatientID: patientID, Rule: r.Name, Value: mean}
+		e.alerts = append(e.alerts, a)
+		e.mu.Unlock()
+		fired = append(fired, a)
+	}
+	return fired
+}
+
+// Alerts returns all alerts fired so far.
+func (e *AlertEngine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.alerts...)
+}
+
+// OverlayMetrics derives the metric map the ARML interpreter consumes for a
+// patient's live overlay: latest value of each vital.
+func (s *Store) OverlayMetrics(patientID uint64) map[string]float64 {
+	out := make(map[string]float64, 3)
+	for _, kind := range []sensor.VitalKind{sensor.VitalHeartRate, sensor.VitalSpO2, sensor.VitalSystolicBP} {
+		if p, err := s.LatestVital(patientID, kind); err == nil {
+			out[kind.String()] = p.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package ehr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"arbd/internal/sensor"
+	"arbd/internal/sim"
+)
+
+var t0 = sim.Epoch
+
+func TestPatientRoundTrip(t *testing.T) {
+	s := NewStore()
+	p := Patient{
+		ID: 7, Name: "Ada Wong", Age: 54,
+		Conditions:  []string{"hypertension"},
+		Medications: []string{"lisinopril"},
+		Allergies:   []string{"penicillin"},
+	}
+	if err := s.PutPatient(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetPatient(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Conditions) != 1 || got.Allergies[0] != "penicillin" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestGetMissingPatient(t *testing.T) {
+	s := NewStore()
+	if _, err := s.GetPatient(99); !errors.Is(err, ErrNoPatient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPatientUpdateDoesNotDuplicateID(t *testing.T) {
+	s := NewStore()
+	_ = s.PutPatient(Patient{ID: 1, Name: "v1"})
+	_ = s.PutPatient(Patient{ID: 1, Name: "v2"})
+	if ids := s.PatientIDs(); len(ids) != 1 {
+		t.Fatalf("ids = %v", ids)
+	}
+	got, _ := s.GetPatient(1)
+	if got.Name != "v2" {
+		t.Fatalf("name = %q", got.Name)
+	}
+}
+
+func TestVitalsWindowAndLatest(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.RecordVital(1, sensor.VitalSample{
+			Time: t0.Add(time.Duration(i) * time.Second), Kind: sensor.VitalHeartRate, Value: float64(60 + i),
+		})
+	}
+	pts, err := s.VitalsWindow(1, sensor.VitalHeartRate, t0.Add(3*time.Second), t0.Add(6*time.Second))
+	if err != nil || len(pts) != 4 {
+		t.Fatalf("window = %d pts, %v", len(pts), err)
+	}
+	latest, err := s.LatestVital(1, sensor.VitalHeartRate)
+	if err != nil || latest.Value != 69 {
+		t.Fatalf("latest = %+v, %v", latest, err)
+	}
+}
+
+func ingestSteady(e *AlertEngine, patient uint64, kind sensor.VitalKind, value float64, from time.Time, n int) []Alert {
+	var all []Alert
+	for i := 0; i < n; i++ {
+		all = append(all, e.Ingest(patient, sensor.VitalSample{
+			Time: from.Add(time.Duration(i) * time.Second), Kind: kind, Value: value,
+		})...)
+	}
+	return all
+}
+
+func TestAlertEngineFiresOnThreshold(t *testing.T) {
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	// Healthy heart rate: no alerts.
+	if alerts := ingestSteady(e, 1, sensor.VitalHeartRate, 75, t0, 30); len(alerts) != 0 {
+		t.Fatalf("healthy HR alerted: %v", alerts)
+	}
+	// Tachycardia: must fire.
+	alerts := ingestSteady(e, 1, sensor.VitalHeartRate, 160, t0.Add(time.Minute+30*time.Second), 30)
+	if len(alerts) == 0 {
+		t.Fatal("tachycardia never alerted")
+	}
+	if alerts[0].Rule != "tachycardia" || alerts[0].Value <= 130 {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+}
+
+func TestAlertEngineWindowedMeanResistsSpikes(t *testing.T) {
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	// 14 healthy samples then one spike: the 15s mean stays under threshold.
+	var alerts []Alert
+	for i := 0; i < 15; i++ {
+		v := 75.0
+		if i == 14 {
+			v = 200
+		}
+		alerts = append(alerts, e.Ingest(1, sensor.VitalSample{
+			Time: t0.Add(time.Duration(i) * time.Second), Kind: sensor.VitalHeartRate, Value: v,
+		})...)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("single spike alerted: %v", alerts)
+	}
+}
+
+func TestAlertEngineCooldown(t *testing.T) {
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	alerts := ingestSteady(e, 1, sensor.VitalHeartRate, 170, t0, 45)
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts in 45s despite 1m cooldown", len(alerts))
+	}
+	// After the cooldown expires a persistent condition re-alerts.
+	more := ingestSteady(e, 1, sensor.VitalHeartRate, 170, t0.Add(2*time.Minute), 5)
+	if len(more) != 1 {
+		t.Fatalf("re-alert after cooldown: %d", len(more))
+	}
+}
+
+func TestAlertEnginePerPatientIsolation(t *testing.T) {
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	_ = ingestSteady(e, 1, sensor.VitalHeartRate, 170, t0, 20)
+	alerts := ingestSteady(e, 2, sensor.VitalHeartRate, 170, t0, 20)
+	if len(alerts) != 1 {
+		t.Fatalf("patient 2 alerts = %d (cooldown leaked across patients?)", len(alerts))
+	}
+	total := e.Alerts()
+	if len(total) != 2 {
+		t.Fatalf("total alerts = %d", len(total))
+	}
+}
+
+func TestHypoxemiaRule(t *testing.T) {
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	alerts := ingestSteady(e, 1, sensor.VitalSpO2, 85, t0, 20)
+	if len(alerts) == 0 || alerts[0].Rule != "hypoxemia" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestOverlayMetrics(t *testing.T) {
+	s := NewStore()
+	s.RecordVital(1, sensor.VitalSample{Time: t0, Kind: sensor.VitalHeartRate, Value: 80})
+	s.RecordVital(1, sensor.VitalSample{Time: t0, Kind: sensor.VitalSpO2, Value: 97})
+	m := s.OverlayMetrics(1)
+	if m["heart_rate"] != 80 || m["spo2"] != 97 {
+		t.Fatalf("metrics = %v", m)
+	}
+	if _, ok := m["systolic_bp"]; ok {
+		t.Fatal("absent vital reported")
+	}
+}
+
+func TestEndToEndWithSimulatedVitals(t *testing.T) {
+	// Wire the sensor simulator to the alert engine: an injected episode
+	// must produce an alert within a clinically useful delay.
+	s := NewStore()
+	e := NewAlertEngine(s, StandardRules())
+	v := sensor.NewVitals(77)
+	var first *Alert
+	episodeStart := t0.Add(60 * time.Second)
+	v.StartEpisode(episodeStart, 2*time.Minute)
+	for i := 0; i < 300 && first == nil; i++ {
+		now := t0.Add(time.Duration(i) * time.Second)
+		for _, samp := range v.Sample(now) {
+			if alerts := e.Ingest(42, samp); len(alerts) > 0 && first == nil {
+				a := alerts[0]
+				first = &a
+			}
+		}
+	}
+	if first == nil {
+		t.Fatal("episode never alerted")
+	}
+	latency := first.Time.Sub(episodeStart)
+	if latency < 0 {
+		t.Fatalf("alert before episode at %v", first.Time)
+	}
+	if latency > 30*time.Second {
+		t.Fatalf("alert latency %v too slow", latency)
+	}
+}

@@ -1,0 +1,147 @@
+// Package geo implements the geospatial substrate the paper's AR scenarios
+// query against: geodesy primitives, a geohash codec, quadtree and R-tree
+// spatial indexes, and a point-of-interest (POI) store with a synthetic city
+// generator. Tourism guides, retail product location, and "x-ray vision"
+// overlays all resolve their spatial context through this package.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine formulas.
+const EarthRadiusMeters = 6_371_000.0
+
+// Point is a WGS84 coordinate in degrees.
+type Point struct {
+	Lat float64 // -90..90
+	Lon float64 // -180..180
+}
+
+// Valid reports whether the point is inside WGS84 bounds.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String renders the point as "lat,lon" with 6 decimals (~0.1 m).
+func (p Point) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+func degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// DistanceMeters returns the haversine great-circle distance between a and b.
+func DistanceMeters(a, b Point) float64 {
+	lat1, lat2 := radians(a.Lat), radians(b.Lat)
+	dLat := lat2 - lat1
+	dLon := radians(b.Lon - a.Lon)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// BearingDegrees returns the initial great-circle bearing from a to b in
+// degrees clockwise from north, in [0, 360).
+func BearingDegrees(a, b Point) float64 {
+	lat1, lat2 := radians(a.Lat), radians(b.Lat)
+	dLon := radians(b.Lon - a.Lon)
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	brg := degrees(math.Atan2(y, x))
+	return math.Mod(brg+360, 360)
+}
+
+// Destination returns the point reached travelling distanceMeters from p on
+// the given initial bearing (degrees clockwise from north).
+func Destination(p Point, bearingDeg, distanceMeters float64) Point {
+	d := distanceMeters / EarthRadiusMeters
+	brg := radians(bearingDeg)
+	lat1 := radians(p.Lat)
+	lon1 := radians(p.Lon)
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brg))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brg)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	lon2 = math.Mod(lon2+3*math.Pi, 2*math.Pi) - math.Pi
+	return Point{Lat: degrees(lat2), Lon: degrees(lon2)}
+}
+
+// Rect is a latitude/longitude axis-aligned bounding box. It does not
+// support boxes crossing the antimeridian, which the simulated city layouts
+// never produce.
+type Rect struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// RectAround returns the bounding box covering a circle of radiusMeters
+// centred at p (clamped at the poles).
+func RectAround(p Point, radiusMeters float64) Rect {
+	dLat := degrees(radiusMeters / EarthRadiusMeters)
+	cos := math.Cos(radians(p.Lat))
+	if cos < 1e-12 {
+		cos = 1e-12
+	}
+	dLon := degrees(radiusMeters / (EarthRadiusMeters * cos))
+	return Rect{
+		MinLat: math.Max(-90, p.Lat-dLat),
+		MaxLat: math.Min(90, p.Lat+dLat),
+		MinLon: p.Lon - dLon,
+		MaxLon: p.Lon + dLon,
+	}
+}
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat <= r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon
+}
+
+// Intersects reports whether r and o overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinLat <= o.MaxLat && r.MaxLat >= o.MinLat &&
+		r.MinLon <= o.MaxLon && r.MaxLon >= o.MinLon
+}
+
+// Union returns the smallest rect covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinLat: math.Min(r.MinLat, o.MinLat),
+		MinLon: math.Min(r.MinLon, o.MinLon),
+		MaxLat: math.Max(r.MaxLat, o.MaxLat),
+		MaxLon: math.Max(r.MaxLon, o.MaxLon),
+	}
+}
+
+// Center returns the rect's midpoint.
+func (r Rect) Center() Point {
+	return Point{Lat: (r.MinLat + r.MaxLat) / 2, Lon: (r.MinLon + r.MaxLon) / 2}
+}
+
+// Area returns the rect's area in squared degrees (an ordering heuristic for
+// index balancing, not a physical area).
+func (r Rect) Area() float64 {
+	return math.Max(0, r.MaxLat-r.MinLat) * math.Max(0, r.MaxLon-r.MinLon)
+}
+
+// Empty reports whether the rect has no extent.
+func (r Rect) Empty() bool {
+	return r.MaxLat < r.MinLat || r.MaxLon < r.MinLon
+}
+
+// rectOf returns the degenerate rect at p.
+func rectOf(p Point) Rect {
+	return Rect{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon}
+}
+
+// minDistMeters lower-bounds the distance from p to anywhere in r using the
+// closest point of the box; exact enough for best-first kNN pruning.
+func minDistMeters(p Point, r Rect) float64 {
+	lat := math.Max(r.MinLat, math.Min(r.MaxLat, p.Lat))
+	lon := math.Max(r.MinLon, math.Min(r.MaxLon, p.Lon))
+	return DistanceMeters(p, Point{Lat: lat, Lon: lon})
+}

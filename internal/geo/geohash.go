@@ -1,0 +1,200 @@
+package geo
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrBadGeohash is returned for hashes containing invalid characters.
+var ErrBadGeohash = errors.New("geo: invalid geohash")
+
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var geohashIndex = func() map[byte]int {
+	m := make(map[byte]int, 32)
+	for i := 0; i < len(geohashBase32); i++ {
+		m[geohashBase32[i]] = i
+	}
+	return m
+}()
+
+// EncodeGeohash returns the geohash of p at the given character precision
+// (1..12). Longitude and latitude bits interleave starting with longitude,
+// per the standard algorithm.
+func EncodeGeohash(p Point, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	var sb strings.Builder
+	sb.Grow(precision)
+	evenBit := true // true = longitude bit
+	bit, ch := 0, 0
+	for sb.Len() < precision {
+		if evenBit {
+			mid := (lonLo + lonHi) / 2
+			if p.Lon >= mid {
+				ch = ch<<1 | 1
+				lonLo = mid
+			} else {
+				ch <<= 1
+				lonHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if p.Lat >= mid {
+				ch = ch<<1 | 1
+				latLo = mid
+			} else {
+				ch <<= 1
+				latHi = mid
+			}
+		}
+		evenBit = !evenBit
+		bit++
+		if bit == 5 {
+			sb.WriteByte(geohashBase32[ch])
+			bit, ch = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeGeohash returns the bounding cell of the hash.
+func DecodeGeohash(hash string) (Rect, error) {
+	if hash == "" {
+		return Rect{}, ErrBadGeohash
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	evenBit := true
+	for i := 0; i < len(hash); i++ {
+		idx, ok := geohashIndex[lower(hash[i])]
+		if !ok {
+			return Rect{}, ErrBadGeohash
+		}
+		for b := 4; b >= 0; b-- {
+			bit := (idx >> uint(b)) & 1
+			if evenBit {
+				mid := (lonLo + lonHi) / 2
+				if bit == 1 {
+					lonLo = mid
+				} else {
+					lonHi = mid
+				}
+			} else {
+				mid := (latLo + latHi) / 2
+				if bit == 1 {
+					latLo = mid
+				} else {
+					latHi = mid
+				}
+			}
+			evenBit = !evenBit
+		}
+	}
+	return Rect{MinLat: latLo, MinLon: lonLo, MaxLat: latHi, MaxLon: lonHi}, nil
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// GeohashCenter returns the centre point of the hash cell.
+func GeohashCenter(hash string) (Point, error) {
+	r, err := DecodeGeohash(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return r.Center(), nil
+}
+
+// GeohashNeighbors returns the 8 neighbouring cells of the hash (N, NE, E,
+// SE, S, SW, W, NW) computed geometrically from the cell's extent.
+func GeohashNeighbors(hash string) ([]string, error) {
+	r, err := DecodeGeohash(hash)
+	if err != nil {
+		return nil, err
+	}
+	c := r.Center()
+	dLat := r.MaxLat - r.MinLat
+	dLon := r.MaxLon - r.MinLon
+	offsets := [8][2]float64{
+		{dLat, 0}, {dLat, dLon}, {0, dLon}, {-dLat, dLon},
+		{-dLat, 0}, {-dLat, -dLon}, {0, -dLon}, {dLat, -dLon},
+	}
+	out := make([]string, 0, 8)
+	for _, off := range offsets {
+		np := Point{Lat: c.Lat + off[0], Lon: c.Lon + off[1]}
+		if np.Lat > 90 || np.Lat < -90 {
+			continue // off the pole: no neighbour
+		}
+		if np.Lon > 180 {
+			np.Lon -= 360
+		}
+		if np.Lon < -180 {
+			np.Lon += 360
+		}
+		out = append(out, EncodeGeohash(np, len(hash)))
+	}
+	return out, nil
+}
+
+// CoverRadius returns geohash cells at the chosen precision covering the
+// circle (center, radiusMeters): the center cell plus rings of neighbours
+// until the ring no longer intersects the circle's bounding box. The result
+// deduplicates cells and is deterministic.
+func CoverRadius(center Point, radiusMeters float64, precision int) []string {
+	bbox := RectAround(center, radiusMeters)
+	root := EncodeGeohash(center, precision)
+	seen := map[string]bool{root: true}
+	frontier := []string{root}
+	out := []string{root}
+	for len(frontier) > 0 {
+		var next []string
+		for _, h := range frontier {
+			neighbors, err := GeohashNeighbors(h)
+			if err != nil {
+				continue
+			}
+			for _, nb := range neighbors {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				cell, err := DecodeGeohash(nb)
+				if err != nil || !cell.Intersects(bbox) {
+					continue
+				}
+				out = append(out, nb)
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// PrecisionForRadius picks the finest geohash precision whose cell dimension
+// is at least the query radius, so a radius cover spans a bounded (≤ ~3×3)
+// block of cells.
+func PrecisionForRadius(radiusMeters float64) int {
+	// Approximate max cell dimension per precision, metres.
+	dims := []float64{5_000_000, 1_250_000, 156_000, 39_100, 4_890, 1_220, 153, 38.2, 4.77, 1.19, 0.149, 0.037}
+	prec := 1
+	for i, d := range dims {
+		if d >= radiusMeters {
+			prec = i + 1
+		} else {
+			break
+		}
+	}
+	return prec
+}

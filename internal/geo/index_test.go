@@ -1,0 +1,234 @@
+package geo
+
+import (
+	"sort"
+	"testing"
+
+	"arbd/internal/sim"
+)
+
+func randomItems(seed int64, n int, bounds Rect) []Item {
+	rng := sim.NewRand(seed)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID: uint64(i + 1),
+			Point: Point{
+				Lat: rng.Uniform(bounds.MinLat, bounds.MaxLat),
+				Lon: rng.Uniform(bounds.MinLon, bounds.MaxLon),
+			},
+		}
+	}
+	return items
+}
+
+var testBounds = Rect{MinLat: 22.2, MinLon: 114.0, MaxLat: 22.5, MaxLon: 114.4}
+
+func scanSearch(items []Item, r Rect) []uint64 {
+	var ids []uint64
+	for _, it := range items {
+		if r.Contains(it.Point) {
+			ids = append(ids, it.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func idsOf(items []Item) []uint64 {
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuadtreeMatchesScan(t *testing.T) {
+	items := randomItems(10, 2000, testBounds)
+	qt := NewQuadtree(testBounds)
+	for _, it := range items {
+		if !qt.Insert(it) {
+			t.Fatalf("insert rejected %v", it)
+		}
+	}
+	if qt.Len() != 2000 {
+		t.Fatalf("Len = %d", qt.Len())
+	}
+	rng := sim.NewRand(11)
+	for q := 0; q < 50; q++ {
+		c := Point{Lat: rng.Uniform(22.2, 22.5), Lon: rng.Uniform(114.0, 114.4)}
+		r := RectAround(c, rng.Uniform(50, 3000))
+		got := idsOf(qt.Search(r, nil))
+		want := scanSearch(items, r)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: quadtree %d hits, scan %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestQuadtreeRejectsOutOfBounds(t *testing.T) {
+	qt := NewQuadtree(testBounds)
+	if qt.Insert(Item{ID: 1, Point: Point{Lat: 0, Lon: 0}}) {
+		t.Fatal("out-of-bounds insert accepted")
+	}
+}
+
+func TestQuadtreeCoincidentPoints(t *testing.T) {
+	qt := NewQuadtree(testBounds)
+	p := Point{Lat: 22.3, Lon: 114.2}
+	for i := 0; i < 100; i++ { // would split forever without depth bound
+		qt.Insert(Item{ID: uint64(i + 1), Point: p})
+	}
+	got := qt.Search(RectAround(p, 10), nil)
+	if len(got) != 100 {
+		t.Fatalf("found %d coincident items, want 100", len(got))
+	}
+}
+
+func TestRTreeInsertMatchesScan(t *testing.T) {
+	items := randomItems(20, 2000, testBounds)
+	rt := NewRTree()
+	for _, it := range items {
+		rt.Insert(it)
+	}
+	if rt.Len() != 2000 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	rng := sim.NewRand(21)
+	for q := 0; q < 50; q++ {
+		c := Point{Lat: rng.Uniform(22.2, 22.5), Lon: rng.Uniform(114.0, 114.4)}
+		r := RectAround(c, rng.Uniform(50, 3000))
+		got := idsOf(rt.Search(r, nil))
+		want := scanSearch(items, r)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: rtree %d hits, scan %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestRTreeBulkLoadMatchesScan(t *testing.T) {
+	items := randomItems(30, 5000, testBounds)
+	rt := BulkLoadRTree(items)
+	if rt.Len() != 5000 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	rng := sim.NewRand(31)
+	for q := 0; q < 50; q++ {
+		c := Point{Lat: rng.Uniform(22.2, 22.5), Lon: rng.Uniform(114.0, 114.4)}
+		r := RectAround(c, rng.Uniform(50, 3000))
+		got := idsOf(rt.Search(r, nil))
+		want := scanSearch(items, r)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: bulk rtree %d hits, scan %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestRTreeBulkLoadBalanced(t *testing.T) {
+	rt := BulkLoadRTree(randomItems(40, 10000, testBounds))
+	// 10000 items at fanout 16: height should be ~4, certainly under 8.
+	if h := rt.Height(); h > 8 {
+		t.Fatalf("height = %d, tree degenerated", h)
+	}
+}
+
+func TestRTreeEmptyAndSingle(t *testing.T) {
+	rt := BulkLoadRTree(nil)
+	if got := rt.Search(testBounds, nil); len(got) != 0 {
+		t.Fatal("empty tree returned items")
+	}
+	if got := rt.Nearest(hkust, 3); got != nil {
+		t.Fatal("empty tree Nearest returned items")
+	}
+	rt.Insert(Item{ID: 7, Point: hkust})
+	got := rt.Nearest(hkust, 3)
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("single item Nearest = %v", got)
+	}
+}
+
+func nearestBrute(items []Item, p Point, k int) []uint64 {
+	sorted := append([]Item(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return DistanceMeters(p, sorted[i].Point) < DistanceMeters(p, sorted[j].Point)
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	ids := make([]uint64, len(sorted))
+	for i, it := range sorted {
+		ids[i] = it.ID
+	}
+	return ids
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	items := randomItems(50, 3000, testBounds)
+	qt := NewQuadtree(testBounds)
+	rt := BulkLoadRTree(items)
+	for _, it := range items {
+		qt.Insert(it)
+	}
+	rng := sim.NewRand(51)
+	for q := 0; q < 30; q++ {
+		p := Point{Lat: rng.Uniform(22.2, 22.5), Lon: rng.Uniform(114.0, 114.4)}
+		k := 1 + rng.Intn(20)
+		want := nearestBrute(items, p, k)
+		for name, got := range map[string][]Item{
+			"quadtree": qt.Nearest(p, k),
+			"rtree":    rt.Nearest(p, k),
+		} {
+			if len(got) != len(want) {
+				t.Fatalf("%s returned %d, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				// Equal-distance ties can permute; compare by distance.
+				wd := DistanceMeters(p, itemByID(items, want[i]).Point)
+				gd := DistanceMeters(p, got[i].Point)
+				if abs(wd-gd) > 1e-6 {
+					t.Fatalf("%s kNN #%d dist %.6f, want %.6f", name, i, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func itemByID(items []Item, id uint64) Item {
+	for _, it := range items {
+		if it.ID == id {
+			return it
+		}
+	}
+	return Item{}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestNearestOrderedByDistance(t *testing.T) {
+	items := randomItems(60, 1000, testBounds)
+	rt := BulkLoadRTree(items)
+	got := rt.Nearest(hkust, 25)
+	for i := 1; i < len(got); i++ {
+		if DistanceMeters(hkust, got[i].Point) < DistanceMeters(hkust, got[i-1].Point) {
+			t.Fatal("kNN result not sorted by distance")
+		}
+	}
+}

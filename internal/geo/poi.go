@@ -1,0 +1,361 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"arbd/internal/sim"
+)
+
+// POI errors.
+var (
+	ErrPOINotFound = errors.New("geo: poi not found")
+	ErrBadPoint    = errors.New("geo: point outside WGS84 bounds")
+)
+
+// Category classifies a POI. Enums start at 1.
+type Category int
+
+// POI categories used by the scenario generators.
+const (
+	CatRestaurant Category = iota + 1
+	CatShop
+	CatMuseum
+	CatLandmark
+	CatHospital
+	CatTransit
+	CatHotel
+	CatPark
+	CatOffice
+	CatResidence
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	names := [...]string{"", "restaurant", "shop", "museum", "landmark",
+		"hospital", "transit", "hotel", "park", "office", "residence"}
+	if c >= 1 && int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// POI is a point of interest: the unit of geospatial context AR annotations
+// attach to.
+type POI struct {
+	ID       uint64
+	Name     string
+	Category Category
+	Location Point
+	Tags     map[string]string
+	// HeightMeters lets the render layer treat tall POIs (buildings) as
+	// occluders.
+	HeightMeters float64
+}
+
+// IndexKind selects the spatial index backing a Store. Enums start at 1.
+type IndexKind int
+
+// Index strategies. IndexScan is the baseline the paper-era AR browsers
+// effectively used (filter the whole catalogue per query).
+const (
+	IndexScan IndexKind = iota + 1
+	IndexGeohash
+	IndexQuadtree
+	IndexRTree
+)
+
+// String returns the index kind's name.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexScan:
+		return "scan"
+	case IndexGeohash:
+		return "geohash"
+	case IndexQuadtree:
+		return "quadtree"
+	case IndexRTree:
+		return "rtree"
+	default:
+		return fmt.Sprintf("index(%d)", int(k))
+	}
+}
+
+// Store is a POI database with a pluggable spatial index. Safe for
+// concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	kind     IndexKind
+	byID     map[uint64]*POI
+	all      []*POI // scan baseline and source of truth order
+	geocells map[string][]uint64
+	ghPrec   int
+	qt       *Quadtree
+	rt       *RTree
+	nextID   uint64
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithIndex selects the spatial index (default IndexRTree).
+func WithIndex(kind IndexKind) StoreOption {
+	return func(s *Store) { s.kind = kind }
+}
+
+// WithGeohashPrecision sets the bucket precision for IndexGeohash
+// (default 6, ~1.2 km cells).
+func WithGeohashPrecision(p int) StoreOption {
+	return func(s *Store) {
+		if p >= 1 && p <= 12 {
+			s.ghPrec = p
+		}
+	}
+}
+
+// NewStore returns an empty POI store.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		kind:     IndexRTree,
+		byID:     make(map[uint64]*POI),
+		geocells: make(map[string][]uint64),
+		ghPrec:   6,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	switch s.kind {
+	case IndexQuadtree:
+		s.qt = NewQuadtree(Rect{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180})
+	case IndexRTree:
+		s.rt = NewRTree()
+	}
+	return s
+}
+
+// Kind returns the store's index kind.
+func (s *Store) Kind() IndexKind { return s.kind }
+
+// Len returns the number of stored POIs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.all)
+}
+
+// Add inserts a POI, assigning an ID if the POI has none. The POI value is
+// copied.
+func (s *Store) Add(p POI) (uint64, error) {
+	if !p.Location.Valid() {
+		return 0, fmt.Errorf("%w: %v", ErrBadPoint, p.Location)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.ID == 0 {
+		s.nextID++
+		p.ID = s.nextID
+	} else if p.ID > s.nextID {
+		s.nextID = p.ID
+	}
+	cp := p
+	s.byID[cp.ID] = &cp
+	s.all = append(s.all, &cp)
+	switch s.kind {
+	case IndexGeohash:
+		h := EncodeGeohash(cp.Location, s.ghPrec)
+		s.geocells[h] = append(s.geocells[h], cp.ID)
+	case IndexQuadtree:
+		s.qt.Insert(Item{ID: cp.ID, Point: cp.Location})
+	case IndexRTree:
+		s.rt.Insert(Item{ID: cp.ID, Point: cp.Location})
+	}
+	return cp.ID, nil
+}
+
+// Get returns the POI with the given ID.
+func (s *Store) Get(id uint64) (POI, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.byID[id]
+	if !ok {
+		return POI{}, fmt.Errorf("%w: id %d", ErrPOINotFound, id)
+	}
+	return *p, nil
+}
+
+// QueryRadius returns POIs within radiusMeters of center, nearest first,
+// optionally filtered by category (0 = all categories).
+func (s *Store) QueryRadius(center Point, radiusMeters float64, cat Category) []POI {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bbox := RectAround(center, radiusMeters)
+	var candidates []Item
+	switch s.kind {
+	case IndexScan:
+		for _, p := range s.all {
+			if bbox.Contains(p.Location) {
+				candidates = append(candidates, Item{ID: p.ID, Point: p.Location})
+			}
+		}
+	case IndexGeohash:
+		prec := s.ghPrec
+		for _, cell := range CoverRadius(center, radiusMeters, prec) {
+			for _, id := range s.geocells[cell] {
+				p := s.byID[id]
+				if bbox.Contains(p.Location) {
+					candidates = append(candidates, Item{ID: id, Point: p.Location})
+				}
+			}
+		}
+	case IndexQuadtree:
+		candidates = s.qt.Search(bbox, candidates)
+	case IndexRTree:
+		candidates = s.rt.Search(bbox, candidates)
+	}
+
+	type scored struct {
+		poi  *POI
+		dist float64
+	}
+	hits := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		d := DistanceMeters(center, c.Point)
+		if d > radiusMeters {
+			continue
+		}
+		p := s.byID[c.ID]
+		if cat != 0 && p.Category != cat {
+			continue
+		}
+		hits = append(hits, scored{poi: p, dist: d})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].poi.ID < hits[j].poi.ID
+	})
+	out := make([]POI, len(hits))
+	for i, h := range hits {
+		out[i] = *h.poi
+	}
+	return out
+}
+
+// Nearest returns up to k POIs closest to p, nearest first.
+func (s *Store) Nearest(p Point, k int) []POI {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var items []Item
+	switch s.kind {
+	case IndexQuadtree:
+		items = s.qt.Nearest(p, k)
+	case IndexRTree:
+		items = s.rt.Nearest(p, k)
+	default:
+		// Scan & geohash: honest brute force — compute each distance once,
+		// then select the k smallest.
+		type scored struct {
+			item Item
+			dist float64
+		}
+		all := make([]scored, 0, len(s.all))
+		for _, poi := range s.all {
+			all = append(all, scored{
+				item: Item{ID: poi.ID, Point: poi.Location},
+				dist: DistanceMeters(p, poi.Location),
+			})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].dist < all[j].dist })
+		if len(all) > k {
+			all = all[:k]
+		}
+		items = make([]Item, len(all))
+		for i, sc := range all {
+			items[i] = sc.item
+		}
+	}
+	out := make([]POI, 0, len(items))
+	for _, it := range items {
+		out = append(out, *s.byID[it.ID])
+	}
+	return out
+}
+
+// All returns a snapshot of every POI (copyied), in insertion order.
+func (s *Store) All() []POI {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]POI, len(s.all))
+	for i, p := range s.all {
+		out[i] = *p
+	}
+	return out
+}
+
+// CityConfig parameterises the synthetic city generator.
+type CityConfig struct {
+	Center     Point
+	RadiusM    float64 // city extent
+	NumPOIs    int
+	TallRatio  float64 // fraction of POIs that are tall buildings (occluders)
+	Seed       int64
+	Categories []Category // weights uniform over this set; nil = all
+}
+
+// GenerateCity returns a deterministic synthetic city: POIs scattered with a
+// density gradient toward the centre (like real cities), with names, tags,
+// and building heights. It is the data substitute for the proprietary POI
+// databases the paper's scenarios assume (see DESIGN.md).
+func GenerateCity(cfg CityConfig) []POI {
+	if cfg.NumPOIs <= 0 {
+		return nil
+	}
+	if cfg.RadiusM <= 0 {
+		cfg.RadiusM = 5000
+	}
+	cats := cfg.Categories
+	if len(cats) == 0 {
+		for c := Category(1); c < numCategories; c++ {
+			cats = append(cats, c)
+		}
+	}
+	rng := sim.NewRand(cfg.Seed).Child("city")
+	pois := make([]POI, 0, cfg.NumPOIs)
+	for i := 0; i < cfg.NumPOIs; i++ {
+		// Radial density gradient: sqrt-uniform radius biased to centre.
+		r := cfg.RadiusM * rng.Float64() * rng.Float64()
+		brg := rng.Uniform(0, 360)
+		loc := Destination(cfg.Center, brg, r)
+		cat := sim.Pick(rng, cats)
+		height := 6.0 + rng.Float64()*10
+		if rng.Bool(cfg.TallRatio) {
+			height = 30 + rng.Float64()*120
+		}
+		pois = append(pois, POI{
+			ID:           uint64(i + 1),
+			Name:         fmt.Sprintf("%s-%04d", cat, i+1),
+			Category:     cat,
+			Location:     loc,
+			HeightMeters: height,
+			Tags: map[string]string{
+				"district": fmt.Sprintf("d%d", int(brg)/45),
+			},
+		})
+	}
+	return pois
+}
+
+// LoadStore builds a Store of the given kind from pois.
+func LoadStore(pois []POI, kind IndexKind) (*Store, error) {
+	s := NewStore(WithIndex(kind))
+	for _, p := range pois {
+		if _, err := s.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

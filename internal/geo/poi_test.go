@@ -1,0 +1,200 @@
+package geo
+
+import (
+	"errors"
+	"testing"
+)
+
+func testCity(n int) []POI {
+	return GenerateCity(CityConfig{
+		Center:    hkust,
+		RadiusM:   4000,
+		NumPOIs:   n,
+		TallRatio: 0.2,
+		Seed:      42,
+	})
+}
+
+func TestGenerateCityDeterministic(t *testing.T) {
+	a := testCity(500)
+	b := testCity(500)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Location != b[i].Location || a[i].Name != b[i].Name {
+			t.Fatalf("city not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateCityWithinRadius(t *testing.T) {
+	for _, p := range testCity(1000) {
+		if d := DistanceMeters(hkust, p.Location); d > 4000 {
+			t.Fatalf("poi %d at %.0f m, beyond radius", p.ID, d)
+		}
+		if p.HeightMeters <= 0 {
+			t.Fatalf("poi %d has no height", p.ID)
+		}
+		if p.Category == 0 {
+			t.Fatalf("poi %d has zero category", p.ID)
+		}
+	}
+}
+
+func TestGenerateCityEmpty(t *testing.T) {
+	if got := GenerateCity(CityConfig{}); got != nil {
+		t.Fatalf("zero config produced %d pois", len(got))
+	}
+}
+
+func TestStoreAddGet(t *testing.T) {
+	s := NewStore()
+	id, err := s.Add(POI{Name: "cafe", Category: CatRestaurant, Location: hkust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil || got.Name != "cafe" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, err := s.Get(999); !errors.Is(err, ErrPOINotFound) {
+		t.Fatalf("missing id err = %v", err)
+	}
+}
+
+func TestStoreRejectsInvalidPoint(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Add(POI{Location: Point{Lat: 200}}); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("err = %v, want ErrBadPoint", err)
+	}
+}
+
+func TestStoreAssignsIDs(t *testing.T) {
+	s := NewStore()
+	id1, _ := s.Add(POI{Location: hkust})
+	id2, _ := s.Add(POI{Location: central})
+	if id1 == id2 || id1 == 0 || id2 == 0 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+	// Explicit IDs are preserved and advance the counter.
+	id3, _ := s.Add(POI{ID: 100, Location: hkust})
+	if id3 != 100 {
+		t.Fatalf("explicit id = %d", id3)
+	}
+	id4, _ := s.Add(POI{Location: hkust})
+	if id4 <= 100 {
+		t.Fatalf("counter did not advance past explicit id: %d", id4)
+	}
+}
+
+func TestAllIndexKindsAgreeOnRadiusQuery(t *testing.T) {
+	city := testCity(3000)
+	kinds := []IndexKind{IndexScan, IndexGeohash, IndexQuadtree, IndexRTree}
+	stores := make(map[IndexKind]*Store, len(kinds))
+	for _, k := range kinds {
+		s, err := LoadStore(city, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != len(city) {
+			t.Fatalf("%v store has %d pois", k, s.Len())
+		}
+		stores[k] = s
+	}
+	queries := []struct {
+		center Point
+		radius float64
+		cat    Category
+	}{
+		{hkust, 500, 0},
+		{hkust, 2000, 0},
+		{hkust, 2000, CatRestaurant},
+		{Destination(hkust, 90, 1500), 800, 0},
+		{Destination(hkust, 225, 3000), 1200, CatShop},
+	}
+	for qi, q := range queries {
+		want := stores[IndexScan].QueryRadius(q.center, q.radius, q.cat)
+		for _, k := range kinds[1:] {
+			got := stores[k].QueryRadius(q.center, q.radius, q.cat)
+			if len(got) != len(want) {
+				t.Fatalf("query %d: %v returned %d, scan %d", qi, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("query %d: %v order diverges at %d (%d vs %d)",
+						qi, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryRadiusSortedAndFiltered(t *testing.T) {
+	s, err := LoadStore(testCity(2000), IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.QueryRadius(hkust, 1500, CatMuseum)
+	prev := -1.0
+	for _, p := range got {
+		if p.Category != CatMuseum {
+			t.Fatalf("category filter leaked %v", p.Category)
+		}
+		d := DistanceMeters(hkust, p.Location)
+		if d > 1500 {
+			t.Fatalf("poi outside radius: %.0f m", d)
+		}
+		if d < prev {
+			t.Fatal("results not sorted by distance")
+		}
+		prev = d
+	}
+}
+
+func TestStoreNearestAgreesAcrossIndexes(t *testing.T) {
+	city := testCity(1500)
+	scan, _ := LoadStore(city, IndexScan)
+	rt, _ := LoadStore(city, IndexRTree)
+	qt, _ := LoadStore(city, IndexQuadtree)
+	want := scan.Nearest(central, 10)
+	for name, s := range map[string]*Store{"rtree": rt, "quadtree": qt} {
+		got := s.Nearest(central, 10)
+		if len(got) != len(want) {
+			t.Fatalf("%s Nearest returned %d, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			dw := DistanceMeters(central, want[i].Location)
+			dg := DistanceMeters(central, got[i].Location)
+			if abs(dw-dg) > 1e-6 {
+				t.Fatalf("%s kNN #%d distance %.4f, want %.4f", name, i, dg, dw)
+			}
+		}
+	}
+}
+
+func TestStoreAllSnapshot(t *testing.T) {
+	s, _ := LoadStore(testCity(10), IndexScan)
+	all := s.All()
+	if len(all) != 10 {
+		t.Fatalf("All = %d", len(all))
+	}
+	all[0].Name = "mutated"
+	if got, _ := s.Get(all[0].ID); got.Name == "mutated" {
+		t.Fatal("All returned aliasing data")
+	}
+}
+
+func TestIndexKindStrings(t *testing.T) {
+	for _, k := range []IndexKind{IndexScan, IndexGeohash, IndexQuadtree, IndexRTree} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if got := CatRestaurant.String(); got != "restaurant" {
+		t.Fatalf("category name = %q", got)
+	}
+	if got := Category(99).String(); got != "category(99)" {
+		t.Fatalf("unknown category = %q", got)
+	}
+}

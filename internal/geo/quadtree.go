@@ -1,0 +1,172 @@
+package geo
+
+import (
+	"container/heap"
+)
+
+// Item is an identified point stored in a spatial index.
+type Item struct {
+	ID    uint64
+	Point Point
+}
+
+// Quadtree is a point-region quadtree over a fixed bounding rect. It is not
+// safe for concurrent mutation; the POI store serialises access.
+type Quadtree struct {
+	root *qnode
+	size int
+}
+
+const qtBucketSize = 16
+
+type qnode struct {
+	bounds   Rect
+	items    []Item // leaf payload; nil children when leaf
+	children *[4]*qnode
+}
+
+// NewQuadtree returns an empty quadtree covering bounds.
+func NewQuadtree(bounds Rect) *Quadtree {
+	return &Quadtree{root: &qnode{bounds: bounds}}
+}
+
+// Len returns the number of stored items.
+func (q *Quadtree) Len() int { return q.size }
+
+// Insert adds an item. It reports false if the point is outside the tree's
+// bounds.
+func (q *Quadtree) Insert(it Item) bool {
+	if !q.root.bounds.Contains(it.Point) {
+		return false
+	}
+	q.root.insert(it)
+	q.size++
+	return true
+}
+
+func (n *qnode) insert(it Item) {
+	if n.children == nil {
+		if len(n.items) < qtBucketSize || tooSmall(n.bounds) {
+			n.items = append(n.items, it)
+			return
+		}
+		n.split()
+	}
+	n.childFor(it.Point).insert(it)
+}
+
+// tooSmall stops subdivision at ~1e-7 degrees (centimetres) to avoid
+// unbounded recursion on coincident points.
+func tooSmall(r Rect) bool {
+	return (r.MaxLat-r.MinLat) < 1e-7 || (r.MaxLon-r.MinLon) < 1e-7
+}
+
+func (n *qnode) split() {
+	c := n.bounds.Center()
+	n.children = &[4]*qnode{
+		{bounds: Rect{MinLat: c.Lat, MinLon: n.bounds.MinLon, MaxLat: n.bounds.MaxLat, MaxLon: c.Lon}}, // NW
+		{bounds: Rect{MinLat: c.Lat, MinLon: c.Lon, MaxLat: n.bounds.MaxLat, MaxLon: n.bounds.MaxLon}}, // NE
+		{bounds: Rect{MinLat: n.bounds.MinLat, MinLon: n.bounds.MinLon, MaxLat: c.Lat, MaxLon: c.Lon}}, // SW
+		{bounds: Rect{MinLat: n.bounds.MinLat, MinLon: c.Lon, MaxLat: c.Lat, MaxLon: n.bounds.MaxLon}}, // SE
+	}
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		n.childFor(it.Point).insert(it)
+	}
+}
+
+func (n *qnode) childFor(p Point) *qnode {
+	c := n.bounds.Center()
+	north := p.Lat >= c.Lat
+	east := p.Lon >= c.Lon
+	switch {
+	case north && !east:
+		return n.children[0]
+	case north && east:
+		return n.children[1]
+	case !north && !east:
+		return n.children[2]
+	default:
+		return n.children[3]
+	}
+}
+
+// Search appends all items inside r to out and returns it.
+func (q *Quadtree) Search(r Rect, out []Item) []Item {
+	return q.root.search(r, out)
+}
+
+func (n *qnode) search(r Rect, out []Item) []Item {
+	if !n.bounds.Intersects(r) {
+		return out
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if r.Contains(it.Point) {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+	for _, c := range n.children {
+		out = c.search(r, out)
+	}
+	return out
+}
+
+// Nearest returns up to k items closest to p, nearest first, using
+// best-first traversal with box distance pruning.
+func (q *Quadtree) Nearest(p Point, k int) []Item {
+	if k <= 0 || q.size == 0 {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnEntry{node: q.root, dist: minDistMeters(p, q.root.bounds)})
+	var result []Item
+	for pq.Len() > 0 && len(result) < k {
+		e := heap.Pop(pq).(nnEntry)
+		if e.node != nil {
+			n := e.node
+			if n.children == nil {
+				for _, it := range n.items {
+					heap.Push(pq, nnEntry{item: it, hasItem: true, dist: DistanceMeters(p, it.Point)})
+				}
+			} else {
+				for _, c := range n.children {
+					heap.Push(pq, nnEntry{node: c, dist: minDistMeters(p, c.bounds)})
+				}
+			}
+			continue
+		}
+		if e.hasItem {
+			result = append(result, e.item)
+		}
+	}
+	return result
+}
+
+// nnEntry is either an index node (lower-bound distance) or a concrete item
+// (exact distance) in the best-first queue.
+type nnEntry struct {
+	node    *qnode
+	rnode   *rnode
+	item    Item
+	hasItem bool
+	dist    float64
+}
+
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGaugeSetGet(t *testing.T) {
+	var g Gauge
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Fatalf("Value = %v, want 3.25", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("Value = %v, want -7", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != 5*time.Millisecond || s.Max != 5*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 < 4*time.Millisecond || s.P50 > 6*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~5ms", s.P50)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("Min = %v, want 0", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 450*time.Millisecond || p50 > 560*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~500ms (±10%%)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~990ms (±10%%)", p99)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile extremes do not match min/max")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Hour) // beyond bucket range
+	if got := h.Quantile(0.5); got != 2*time.Hour {
+		t.Fatalf("overflow quantile = %v, want clamped to max 2h", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		var h Histogram
+		v := uint64(seed)
+		for i := 0; i < 100; i++ {
+			v = v*6364136223846793005 + 1442695040888963407
+			h.Observe(time.Duration(v%uint64(10*time.Second)) + time.Microsecond)
+		}
+		return h.Quantile(0.5) <= h.Quantile(0.9) && h.Quantile(0.9) <= h.Quantile(0.99)
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 2000 {
+		t.Fatalf("Count = %d, want 2000", got)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs")
+	c1.Inc()
+	if got := r.Counter("reqs").Value(); got != 1 {
+		t.Fatalf("second lookup got fresh counter, value=%d", got)
+	}
+	h1 := r.Histogram("lat")
+	h1.Observe(time.Millisecond)
+	if got := r.Histogram("lat").Count(); got != 1 {
+		t.Fatalf("second histogram lookup fresh, count=%d", got)
+	}
+	g := r.Gauge("load")
+	g.Set(0.5)
+	if got := r.Gauge("load").Value(); got != 0.5 {
+		t.Fatalf("second gauge lookup fresh, value=%v", got)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz")
+	r.Gauge("aa")
+	r.Histogram("mm")
+	names := r.Names()
+	if len(names) != 3 || names[0] != "aa" || names[1] != "mm" || names[2] != "zz" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("temp").Set(21.5)
+	r.Histogram("lat").Observe(time.Millisecond)
+	out := r.Dump()
+	for _, want := range []string{"hits 3", "temp 21.5", "lat count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E5: geo index", "index", "n", "p50")
+	tb.AddRow("rtree", 1000, "12µs")
+	tb.AddRow("scan", 1000, "1.4ms")
+	out := tb.String()
+	if !strings.Contains(out, "E5: geo index") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "3\n") {
+		t.Errorf("integer float not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "3.1416") {
+		t.Errorf("float not rounded to 4 decimals:\n%s", out)
+	}
+}

@@ -1,0 +1,238 @@
+package mq
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"arbd/internal/metrics"
+	"arbd/internal/sim"
+)
+
+// Broker owns topics and serves producers and consumers. It is safe for
+// concurrent use.
+type Broker struct {
+	clock sim.Clock
+	reg   *metrics.Registry
+
+	mu     sync.RWMutex
+	topics map[string]*topic
+	closed bool
+}
+
+// Option configures a Broker.
+type Option func(*Broker)
+
+// WithClock sets the clock used to timestamp records (default: wall clock).
+func WithClock(c sim.Clock) Option {
+	return func(b *Broker) { b.clock = c }
+}
+
+// WithMetrics sets the registry the broker records into.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(b *Broker) { b.reg = r }
+}
+
+// NewBroker returns an empty broker.
+func NewBroker(opts ...Option) *Broker {
+	b := &Broker{
+		clock:  sim.RealClock{},
+		reg:    metrics.NewRegistry(),
+		topics: make(map[string]*topic),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Metrics returns the broker's metrics registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// CreateTopic registers a topic. It fails if the name is taken.
+func (b *Broker) CreateTopic(name string, cfg TopicConfig) error {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("%w: %q", ErrTopicExists, name)
+	}
+	t := &topic{
+		name:   name,
+		cfg:    cfg,
+		parts:  make([]*partition, cfg.Partitions),
+		notify: make(chan struct{}),
+	}
+	for i := range t.parts {
+		t.parts[i] = &partition{}
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Topics returns the names of all topics.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(topicName string) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.parts), nil
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, name)
+	}
+	return t, nil
+}
+
+// PartitionFor returns the partition a key routes to.
+func PartitionFor(key []byte, numPartitions int) int {
+	if numPartitions <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int(h.Sum32() % uint32(numPartitions))
+}
+
+// Produce appends a record to the topic, routing by key hash (or partition 0
+// for empty keys on unkeyed topics). It returns the assigned partition and
+// offset.
+func (b *Broker) Produce(topicName string, key, value []byte) (partitionIdx int, offset int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if t.cfg.Keyed && len(key) == 0 {
+		return 0, 0, ErrEmptyKey
+	}
+	partitionIdx = PartitionFor(key, len(t.parts))
+	offset = t.parts[partitionIdx].append(b.clock.Now(), key, value)
+	if t.cfg.RetentionBytes > 0 {
+		t.parts[partitionIdx].truncate(t.cfg.RetentionBytes)
+	}
+	b.reg.Counter("mq.produced." + topicName).Inc()
+	t.wake()
+	return partitionIdx, offset, nil
+}
+
+// ProduceBatch appends several values with the same key routing rules,
+// returning the offset of the first record of the batch.
+func (b *Broker) ProduceBatch(topicName string, key []byte, values [][]byte) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if t.cfg.Keyed && len(key) == 0 {
+		return 0, ErrEmptyKey
+	}
+	pi := PartitionFor(key, len(t.parts))
+	var first int64 = -1
+	now := b.clock.Now()
+	for _, v := range values {
+		off := t.parts[pi].append(now, key, v)
+		if first < 0 {
+			first = off
+		}
+	}
+	if t.cfg.RetentionBytes > 0 {
+		t.parts[pi].truncate(t.cfg.RetentionBytes)
+	}
+	b.reg.Counter("mq.produced." + topicName).Add(int64(len(values)))
+	t.wake()
+	return first, nil
+}
+
+// Fetch reads up to max records from one partition starting at offset.
+func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	recs, err := t.parts[partitionIdx].read(offset, max)
+	if err != nil {
+		return nil, err
+	}
+	for i := range recs {
+		recs[i].Partition = partitionIdx
+	}
+	b.reg.Counter("mq.fetched." + topicName).Add(int64(len(recs)))
+	return recs, nil
+}
+
+// Offsets returns the oldest retained and next-to-assign offsets of a
+// partition.
+func (b *Broker) Offsets(topicName string, partitionIdx int) (oldest, newest int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
+	}
+	return t.parts[partitionIdx].oldest(), t.parts[partitionIdx].newest(), nil
+}
+
+// WaitProduce returns a channel that is closed the next time any record is
+// produced to the topic. Consumers use it to block without polling.
+func (b *Broker) WaitProduce(topicName string) (<-chan struct{}, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	return t.waitCh(), nil
+}
+
+// Close shuts the broker; subsequent operations fail with ErrClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		t.wake() // release blocked consumers
+	}
+}
+
+// Lag returns the total number of records between committed group offsets
+// and the head across all partitions of the topic.
+func (b *Broker) Lag(topicName string, g *Group) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	var lag int64
+	for pi := range t.parts {
+		head := t.parts[pi].newest()
+		lag += head - g.Committed(pi)
+	}
+	return lag, nil
+}

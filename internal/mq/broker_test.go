@@ -1,0 +1,415 @@
+package mq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"arbd/internal/sim"
+)
+
+func newTestBroker(t *testing.T, partitions int) *Broker {
+	t.Helper()
+	b := NewBroker(WithClock(sim.NewVirtualClock(time.Time{})))
+	if err := b.CreateTopic("events", TopicConfig{Partitions: partitions}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCreateTopicDuplicate(t *testing.T) {
+	b := newTestBroker(t, 1)
+	if err := b.CreateTopic("events", TopicConfig{}); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("err = %v, want ErrTopicExists", err)
+	}
+}
+
+func TestProduceToMissingTopic(t *testing.T) {
+	b := NewBroker()
+	if _, _, err := b.Produce("nope", nil, []byte("x")); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("err = %v, want ErrNoTopic", err)
+	}
+}
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	b := newTestBroker(t, 1)
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Produce("events", nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := b.Fetch("events", 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("fetched %d, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Offset != int64(i) || r.Value[0] != byte(i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestOffsetsMonotonicPerPartition(t *testing.T) {
+	b := newTestBroker(t, 4)
+	seen := make(map[int]int64)
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i%17))
+		pi, off, err := b.Produce("events", key, []byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[pi]; ok && off != prev+1 {
+			t.Fatalf("partition %d offset jumped %d -> %d", pi, prev, off)
+		}
+		seen[pi] = off
+	}
+}
+
+func TestKeyRoutingIsStable(t *testing.T) {
+	if err := quick.Check(func(key []byte) bool {
+		return PartitionFor(key, 8) == PartitionFor(key, 8)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if PartitionFor([]byte("anything"), 1) != 0 {
+		t.Fatal("single partition must route to 0")
+	}
+}
+
+func TestKeyRoutingSpreads(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 800; i++ {
+		counts[PartitionFor([]byte(fmt.Sprintf("key-%d", i)), 8)]++
+	}
+	for pi, c := range counts {
+		if c == 0 {
+			t.Fatalf("partition %d never used: %v", pi, counts)
+		}
+	}
+}
+
+func TestKeyedTopicRejectsEmptyKey(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("k", TopicConfig{Keyed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Produce("k", nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("err = %v, want ErrEmptyKey", err)
+	}
+	if _, err := b.ProduceBatch("k", nil, [][]byte{[]byte("v")}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("batch err = %v, want ErrEmptyKey", err)
+	}
+}
+
+func TestFetchBadPartition(t *testing.T) {
+	b := newTestBroker(t, 2)
+	if _, err := b.Fetch("events", 5, 0, 10); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+	if _, err := b.Fetch("events", -1, 0, 10); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestFetchAtHeadReturnsEmpty(t *testing.T) {
+	b := newTestBroker(t, 1)
+	_, _, _ = b.Produce("events", nil, []byte("x"))
+	recs, err := b.Fetch("events", 0, 1, 10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("fetch at head = %v, %v", recs, err)
+	}
+}
+
+func TestSegmentBoundaries(t *testing.T) {
+	b := newTestBroker(t, 1)
+	total := segmentSize*2 + segmentSize/2
+	for i := 0; i < total; i++ {
+		if _, _, err := b.Produce("events", nil, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read across a segment boundary.
+	recs, err := b.Fetch("events", 0, segmentSize-2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Offset != segmentSize-2 || recs[4].Offset != segmentSize+2 {
+		t.Fatalf("cross-segment read wrong: %v..%v (%d recs)", recs[0].Offset, recs[len(recs)-1].Offset, len(recs))
+	}
+	oldest, newest, err := b.Offsets("events", 0)
+	if err != nil || oldest != 0 || newest != int64(total) {
+		t.Fatalf("offsets = %d..%d, %v", oldest, newest, err)
+	}
+}
+
+func TestRetentionTruncatesOldSegments(t *testing.T) {
+	b := NewBroker(WithClock(sim.NewVirtualClock(time.Time{})))
+	// Each record costs ~33 bytes (1 value byte + 32 overhead); budget for
+	// roughly two segments.
+	err := b.CreateTopic("small", TopicConfig{Partitions: 1, RetentionBytes: 33 * segmentSize * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < segmentSize*5; i++ {
+		if _, _, err := b.Produce("small", nil, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldest, newest, err := b.Offsets("small", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest == 0 {
+		t.Fatal("retention never truncated")
+	}
+	if newest != segmentSize*5 {
+		t.Fatalf("newest = %d", newest)
+	}
+	if _, err := b.Fetch("small", 0, 0, 1); !errors.Is(err, ErrOffsetOutOfLog) {
+		t.Fatalf("fetch below horizon err = %v, want ErrOffsetOutOfLog", err)
+	}
+}
+
+func TestGroupPollAndCommit(t *testing.T) {
+	b := newTestBroker(t, 2)
+	for i := 0; i < 20; i++ {
+		_, _, _ = b.Produce("events", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	g, err := b.NewGroup("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("polled %d, want 20", len(recs))
+	}
+	// Without commit, poll redelivers (at-least-once).
+	again, _ := g.Poll(100)
+	if len(again) != 20 {
+		t.Fatalf("redelivery polled %d, want 20", len(again))
+	}
+	for _, r := range recs {
+		g.Commit(r.Partition, r.Offset+1)
+	}
+	after, _ := g.Poll(100)
+	if len(after) != 0 {
+		t.Fatalf("after commit polled %d, want 0", len(after))
+	}
+	lag, err := b.Lag("events", g)
+	if err != nil || lag != 0 {
+		t.Fatalf("lag = %d, %v", lag, err)
+	}
+}
+
+func TestGroupCommitOnlyForward(t *testing.T) {
+	b := newTestBroker(t, 1)
+	g, _ := b.NewGroup("events")
+	g.Commit(0, 10)
+	g.Commit(0, 5)
+	if got := g.Committed(0); got != 10 {
+		t.Fatalf("Committed = %d, want 10", got)
+	}
+}
+
+func TestPollWaitWakesOnProduce(t *testing.T) {
+	b := newTestBroker(t, 1)
+	g, _ := b.NewGroup("events")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	done := make(chan []Record, 1)
+	go func() {
+		recs, err := g.PollWait(ctx, 10)
+		if err != nil {
+			t.Errorf("PollWait: %v", err)
+		}
+		done <- recs
+	}()
+	time.Sleep(10 * time.Millisecond) // let the poller block
+	if _, _, err := b.Produce("events", nil, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case recs := <-done:
+		if len(recs) != 1 || string(recs[0].Value) != "wake" {
+			t.Fatalf("got %v", recs)
+		}
+	case <-ctx.Done():
+		t.Fatal("PollWait never woke")
+	}
+}
+
+func TestPollWaitHonoursContext(t *testing.T) {
+	b := newTestBroker(t, 1)
+	g, _ := b.NewGroup("events")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.PollWait(ctx, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestConsumeProcessesAndCommits(t *testing.T) {
+	b := newTestBroker(t, 2)
+	g, _ := b.NewGroup("events")
+	const total = 50
+	for i := 0; i < total; i++ {
+		_, _, _ = b.Produce("events", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	got := 0
+	go func() {
+		_ = g.Consume(ctx, 7, func(recs []Record) error {
+			mu.Lock()
+			got += len(recs)
+			if got >= total {
+				cancel()
+			}
+			mu.Unlock()
+			return nil
+		})
+	}()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("consume never finished")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != total {
+		t.Fatalf("consumed %d, want %d", got, total)
+	}
+}
+
+func TestConsumeStopsOnHandlerError(t *testing.T) {
+	b := newTestBroker(t, 1)
+	g, _ := b.NewGroup("events")
+	_, _, _ = b.Produce("events", nil, []byte("x"))
+	sentinel := errors.New("boom")
+	err := g.Consume(context.Background(), 10, func([]Record) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Batch was not committed.
+	if recs, _ := g.Poll(10); len(recs) != 1 {
+		t.Fatalf("failed batch was committed; polled %d", len(recs))
+	}
+}
+
+func TestBrokerCloseReleasesWaiters(t *testing.T) {
+	b := newTestBroker(t, 1)
+	g, _ := b.NewGroup("events")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.PollWait(context.Background(), 1)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PollWait not released by Close")
+	}
+	if _, _, err := b.Produce("events", nil, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("produce after close err = %v", err)
+	}
+}
+
+func TestGroupSkipsTruncatedRange(t *testing.T) {
+	b := NewBroker(WithClock(sim.NewVirtualClock(time.Time{})))
+	_ = b.CreateTopic("small", TopicConfig{Partitions: 1, RetentionBytes: 33 * segmentSize})
+	g, _ := b.NewGroup("small")
+	for i := 0; i < segmentSize*4; i++ {
+		_, _, _ = b.Produce("small", nil, []byte("x"))
+	}
+	recs, err := g.Poll(10)
+	if err != nil {
+		t.Fatalf("poll after truncation: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("poll returned nothing after truncation")
+	}
+	oldest, _, _ := b.Offsets("small", 0)
+	if recs[0].Offset != oldest {
+		t.Fatalf("poll did not resume at horizon: %d vs %d", recs[0].Offset, oldest)
+	}
+}
+
+func TestProduceBatch(t *testing.T) {
+	b := newTestBroker(t, 1)
+	first, err := b.ProduceBatch("events", []byte("k"), [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Fatalf("first offset = %d", first)
+	}
+	recs, _ := b.Fetch("events", 0, 0, 10)
+	if len(recs) != 3 {
+		t.Fatalf("fetched %d", len(recs))
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	b := newTestBroker(t, 4)
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				key := []byte(fmt.Sprintf("p%d-%d", p, i))
+				if _, _, err := b.Produce("events", key, []byte("v")); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	g, _ := b.NewGroup("events")
+	total := 0
+	for {
+		recs, err := g.Poll(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		total += len(recs)
+		for _, r := range recs {
+			g.Commit(r.Partition, r.Offset+1)
+		}
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", total, producers*perProducer)
+	}
+}
+
+func TestRecordsAreCopies(t *testing.T) {
+	b := newTestBroker(t, 1)
+	val := []byte("mutable")
+	_, _, _ = b.Produce("events", nil, val)
+	val[0] = 'X'
+	recs, _ := b.Fetch("events", 0, 0, 1)
+	if string(recs[0].Value) != "mutable" {
+		t.Fatalf("broker aliased caller's buffer: %q", recs[0].Value)
+	}
+}

@@ -1,0 +1,120 @@
+package mq
+
+import (
+	"context"
+	"sync"
+)
+
+// Group tracks committed offsets per partition for one consumer group on one
+// topic, giving at-least-once delivery: a record is redelivered until its
+// offset is committed.
+type Group struct {
+	broker *Broker
+	topic  string
+
+	mu        sync.Mutex
+	committed map[int]int64
+}
+
+// NewGroup returns a consumer group positioned at the oldest retained offset
+// of every partition.
+func (b *Broker) NewGroup(topicName string) (*Group, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{broker: b, topic: topicName, committed: make(map[int]int64, len(t.parts))}
+	for pi := range t.parts {
+		g.committed[pi] = t.parts[pi].oldest()
+	}
+	return g, nil
+}
+
+// Committed returns the committed offset for a partition (records below it
+// are consumed).
+func (g *Group) Committed(partitionIdx int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[partitionIdx]
+}
+
+// Commit marks all records below offset in the partition as consumed.
+// Offsets only move forward.
+func (g *Group) Commit(partitionIdx int, offset int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if offset > g.committed[partitionIdx] {
+		g.committed[partitionIdx] = offset
+	}
+}
+
+// Poll fetches up to max uncommitted records across all partitions, without
+// committing them. It returns nil when fully caught up.
+func (g *Group) Poll(max int) ([]Record, error) {
+	n, err := g.broker.Partitions(g.topic)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for pi := 0; pi < n && len(out) < max; pi++ {
+		from := g.Committed(pi)
+		// Skip forward if retention truncated below our committed position.
+		oldest, _, err := g.broker.Offsets(g.topic, pi)
+		if err != nil {
+			return nil, err
+		}
+		if from < oldest {
+			from = oldest
+			g.Commit(pi, oldest)
+		}
+		recs, err := g.broker.Fetch(g.topic, pi, from, max-len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// PollWait behaves like Poll but blocks until at least one record is
+// available, the context is cancelled, or the broker closes.
+func (g *Group) PollWait(ctx context.Context, max int) ([]Record, error) {
+	for {
+		// Subscribe before polling so a produce between poll and wait is not
+		// lost.
+		ch, err := g.broker.WaitProduce(g.topic)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := g.Poll(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Consume runs fn over batches of records until ctx is cancelled or the
+// broker closes, committing after each successful batch. If fn returns an
+// error the batch is not committed and Consume returns the error.
+func (g *Group) Consume(ctx context.Context, batch int, fn func([]Record) error) error {
+	for {
+		recs, err := g.PollWait(ctx, batch)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if err := fn(recs); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			g.Commit(r.Partition, r.Offset+1)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package mq implements the platform's ingestion substrate: an in-memory,
+// partitioned, segmented commit log with topics, consumer groups, and
+// at-least-once delivery — the role Kafka plays in the stream architectures
+// the paper assumes. Records are durable for the life of the process and
+// subject to size-based retention, which is sufficient for the simulated
+// deployments this repository targets (see DESIGN.md substitution table).
+package mq
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Errors returned by the log.
+var (
+	ErrNoTopic        = errors.New("mq: topic does not exist")
+	ErrTopicExists    = errors.New("mq: topic already exists")
+	ErrBadPartition   = errors.New("mq: partition out of range")
+	ErrOffsetOutOfLog = errors.New("mq: offset below retention horizon")
+	ErrClosed         = errors.New("mq: broker closed")
+	ErrEmptyKey       = errors.New("mq: record key must not be empty when topic is keyed")
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	Offset    int64
+	Time      time.Time
+	Key       []byte
+	Value     []byte
+	Partition int
+}
+
+// segmentSize is the number of records per log segment. Segments are the
+// unit of retention: the oldest whole segments are dropped when a partition
+// exceeds its retention budget.
+const segmentSize = 1024
+
+// segment is a fixed-capacity run of consecutive records.
+type segment struct {
+	base    int64 // offset of records[0]
+	records []Record
+}
+
+// partition is a sequence of segments plus the next offset to assign.
+type partition struct {
+	mu       sync.RWMutex
+	segments []*segment
+	next     int64
+	bytes    int64
+}
+
+func (p *partition) append(now time.Time, key, value []byte) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.segments) == 0 || len(p.segments[len(p.segments)-1].records) >= segmentSize {
+		p.segments = append(p.segments, &segment{
+			base:    p.next,
+			records: make([]Record, 0, segmentSize),
+		})
+	}
+	seg := p.segments[len(p.segments)-1]
+	rec := Record{
+		Offset: p.next,
+		Time:   now,
+		Key:    append([]byte(nil), key...),
+		Value:  append([]byte(nil), value...),
+	}
+	seg.records = append(seg.records, rec)
+	p.next++
+	p.bytes += int64(len(key) + len(value) + 32)
+	return rec.Offset
+}
+
+// oldest returns the lowest retained offset (== next when empty).
+func (p *partition) oldest() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.segments) == 0 {
+		return p.next
+	}
+	return p.segments[0].base
+}
+
+func (p *partition) newest() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.next
+}
+
+// read copies up to max records starting at offset into out.
+func (p *partition) read(offset int64, max int) ([]Record, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.segments) > 0 && offset < p.segments[0].base {
+		return nil, ErrOffsetOutOfLog
+	}
+	if offset >= p.next || max <= 0 {
+		return nil, nil
+	}
+	// Binary search over segments: find the segment containing offset.
+	lo, hi := 0, len(p.segments)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.segments[mid].base <= offset {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	out := make([]Record, 0, max)
+	for si := lo; si < len(p.segments) && len(out) < max; si++ {
+		seg := p.segments[si]
+		start := 0
+		if offset > seg.base {
+			start = int(offset - seg.base)
+		}
+		for i := start; i < len(seg.records) && len(out) < max; i++ {
+			out = append(out, seg.records[i])
+		}
+	}
+	return out, nil
+}
+
+// truncate drops whole segments until retained bytes <= budget, always
+// keeping the newest segment. Returns the number of records dropped.
+func (p *partition) truncate(budget int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dropped := 0
+	for len(p.segments) > 1 && p.bytes > budget {
+		seg := p.segments[0]
+		for _, r := range seg.records {
+			p.bytes -= int64(len(r.Key) + len(r.Value) + 32)
+		}
+		dropped += len(seg.records)
+		p.segments = p.segments[1:]
+	}
+	return dropped
+}
+
+// TopicConfig configures a topic at creation.
+type TopicConfig struct {
+	Partitions     int   // number of partitions; default 1
+	RetentionBytes int64 // per-partition retention budget; <=0 means unlimited
+	Keyed          bool  // if true, Produce requires a non-empty key
+}
+
+// topic holds a topic's partitions.
+type topic struct {
+	name   string
+	cfg    TopicConfig
+	parts  []*partition
+	notify chan struct{} // closed-and-replaced on each produce to wake pollers
+	mu     sync.Mutex
+}
+
+func (t *topic) wake() {
+	t.mu.Lock()
+	close(t.notify)
+	t.notify = make(chan struct{})
+	t.mu.Unlock()
+}
+
+func (t *topic) waitCh() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notify
+}

@@ -1,0 +1,236 @@
+// Package offload implements §4.1's computation-offloading architecture
+// (CloudRiDAR [13]): the AR frame pipeline as a stage graph, enumeration of
+// device/edge/cloud split placements, a latency+device-energy estimator
+// over the cluster package's node and link models, and an adaptive
+// scheduler that re-plans when the network changes.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"arbd/internal/cluster"
+	"arbd/internal/sim"
+)
+
+// Offload errors.
+var (
+	ErrLocalOnly   = errors.New("offload: placement moves a device-only stage off the device")
+	ErrBadSplit    = errors.New("offload: invalid split range")
+	ErrNoPlacement = errors.New("offload: no placement satisfies the constraints")
+)
+
+// Stage is one step of the AR frame pipeline.
+type Stage struct {
+	Name string
+	// Ops is the stage's compute cost in abstract operations (see
+	// cluster.Node.ExecTime).
+	Ops float64
+	// OutBytes is the payload handed to the next stage (or back to the
+	// device from the last remote stage).
+	OutBytes int
+	// DeviceOnly pins the stage to the device (sensor capture, display).
+	DeviceOnly bool
+}
+
+// ARPipeline returns the canonical five-stage mobile AR pipeline with costs
+// scaled to the input frame. Ops values are calibrated so the full pipeline
+// is ~35 ms on a SpeedFactor-1 device — the order of magnitude CloudRiDAR
+// reports for feature-based tracking on 2014-era phones.
+func ARPipeline(frameBytes int, numFeatures int) []Stage {
+	if frameBytes <= 0 {
+		frameBytes = 640 * 480 // grayscale VGA
+	}
+	if numFeatures <= 0 {
+		numFeatures = 400
+	}
+	featBytes := numFeatures * 36 // descriptor payload
+	return []Stage{
+		{Name: "capture", Ops: 1e6, OutBytes: frameBytes, DeviceOnly: true},
+		{Name: "extract", Ops: 30e6, OutBytes: featBytes},
+		{Name: "match", Ops: 28e6, OutBytes: 2 << 10},
+		{Name: "pose", Ops: 8e6, OutBytes: 512},
+		{Name: "render", Ops: 3e6, OutBytes: 0, DeviceOnly: true},
+	}
+}
+
+// Placement assigns a contiguous run of stages [RemoteStart, RemoteEnd) to a
+// remote node; everything else runs on the device. RemoteStart == RemoteEnd
+// means fully local.
+type Placement struct {
+	RemoteStart int
+	RemoteEnd   int
+	RemoteNode  string
+}
+
+// Local returns the fully-local placement.
+func Local() Placement { return Placement{} }
+
+// IsLocal reports whether the placement keeps every stage on the device.
+func (p Placement) IsLocal() bool { return p.RemoteStart >= p.RemoteEnd }
+
+// String renders the placement for tables and logs.
+func (p Placement) String() string {
+	if p.IsLocal() {
+		return "local"
+	}
+	return fmt.Sprintf("%s[%d:%d]", p.RemoteNode, p.RemoteStart, p.RemoteEnd)
+}
+
+// Estimate is the predicted cost of one frame under a placement.
+type Estimate struct {
+	Latency       time.Duration
+	DeviceEnergyJ float64
+	UplinkBytes   int
+	DownlinkBytes int
+	ComputeRemote time.Duration
+	ComputeLocal  time.Duration
+	Network       time.Duration
+}
+
+// Evaluate predicts latency and device energy for one frame of the pipeline
+// under the placement. A nil rng gives deterministic mean estimates (used
+// by the planner); a seeded rng adds link jitter (used by the simulator).
+func Evaluate(stages []Stage, device, remote cluster.Node, link cluster.Profile, pl Placement, rng *sim.Rand) (Estimate, error) {
+	var est Estimate
+	if pl.RemoteStart < 0 || pl.RemoteEnd > len(stages) || pl.RemoteStart > pl.RemoteEnd {
+		return est, fmt.Errorf("%w: [%d:%d) of %d", ErrBadSplit, pl.RemoteStart, pl.RemoteEnd, len(stages))
+	}
+	for i := pl.RemoteStart; i < pl.RemoteEnd; i++ {
+		if stages[i].DeviceOnly {
+			return est, fmt.Errorf("%w: stage %q", ErrLocalOnly, stages[i].Name)
+		}
+	}
+	for i, st := range stages {
+		remoteStage := i >= pl.RemoteStart && i < pl.RemoteEnd
+		if remoteStage {
+			d := remote.ExecTime(st.Ops)
+			est.ComputeRemote += d
+			est.DeviceEnergyJ += device.IdleEnergyJoules(d)
+		} else {
+			d := device.ExecTime(st.Ops)
+			est.ComputeLocal += d
+			est.DeviceEnergyJ += device.ComputeEnergyJoules(d)
+		}
+	}
+	if !pl.IsLocal() {
+		up := stages[pl.RemoteStart-1].OutBytes
+		down := stages[pl.RemoteEnd-1].OutBytes
+		upT := link.OneWay(up, rng)
+		downT := link.OneWay(down, rng)
+		est.Network = upT + downT
+		est.UplinkBytes = up
+		est.DownlinkBytes = down
+		est.DeviceEnergyJ += device.RadioEnergyJoules(upT + downT)
+	}
+	est.Latency = est.ComputeLocal + est.ComputeRemote + est.Network
+	return est, nil
+}
+
+// Objective selects what Best optimises. Enums start at 1.
+type Objective int
+
+// Optimisation objectives.
+const (
+	MinLatency Objective = iota + 1
+	MinEnergy
+)
+
+// Decision is a chosen placement with its predicted cost.
+type Decision struct {
+	Placement Placement
+	Estimate  Estimate
+}
+
+// RemoteOption is a candidate offload target with its link from the device.
+type RemoteOption struct {
+	Node cluster.Node
+	Link cluster.Profile
+}
+
+// Best enumerates every valid placement (fully local plus every contiguous
+// offloadable range on every remote) and returns the one optimising the
+// objective. With MinEnergy, maxLatency (if > 0) is a hard SLA.
+func Best(stages []Stage, device cluster.Node, remotes []RemoteOption, obj Objective, maxLatency time.Duration) (Decision, error) {
+	var best Decision
+	found := false
+	consider := func(pl Placement, est Estimate) {
+		if maxLatency > 0 && est.Latency > maxLatency {
+			return
+		}
+		if !found {
+			best = Decision{Placement: pl, Estimate: est}
+			found = true
+			return
+		}
+		better := false
+		switch obj {
+		case MinEnergy:
+			better = est.DeviceEnergyJ < best.Estimate.DeviceEnergyJ
+		default:
+			better = est.Latency < best.Estimate.Latency
+		}
+		if better {
+			best = Decision{Placement: pl, Estimate: est}
+		}
+	}
+
+	localEst, err := Evaluate(stages, device, device, cluster.ProfileLoopback, Local(), nil)
+	if err != nil {
+		return Decision{}, err
+	}
+	consider(Local(), localEst)
+
+	for _, r := range remotes {
+		for start := 1; start < len(stages); start++ {
+			for end := start + 1; end <= len(stages); end++ {
+				pl := Placement{RemoteStart: start, RemoteEnd: end, RemoteNode: r.Node.ID}
+				est, err := Evaluate(stages, device, r.Node, r.Link, pl, nil)
+				if err != nil {
+					continue // placement covers a device-only stage
+				}
+				consider(pl, est)
+			}
+		}
+	}
+	if !found {
+		return Decision{}, ErrNoPlacement
+	}
+	return best, nil
+}
+
+// Scheduler re-plans placements as network conditions change and tracks how
+// often the decision flips — the adaptivity §4.1 asks of cloud-backed AR.
+type Scheduler struct {
+	stages  []Stage
+	device  cluster.Node
+	obj     Objective
+	sla     time.Duration
+	current Decision
+	has     bool
+	flips   int
+}
+
+// NewScheduler returns a scheduler for the given pipeline and device.
+func NewScheduler(stages []Stage, device cluster.Node, obj Objective, sla time.Duration) *Scheduler {
+	return &Scheduler{stages: stages, device: device, obj: obj, sla: sla}
+}
+
+// Plan recomputes the best placement for the given remotes/links, returning
+// the decision and whether it changed from the previous plan.
+func (s *Scheduler) Plan(remotes []RemoteOption) (Decision, bool, error) {
+	d, err := Best(s.stages, s.device, remotes, s.obj, s.sla)
+	if err != nil {
+		return Decision{}, false, err
+	}
+	changed := s.has && d.Placement != s.current.Placement
+	if changed {
+		s.flips++
+	}
+	s.current, s.has = d, true
+	return d, changed, nil
+}
+
+// Flips returns how many times the placement changed.
+func (s *Scheduler) Flips() int { return s.flips }

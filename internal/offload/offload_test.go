@@ -1,0 +1,223 @@
+package offload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"arbd/internal/cluster"
+)
+
+var (
+	device = cluster.Node{ID: "mobile", Class: cluster.ClassMobile, SpeedFactor: 1,
+		ActiveWatts: 2.5, IdleWatts: 0.8, TxWatts: 1.8}
+	edge = cluster.Node{ID: "edge", Class: cluster.ClassEdge, SpeedFactor: 6,
+		ActiveWatts: 65, IdleWatts: 20, TxWatts: 5}
+	cloud = cluster.Node{ID: "cloud", Class: cluster.ClassCloud, SpeedFactor: 32,
+		ActiveWatts: 250, IdleWatts: 80, TxWatts: 10}
+)
+
+func stages() []Stage { return ARPipeline(0, 0) }
+
+func TestARPipelineShape(t *testing.T) {
+	st := stages()
+	if len(st) != 5 {
+		t.Fatalf("stages = %d", len(st))
+	}
+	if !st[0].DeviceOnly || !st[len(st)-1].DeviceOnly {
+		t.Fatal("capture/render must be device-only")
+	}
+	var ops float64
+	for _, s := range st {
+		ops += s.Ops
+	}
+	total := device.ExecTime(ops)
+	if total < 20*time.Millisecond || total > 60*time.Millisecond {
+		t.Fatalf("full local pipeline = %v, want ~35ms", total)
+	}
+}
+
+func TestEvaluateLocal(t *testing.T) {
+	est, err := Evaluate(stages(), device, device, cluster.ProfileLoopback, Local(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Network != 0 || est.UplinkBytes != 0 {
+		t.Fatalf("local placement has network cost: %+v", est)
+	}
+	if est.Latency != est.ComputeLocal {
+		t.Fatal("local latency != local compute")
+	}
+	if est.DeviceEnergyJ <= 0 {
+		t.Fatal("no device energy")
+	}
+}
+
+func TestEvaluateRemoteMiddle(t *testing.T) {
+	pl := Placement{RemoteStart: 1, RemoteEnd: 4, RemoteNode: "cloud"}
+	est, err := Evaluate(stages(), device, cloud, cluster.ProfileWiFi, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.UplinkBytes != 640*480 {
+		t.Fatalf("uplink = %d, want frame bytes", est.UplinkBytes)
+	}
+	if est.DownlinkBytes != 512 {
+		t.Fatalf("downlink = %d, want pose bytes", est.DownlinkBytes)
+	}
+	if est.Network <= 0 || est.ComputeRemote <= 0 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	// Remote compute on a 32x node must be well under local.
+	localEst, _ := Evaluate(stages(), device, device, cluster.ProfileLoopback, Local(), nil)
+	if est.ComputeRemote >= localEst.ComputeLocal {
+		t.Fatal("cloud compute not faster than local")
+	}
+}
+
+func TestEvaluateRejectsDeviceOnlyOffload(t *testing.T) {
+	pl := Placement{RemoteStart: 0, RemoteEnd: 2, RemoteNode: "cloud"} // includes capture
+	if _, err := Evaluate(stages(), device, cloud, cluster.ProfileWiFi, pl, nil); !errors.Is(err, ErrLocalOnly) {
+		t.Fatalf("err = %v", err)
+	}
+	pl = Placement{RemoteStart: 3, RemoteEnd: 5, RemoteNode: "cloud"} // includes render
+	if _, err := Evaluate(stages(), device, cloud, cluster.ProfileWiFi, pl, nil); !errors.Is(err, ErrLocalOnly) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvaluateRejectsBadSplit(t *testing.T) {
+	if _, err := Evaluate(stages(), device, cloud, cluster.ProfileWiFi,
+		Placement{RemoteStart: 3, RemoteEnd: 2}, nil); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Evaluate(stages(), device, cloud, cluster.ProfileWiFi,
+		Placement{RemoteStart: 0, RemoteEnd: 99}, nil); !errors.Is(err, ErrBadSplit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBestPrefersEdgeOnFastLink(t *testing.T) {
+	remotes := []RemoteOption{
+		{Node: edge, Link: cluster.ProfileWiFi},
+	}
+	d, err := Best(stages(), device, remotes, MinLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Placement.IsLocal() {
+		t.Fatalf("WiFi+edge chose local (%v); offload should win", d.Estimate.Latency)
+	}
+	localEst, _ := Evaluate(stages(), device, device, cluster.ProfileLoopback, Local(), nil)
+	if d.Estimate.Latency >= localEst.Latency {
+		t.Fatalf("chosen placement %v slower than local %v", d.Estimate.Latency, localEst.Latency)
+	}
+}
+
+func TestBestPrefersLocalOn3G(t *testing.T) {
+	// Shipping a whole frame over 2 Mbps costs >1s; local 35 ms must win.
+	remotes := []RemoteOption{
+		{Node: cloud, Link: cluster.Profile3G},
+	}
+	d, err := Best(stages(), device, remotes, MinLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Placement.IsLocal() {
+		t.Fatalf("3G chose %v (%v); local should win", d.Placement, d.Estimate.Latency)
+	}
+}
+
+func TestBestCrossoverBetweenProfiles(t *testing.T) {
+	// The decision must flip somewhere between WiFi and 3G — the paper's
+	// offloading trade-off in one assertion.
+	wifi, err := Best(stages(), device, []RemoteOption{{Node: cloud, Link: cluster.ProfileWiFi}}, MinLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeG, err := Best(stages(), device, []RemoteOption{{Node: cloud, Link: cluster.Profile3G}}, MinLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wifi.Placement.IsLocal() || !threeG.Placement.IsLocal() {
+		t.Fatalf("no crossover: wifi=%v threeG=%v", wifi.Placement, threeG.Placement)
+	}
+}
+
+func TestBestMinEnergyRespectsSLA(t *testing.T) {
+	remotes := []RemoteOption{
+		{Node: edge, Link: cluster.ProfileWiFi},
+		{Node: cloud, Link: cluster.ProfileLTE},
+	}
+	d, err := Best(stages(), device, remotes, MinEnergy, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Estimate.Latency > 100*time.Millisecond {
+		t.Fatalf("SLA violated: %v", d.Estimate.Latency)
+	}
+	// Unbounded energy optimum must be <= constrained one.
+	dFree, err := Best(stages(), device, remotes, MinEnergy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFree.Estimate.DeviceEnergyJ > d.Estimate.DeviceEnergyJ+1e-12 {
+		t.Fatal("unconstrained optimum worse than constrained")
+	}
+}
+
+func TestBestImpossibleSLA(t *testing.T) {
+	if _, err := Best(stages(), device, nil, MinLatency, time.Microsecond); !errors.Is(err, ErrNoPlacement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOffloadSavesEnergyOnGoodLink(t *testing.T) {
+	localEst, _ := Evaluate(stages(), device, device, cluster.ProfileLoopback, Local(), nil)
+	pl := Placement{RemoteStart: 1, RemoteEnd: 4, RemoteNode: "edge"}
+	offEst, err := Evaluate(stages(), device, edge, cluster.ProfileWiFi, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offEst.DeviceEnergyJ >= localEst.DeviceEnergyJ {
+		t.Fatalf("offload energy %.4f J not below local %.4f J",
+			offEst.DeviceEnergyJ, localEst.DeviceEnergyJ)
+	}
+}
+
+func TestSchedulerAdaptsToNetworkChange(t *testing.T) {
+	s := NewScheduler(stages(), device, MinLatency, 0)
+	wifi := []RemoteOption{{Node: cloud, Link: cluster.ProfileWiFi}}
+	threeG := []RemoteOption{{Node: cloud, Link: cluster.Profile3G}}
+
+	d1, changed, err := s.Plan(wifi)
+	if err != nil || changed {
+		t.Fatalf("first plan: %v changed=%v", err, changed)
+	}
+	if d1.Placement.IsLocal() {
+		t.Fatal("wifi plan local")
+	}
+	d2, changed, err := s.Plan(threeG)
+	if err != nil || !changed {
+		t.Fatalf("network change not detected: %v changed=%v", err, changed)
+	}
+	if !d2.Placement.IsLocal() {
+		t.Fatal("3g plan not local")
+	}
+	if _, changed, _ = s.Plan(threeG); changed {
+		t.Fatal("stable network reported change")
+	}
+	if s.Flips() != 1 {
+		t.Fatalf("flips = %d", s.Flips())
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Local().String() != "local" {
+		t.Fatal("local string")
+	}
+	pl := Placement{RemoteStart: 1, RemoteEnd: 4, RemoteNode: "edge"}
+	if pl.String() != "edge[1:4]" {
+		t.Fatalf("string = %q", pl.String())
+	}
+}

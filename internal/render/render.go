@@ -1,0 +1,348 @@
+// Package render implements the AR annotation layer: screen-space projection
+// of geo-anchored content, occlusion testing against building geometry, and
+// two layout engines — the naive "floating bubbles" placement the paper
+// criticises (§2.1, citing MacIntyre's "POIs are pointless") and an
+// anchored, collision- and occlusion-aware layout — plus the clutter metrics
+// experiment E6 uses to compare them.
+package render
+
+import (
+	"math"
+	"sort"
+
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+)
+
+// ScreenPos is a projected location in pixels plus depth in meters.
+type ScreenPos struct {
+	X     float64
+	Y     float64
+	Depth float64
+}
+
+// Camera is a pinhole projection model.
+type Camera struct {
+	FOVDeg float64 // horizontal field of view
+	Width  int     // screen width, px
+	Height int     // screen height, px
+}
+
+// DefaultCamera matches a 2017-era phone in landscape.
+var DefaultCamera = Camera{FOVDeg: 60, Width: 1280, Height: 720}
+
+// VFOVDeg returns the vertical field of view implied by the aspect ratio.
+func (c Camera) VFOVDeg() float64 {
+	return c.FOVDeg * float64(c.Height) / float64(c.Width)
+}
+
+// Project maps a world point (with a height above ground) onto the screen
+// for the given pose. ok is false when the point is outside the view
+// frustum.
+func (c Camera) Project(pose sensor.Pose, target geo.Point, heightM float64) (ScreenPos, bool) {
+	dist := geo.DistanceMeters(pose.Position, target)
+	if dist < 0.5 {
+		return ScreenPos{}, false
+	}
+	rel := wrap180(geo.BearingDegrees(pose.Position, target) - pose.HeadingDeg)
+	if math.Abs(rel) > c.FOVDeg/2 {
+		return ScreenPos{}, false
+	}
+	elev := math.Atan2(heightM-pose.AltitudeM, dist)*180/math.Pi - pose.PitchDeg
+	if math.Abs(elev) > c.VFOVDeg()/2 {
+		return ScreenPos{}, false
+	}
+	x := float64(c.Width)/2 + rel/c.FOVDeg*float64(c.Width)
+	y := float64(c.Height)/2 - elev/c.VFOVDeg()*float64(c.Height)
+	return ScreenPos{X: x, Y: y, Depth: dist}, true
+}
+
+func wrap180(d float64) float64 {
+	d = math.Mod(d+540, 360) - 180
+	if d == -180 {
+		return 180
+	}
+	return d
+}
+
+// Annotation is one piece of virtual content anchored to a world location.
+type Annotation struct {
+	ID       uint64
+	Label    string
+	Anchor   geo.Point
+	AnchorHM float64 // anchor height above ground (label attaches here)
+	Priority float64 // higher = more important, placed first
+
+	// Layout outputs.
+	Pos      ScreenPos // anchor projection
+	X, Y     float64   // top-left of the label box after layout
+	W, H     float64   // label box size, px
+	Placed   bool
+	Occluded bool    // anchor hidden behind geometry
+	XRay     bool    // drawn despite occlusion, in see-through style
+	LeaderPx float64 // distance from box centre to anchor
+}
+
+// boxesOverlap reports whether two placed boxes intersect.
+func boxesOverlap(a, b *Annotation) bool {
+	return a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H
+}
+
+// overlapArea returns the intersection area of two boxes.
+func overlapArea(a, b *Annotation) float64 {
+	w := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+	h := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Occluder is a building-like obstacle: a vertical slab at a location.
+type Occluder struct {
+	Location geo.Point
+	HeightM  float64
+	WidthM   float64 // horizontal extent (default 20)
+}
+
+// OccludersFromPOIs treats tall POIs as occluding buildings.
+func OccludersFromPOIs(pois []geo.POI, minHeightM float64) []Occluder {
+	var out []Occluder
+	for _, p := range pois {
+		if p.HeightMeters >= minHeightM {
+			out = append(out, Occluder{Location: p.Location, HeightM: p.HeightMeters, WidthM: 20})
+		}
+	}
+	return out
+}
+
+// IsOccluded reports whether the sight line from the pose to the target
+// (top at heightM) passes behind any occluder.
+func IsOccluded(pose sensor.Pose, target geo.Point, heightM float64, occluders []Occluder) bool {
+	dT := geo.DistanceMeters(pose.Position, target)
+	if dT < 1 {
+		return false
+	}
+	bT := geo.BearingDegrees(pose.Position, target)
+	for _, o := range occluders {
+		dO := geo.DistanceMeters(pose.Position, o.Location)
+		if dO < 1 || dO >= dT-1 {
+			continue
+		}
+		w := o.WidthM
+		if w <= 0 {
+			w = 20
+		}
+		halfAngle := math.Atan2(w/2, dO) * 180 / math.Pi
+		if math.Abs(wrap180(geo.BearingDegrees(pose.Position, o.Location)-bT)) > halfAngle {
+			continue
+		}
+		// Sight-line height where it crosses the occluder's distance.
+		lineH := pose.AltitudeM + (heightM-pose.AltitudeM)*(dO/dT)
+		if lineH < o.HeightM {
+			return true
+		}
+	}
+	return false
+}
+
+// LayoutOptions configures the anchored layout engine.
+type LayoutOptions struct {
+	BoxW, BoxH   float64 // label box size (default 140×36)
+	CullOccluded bool    // drop occluded anchors instead of X-ray styling
+	MaxLeaderPx  float64 // max displacement from anchor (default 120)
+}
+
+func (o *LayoutOptions) defaults() {
+	if o.BoxW <= 0 {
+		o.BoxW = 140
+	}
+	if o.BoxH <= 0 {
+		o.BoxH = 36
+	}
+	if o.MaxLeaderPx <= 0 {
+		o.MaxLeaderPx = 120
+	}
+}
+
+// LayoutBubbles is the baseline: every in-frustum annotation becomes a
+// bubble centred on its projection, ignoring collisions and occlusion —
+// the floating-bubble AR browsers of the paper's era.
+func LayoutBubbles(cam Camera, pose sensor.Pose, anns []Annotation) []Annotation {
+	out := make([]Annotation, 0, len(anns))
+	for _, a := range anns {
+		pos, ok := cam.Project(pose, a.Anchor, a.AnchorHM)
+		if !ok {
+			continue
+		}
+		a.Pos = pos
+		a.W, a.H = 140, 36
+		a.X, a.Y = pos.X-a.W/2, pos.Y-a.H/2
+		a.Placed = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// candidateOffsets are tried in order around the anchor: above, then sides,
+// then below, at increasing leader lengths.
+var candidateOffsets = [][2]float64{
+	{0, -30}, {0, -60}, {70, -30}, {-70, -30}, {80, 0}, {-80, 0},
+	{0, -90}, {90, -60}, {-90, -60}, {0, 40}, {100, 40}, {-100, 40}, {0, -120},
+}
+
+// LayoutAnchored places annotations priority-first, avoiding box collisions
+// and screen edges, culling or X-ray-marking occluded anchors, and keeping
+// labels near their anchors with short leader lines.
+func LayoutAnchored(cam Camera, pose sensor.Pose, anns []Annotation, occluders []Occluder, opts LayoutOptions) []Annotation {
+	opts.defaults()
+	// Project and occlusion-test everything first.
+	visible := make([]Annotation, 0, len(anns))
+	for _, a := range anns {
+		pos, ok := cam.Project(pose, a.Anchor, a.AnchorHM)
+		if !ok {
+			continue
+		}
+		a.Pos = pos
+		a.W, a.H = opts.BoxW, opts.BoxH
+		a.Occluded = IsOccluded(pose, a.Anchor, a.AnchorHM, occluders)
+		if a.Occluded {
+			if opts.CullOccluded {
+				continue
+			}
+			a.XRay = true
+		}
+		visible = append(visible, a)
+	}
+	// Nearer and higher-priority content first.
+	sort.SliceStable(visible, func(i, j int) bool {
+		if visible[i].Priority != visible[j].Priority {
+			return visible[i].Priority > visible[j].Priority
+		}
+		return visible[i].Pos.Depth < visible[j].Pos.Depth
+	})
+
+	var placed []*Annotation
+	out := make([]Annotation, 0, len(visible))
+	for i := range visible {
+		a := visible[i]
+		if tryPlace(cam, &a, placed, opts) {
+			a.Placed = true
+			out = append(out, a)
+			placed = append(placed, &out[len(out)-1])
+		}
+	}
+	return out
+}
+
+func tryPlace(cam Camera, a *Annotation, placed []*Annotation, opts LayoutOptions) bool {
+	for _, off := range candidateOffsets {
+		x := a.Pos.X + off[0] - a.W/2
+		y := a.Pos.Y + off[1] - a.H/2
+		leader := math.Hypot(off[0], off[1])
+		if leader > opts.MaxLeaderPx {
+			continue
+		}
+		if x < 0 || y < 0 || x+a.W > float64(cam.Width) || y+a.H > float64(cam.Height) {
+			continue
+		}
+		cand := *a
+		cand.X, cand.Y = x, y
+		collides := false
+		for _, p := range placed {
+			if boxesOverlap(&cand, p) {
+				collides = true
+				break
+			}
+		}
+		if !collides {
+			a.X, a.Y, a.LeaderPx = x, y, leader
+			return true
+		}
+	}
+	return false
+}
+
+// Clutter summarises layout quality; lower is better on every field.
+type Clutter struct {
+	Drawn               int
+	OverlapFraction     float64 // overlapped box area / total box area
+	OcclusionViolations int     // occluded anchors drawn as if visible
+	OffscreenBoxes      int     // boxes extending beyond screen edges
+	MeanLeaderPx        float64
+}
+
+// MeasureClutter computes layout-quality metrics for a set of laid-out
+// annotations. Occlusion is re-derived from the scene so the bubble
+// baseline (which never tests it) is scored fairly.
+func MeasureClutter(cam Camera, pose sensor.Pose, laid []Annotation, occluders []Occluder) Clutter {
+	var m Clutter
+	m.Drawn = len(laid)
+	if len(laid) == 0 {
+		return m
+	}
+	var overlap, total, leader float64
+	for i := range laid {
+		a := &laid[i]
+		total += a.W * a.H
+		leader += a.LeaderPx
+		if a.X < 0 || a.Y < 0 || a.X+a.W > float64(cam.Width) || a.Y+a.H > float64(cam.Height) {
+			m.OffscreenBoxes++
+		}
+		if !a.XRay && IsOccluded(pose, a.Anchor, a.AnchorHM, occluders) {
+			m.OcclusionViolations++
+		}
+		for j := i + 1; j < len(laid); j++ {
+			overlap += overlapArea(a, &laid[j])
+		}
+	}
+	m.OverlapFraction = overlap / total
+	m.MeanLeaderPx = leader / float64(len(laid))
+	return m
+}
+
+// Jitter measures mean label movement in pixels between two consecutive
+// layouts, matching annotations by ID. Stable layouts score low.
+func Jitter(prev, cur []Annotation) float64 {
+	if len(prev) == 0 || len(cur) == 0 {
+		return 0
+	}
+	prevByID := make(map[uint64]*Annotation, len(prev))
+	for i := range prev {
+		prevByID[prev[i].ID] = &prev[i]
+	}
+	var sum float64
+	n := 0
+	for i := range cur {
+		p, ok := prevByID[cur[i].ID]
+		if !ok {
+			continue
+		}
+		sum += math.Hypot(cur[i].X-p.X, cur[i].Y-p.Y)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AnnotationsFromPOIs builds annotations for POIs, prioritised by inverse
+// distance from the viewer (nearer content matters more in AR). Labels
+// anchor at facade viewing height (2-8 m) rather than rooftops so nearby
+// content stays inside a phone camera's narrow vertical FOV.
+func AnnotationsFromPOIs(pose sensor.Pose, pois []geo.POI) []Annotation {
+	out := make([]Annotation, 0, len(pois))
+	for _, p := range pois {
+		d := geo.DistanceMeters(pose.Position, p.Location)
+		anchorH := math.Max(2, math.Min(p.HeightMeters*0.4, 8))
+		out = append(out, Annotation{
+			ID:       p.ID,
+			Label:    p.Name,
+			Anchor:   p.Location,
+			AnchorHM: anchorH,
+			Priority: 1000 / (d + 10),
+		})
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// corePoint builds a geo.Point (helper shared with the server side).
+func corePoint(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }
+
+// Client is a minimal protocol client used by the load generator, examples,
+// and tests. Not safe for concurrent use; run one per goroutine.
+type Client struct {
+	conn net.Conn
+	fr   *wire.FrameReader
+	fw   *wire.FrameWriter
+	seq  uint64
+}
+
+// Dial connects to an arbd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return &Client{conn: conn, fr: wire.NewFrameReader(conn), fw: wire.NewFrameWriter(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(t wire.MsgType, payload []byte) error {
+	c.seq++
+	if err := c.fw.WriteEnvelope(&wire.Envelope{Type: t, Seq: c.seq, Payload: payload}); err != nil {
+		return err
+	}
+	return c.fw.Flush()
+}
+
+// SendGPS streams a GPS fix (no reply expected).
+func (c *Client) SendGPS(fix sensor.GPSFix) error {
+	var b wire.Buffer
+	b.Uvarint(uint64(fix.Time.UnixNano()))
+	b.Float64(fix.Position.Lat)
+	b.Float64(fix.Position.Lon)
+	b.Float64(fix.AccuracyM)
+	return c.send(wire.MsgSensorEvent, append([]byte{SensorGPS}, b.Bytes()...))
+}
+
+// SendIMU streams an inertial sample.
+func (c *Client) SendIMU(s sensor.IMUSample) error {
+	var b wire.Buffer
+	b.Uvarint(uint64(s.Time.UnixNano()))
+	b.Float64(s.GyroZRad)
+	b.Float64(s.AccelMps2)
+	b.Float64(s.CompassDeg)
+	return c.send(wire.MsgSensorEvent, append([]byte{SensorIMU}, b.Bytes()...))
+}
+
+// SendGaze streams a gaze sample.
+func (c *Client) SendGaze(s sensor.GazeSample) error {
+	var b wire.Buffer
+	b.Uvarint(uint64(s.Time.UnixNano()))
+	b.Uvarint(s.TargetID)
+	b.Float64(s.DwellMS)
+	return c.send(wire.MsgSensorEvent, append([]byte{SensorGaze}, b.Bytes()...))
+}
+
+// RequestFrame asks for the current overlay and blocks for the reply.
+func (c *Client) RequestFrame() (*core.DecodedFrame, time.Duration, error) {
+	start := time.Now()
+	if err := c.send(wire.MsgFrameRequest, nil); err != nil {
+		return nil, 0, err
+	}
+	for {
+		env, err := c.fr.ReadEnvelope()
+		if err != nil {
+			return nil, 0, err
+		}
+		switch env.Type {
+		case wire.MsgAnnotations:
+			f, err := core.DecodeFrame(env.Payload)
+			return f, time.Since(start), err
+		case wire.MsgError:
+			return nil, 0, fmt.Errorf("client: server error: %s", env.Payload)
+		default:
+			// Skip unrelated replies (none in the current protocol).
+		}
+	}
+}
+
+// Ping round-trips a control message (connectivity check).
+func (c *Client) Ping() error {
+	if err := c.send(wire.MsgControl, nil); err != nil {
+		return err
+	}
+	env, err := c.fr.ReadEnvelope()
+	if err != nil {
+		return err
+	}
+	if env.Type != wire.MsgAck {
+		return fmt.Errorf("client: expected ack, got %v", env.Type)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package server exposes the platform over TCP using the wire protocol:
+// clients stream sensor envelopes and request frames; the server runs one
+// core.Session per connection. This is the deployable backend binary's
+// engine (cmd/arbd-server) and the load generator's target.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// Sensor payload kinds inside MsgSensorEvent envelopes. Enums start at 1.
+const (
+	SensorGPS uint8 = iota + 1
+	SensorIMU
+	SensorGaze
+)
+
+// Server serves the platform over TCP.
+type Server struct {
+	platform *core.Platform
+	ln       net.Listener
+	logger   *log.Logger
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New returns a server for the platform (not yet listening).
+func New(p *core.Platform, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &Server{
+		platform: p,
+		logger:   logger,
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Listen binds addr and starts accepting connections. It returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				s.logger.Printf("server: accept: %v", err)
+				return
+			}
+		}
+		// Register before serving, then re-check shutdown: Close may have
+		// swept the conn map between Accept returning and this registration,
+		// in which case nobody else will ever close this conn and its
+		// handler would block forever.
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		select {
+		case <-s.done:
+			_ = conn.Close()
+			continue
+		default:
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+// It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	sess := s.platform.NewSession()
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+	for {
+		env, err := fr.ReadEnvelope()
+		if err != nil {
+			return // EOF or broken pipe: session over
+		}
+		reply, err := s.handle(sess, env)
+		if err != nil {
+			reply = &wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())}
+		}
+		if reply != nil {
+			if err := fw.WriteEnvelope(reply); err != nil {
+				return
+			}
+			if err := fw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handle(sess *core.Session, env *wire.Envelope) (*wire.Envelope, error) {
+	switch env.Type {
+	case wire.MsgSensorEvent:
+		if err := applySensor(sess, env.Payload); err != nil {
+			return nil, err
+		}
+		return nil, nil // sensor stream is one-way
+	case wire.MsgFrameRequest:
+		f, err := sess.Frame(time.Now())
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Envelope{
+			Type: wire.MsgAnnotations, Seq: env.Seq, Session: sess.ID,
+			Payload: core.EncodeFrame(f),
+		}, nil
+	case wire.MsgControl:
+		return &wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}, nil
+	default:
+		return nil, fmt.Errorf("server: unsupported message %v", env.Type)
+	}
+}
+
+func applySensor(sess *core.Session, payload []byte) error {
+	if len(payload) < 1 {
+		return errors.New("server: empty sensor payload")
+	}
+	r := wire.NewReader(payload[1:])
+	ns, err := r.Uvarint()
+	if err != nil {
+		return r.Err(err, "timestamp")
+	}
+	ts := time.Unix(0, int64(ns))
+	switch payload[0] {
+	case SensorGPS:
+		lat, err1 := r.Float64()
+		lon, err2 := r.Float64()
+		acc, err3 := r.Float64()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errors.New("server: truncated gps payload")
+		}
+		return sess.OnGPS(sensor.GPSFix{Time: ts, Position: corePoint(lat, lon), AccuracyM: acc})
+	case SensorIMU:
+		gyro, err1 := r.Float64()
+		accel, err2 := r.Float64()
+		compass, err3 := r.Float64()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errors.New("server: truncated imu payload")
+		}
+		sess.OnIMU(sensor.IMUSample{Time: ts, GyroZRad: gyro, AccelMps2: accel, CompassDeg: compass})
+		return nil
+	case SensorGaze:
+		target, err1 := r.Uvarint()
+		dwell, err2 := r.Float64()
+		if err1 != nil || err2 != nil {
+			return errors.New("server: truncated gaze payload")
+		}
+		return sess.OnGaze(sensor.GazeSample{Time: ts, TargetID: target, DwellMS: dwell})
+	default:
+		return fmt.Errorf("server: unknown sensor kind %d", payload[0])
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"io"
+	"log"
+	"sync"
+	"testing"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+)
+
+var center = geo.Point{Lat: 22.3364, Lon: 114.2655}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	p, err := core.NewPlatform(core.Config{
+		Seed: 1,
+		City: geo.CityConfig{Center: center, RadiusM: 1500, NumPOIs: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(p, log.New(io.Discard, "", 0))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Logf("close: %v", err)
+		}
+	})
+	return srv, addr
+}
+
+func TestPingPong(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorThenFrame(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	now := time.Now()
+	if err := c.SendGPS(sensor.GPSFix{Time: now, Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendIMU(sensor.IMUSample{Time: now.Add(time.Millisecond), CompassDeg: 90}); err != nil {
+		t.Fatal(err)
+	}
+	f, rtt, err := c.RequestFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Annotations) == 0 {
+		t.Fatal("no annotations over the wire")
+	}
+	if rtt <= 0 || rtt > 5*time.Second {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	if err := c.SendGaze(sensor.GazeSample{Time: now, TargetID: f.Annotations[0].ID, DwellMS: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			now := time.Now()
+			if err := c.SendGPS(sensor.GPSFix{Time: now, Position: center, AccuracyM: 3}); err != nil {
+				errs <- err
+				return
+			}
+			for f := 0; f < 5; f++ {
+				if _, _, err := c.RequestFrame(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSurvivesGarbageClient(t *testing.T) {
+	_, addr := startServer(t)
+	// A raw connection writing junk must not take the server down.
+	raw, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = raw.conn.Write([]byte("totally not a frame"))
+	_ = raw.Close()
+
+	// A well-behaved client still works afterwards.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIsIdempotentAndUnblocksClients(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded after server close")
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random stream. It wraps math/rand with helpers the
+// simulators need (gaussian noise, exponential inter-arrival, zipfian keys)
+// and supports deriving independent child streams so each component gets its
+// own sequence without global coupling.
+type Rand struct {
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewRand returns a stream seeded with seed. Equal seeds yield equal
+// sequences.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this stream was created with.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Child derives an independent stream identified by name. The same
+// (seed, name) pair always yields the same child sequence.
+func (r *Rand) Child(name string) *Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return NewRand(r.seed ^ h)
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *Rand) Int63() int64 { return r.rng.Int63() }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return r.rng.Intn(n) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 { return r.rng.Float64() }
+
+// Uniform returns a pseudo-random float64 in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.rng.Float64()
+}
+
+// Norm returns a gaussian sample with the given mean and standard deviation.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	return mean + stddev*r.rng.NormFloat64()
+}
+
+// Exp returns an exponential sample with the given rate (events per unit
+// time). Useful for Poisson inter-arrival times. It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp rate must be positive")
+	}
+	return r.rng.ExpFloat64() / rate
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.rng.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.rng.Shuffle(n, swap) }
+
+// Zipf draws integers in [0, n) with a zipfian distribution of exponent s
+// (s > 1 for heavier skew toward small values). The zero-allocation
+// construction of rand.Zipf is hidden behind a small cache keyed by (n, s).
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf returns a zipfian sampler over [0, n) with skew s (must be > 1).
+func (r *Rand) NewZipf(s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf n must be positive")
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	return &Zipf{z: rand.NewZipf(r.rng, s, 1, uint64(n-1)), n: n}
+}
+
+// Next returns the next zipfian sample in [0, n).
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// N returns the domain size of the sampler.
+func (z *Zipf) N() int { return z.n }
+
+// Pick returns a uniformly chosen element of the non-empty slice values.
+func Pick[T any](r *Rand, values []T) T {
+	return values[r.Intn(len(values))]
+}
+
+// Jitter returns v multiplied by a uniform factor in [1-f, 1+f]. It is used
+// to perturb model parameters so simulated components are not lockstep.
+func (r *Rand) Jitter(v, f float64) float64 {
+	if f <= 0 {
+		return v
+	}
+	return v * r.Uniform(1-f, 1+f)
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

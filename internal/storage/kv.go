@@ -1,0 +1,319 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned when a key has no live value.
+var ErrNotFound = errors.New("storage: key not found")
+
+// kvEntry is a key/value pair; a nil Value is a tombstone.
+type kvEntry struct {
+	key   []byte
+	value []byte // nil = deleted
+}
+
+// run is an immutable, key-sorted set of entries (an in-memory SSTable).
+type run struct {
+	entries []kvEntry
+}
+
+// get binary-searches the run. found=false means the run has no opinion.
+func (r *run) get(key []byte) (value []byte, tombstone, found bool) {
+	i := sort.Search(len(r.entries), func(i int) bool {
+		return bytes.Compare(r.entries[i].key, key) >= 0
+	})
+	if i >= len(r.entries) || !bytes.Equal(r.entries[i].key, key) {
+		return nil, false, false
+	}
+	e := r.entries[i]
+	if e.value == nil {
+		return nil, true, true
+	}
+	return e.value, false, true
+}
+
+// KV is a log-structured key-value store: writes land in a mutable memtable;
+// when the memtable exceeds the flush threshold it becomes an immutable
+// sorted run; runs are merged (newest wins) by compaction. An optional WAL
+// makes mutations durable. KV is safe for concurrent use.
+type KV struct {
+	mu        sync.RWMutex
+	mem       map[string][]byte // value nil = tombstone
+	memBytes  int
+	runs      []*run // newest first
+	wal       *WAL
+	flushSize int
+	maxRuns   int
+}
+
+// KVOption configures a KV store.
+type KVOption func(*KV)
+
+// WithFlushSize sets the memtable flush threshold in bytes (default 1 MiB).
+func WithFlushSize(n int) KVOption {
+	return func(kv *KV) {
+		if n > 0 {
+			kv.flushSize = n
+		}
+	}
+}
+
+// WithMaxRuns sets the number of immutable runs that triggers compaction
+// (default 4).
+func WithMaxRuns(n int) KVOption {
+	return func(kv *KV) {
+		if n > 0 {
+			kv.maxRuns = n
+		}
+	}
+}
+
+// WithWAL attaches a write-ahead log; every mutation is appended before it is
+// applied.
+func WithWAL(w *WAL) KVOption {
+	return func(kv *KV) { kv.wal = w }
+}
+
+// NewKV returns an empty store.
+func NewKV(opts ...KVOption) *KV {
+	kv := &KV{
+		mem:       make(map[string][]byte),
+		flushSize: 1 << 20,
+		maxRuns:   4,
+	}
+	for _, opt := range opts {
+		opt(kv)
+	}
+	return kv
+}
+
+// RecoverKV rebuilds a store from the WAL at path, then attaches a fresh
+// append handle to the same file so subsequent mutations are logged.
+func RecoverKV(path string, opts ...KVOption) (*KV, error) {
+	kv := NewKV(opts...)
+	err := ReplayWAL(path, func(rec WALRecord) error {
+		switch rec.Op {
+		case OpPut:
+			kv.applyPut(rec.Key, rec.Value)
+		case OpDelete:
+			kv.applyDelete(rec.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	kv.wal = w
+	return kv, nil
+}
+
+// Put stores value under key. The value is copied.
+func (kv *KV) Put(key, value []byte) error {
+	if kv.wal != nil {
+		if err := kv.wal.Append(WALRecord{Op: OpPut, Key: key, Value: value}); err != nil {
+			return err
+		}
+	}
+	kv.applyPut(key, value)
+	return nil
+}
+
+func (kv *KV) applyPut(key, value []byte) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	v := append([]byte(nil), value...)
+	if v == nil {
+		v = []byte{} // distinguish empty value from tombstone
+	}
+	kv.mem[string(key)] = v
+	kv.memBytes += len(key) + len(v)
+	kv.maybeFlushLocked()
+}
+
+// Delete removes key (writing a tombstone).
+func (kv *KV) Delete(key []byte) error {
+	if kv.wal != nil {
+		if err := kv.wal.Append(WALRecord{Op: OpDelete, Key: key}); err != nil {
+			return err
+		}
+	}
+	kv.applyDelete(key)
+	return nil
+}
+
+func (kv *KV) applyDelete(key []byte) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.mem[string(key)] = nil
+	kv.memBytes += len(key)
+	kv.maybeFlushLocked()
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (kv *KV) Get(key []byte) ([]byte, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if v, ok := kv.mem[string(key)]; ok {
+		if v == nil {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for _, r := range kv.runs {
+		if v, tomb, found := r.get(key); found {
+			if tomb {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key has a live value.
+func (kv *KV) Has(key []byte) bool {
+	_, err := kv.Get(key)
+	return err == nil
+}
+
+// maybeFlushLocked converts the memtable to a run when it is big enough, and
+// compacts when there are too many runs. Caller holds kv.mu.
+func (kv *KV) maybeFlushLocked() {
+	if kv.memBytes < kv.flushSize {
+		return
+	}
+	kv.flushLocked()
+	if len(kv.runs) > kv.maxRuns {
+		kv.compactLocked()
+	}
+}
+
+func (kv *KV) flushLocked() {
+	if len(kv.mem) == 0 {
+		return
+	}
+	entries := make([]kvEntry, 0, len(kv.mem))
+	for k, v := range kv.mem {
+		entries = append(entries, kvEntry{key: []byte(k), value: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].key, entries[j].key) < 0
+	})
+	kv.runs = append([]*run{{entries: entries}}, kv.runs...)
+	kv.mem = make(map[string][]byte)
+	kv.memBytes = 0
+}
+
+// compactLocked merges all runs into one, dropping superseded entries and
+// tombstones. Caller holds kv.mu.
+func (kv *KV) compactLocked() {
+	if len(kv.runs) <= 1 {
+		return
+	}
+	// Newest-first iteration: first sighting of a key wins.
+	seen := make(map[string]struct{})
+	var merged []kvEntry
+	for _, r := range kv.runs {
+		for _, e := range r.entries {
+			if _, dup := seen[string(e.key)]; dup {
+				continue
+			}
+			seen[string(e.key)] = struct{}{}
+			if e.value != nil { // drop tombstones at full compaction
+				merged = append(merged, e)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		return bytes.Compare(merged[i].key, merged[j].key) < 0
+	})
+	kv.runs = []*run{{entries: merged}}
+}
+
+// Flush forces the memtable into a run and compacts. Mainly for tests and
+// shutdown.
+func (kv *KV) Flush() {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.flushLocked()
+	kv.compactLocked()
+}
+
+// Len returns the number of live keys (scans; intended for tests/metrics).
+func (kv *KV) Len() int {
+	n := 0
+	kv.Range(nil, nil, func(k, v []byte) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Runs returns the current number of immutable runs (for tests/metrics).
+func (kv *KV) Runs() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.runs)
+}
+
+// Range calls fn for every live key in [from, to) in ascending key order.
+// A nil from means from the smallest key; nil to means to the largest.
+// fn returning false stops the scan.
+func (kv *KV) Range(from, to []byte, fn func(key, value []byte) bool) {
+	kv.mu.RLock()
+	// Collect a merged view: memtable overrides runs, newer runs override
+	// older ones.
+	resolved := make(map[string][]byte)
+	for i := len(kv.runs) - 1; i >= 0; i-- {
+		for _, e := range kv.runs[i].entries {
+			if inRange(e.key, from, to) {
+				resolved[string(e.key)] = e.value
+			}
+		}
+	}
+	for k, v := range kv.mem {
+		if inRange([]byte(k), from, to) {
+			resolved[k] = v
+		}
+	}
+	kv.mu.RUnlock()
+
+	keys := make([]string, 0, len(resolved))
+	for k, v := range resolved {
+		if v != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), append([]byte(nil), resolved[k]...)) {
+			return
+		}
+	}
+}
+
+func inRange(key, from, to []byte) bool {
+	if from != nil && bytes.Compare(key, from) < 0 {
+		return false
+	}
+	if to != nil && bytes.Compare(key, to) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Close flushes and closes the attached WAL, if any.
+func (kv *KV) Close() error {
+	if kv.wal != nil {
+		return kv.wal.Close()
+	}
+	return nil
+}

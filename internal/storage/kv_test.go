@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVPutGet(t *testing.T) {
+	kv := NewKV()
+	if err := kv.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := kv.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestKVGetMissing(t *testing.T) {
+	kv := NewKV()
+	if _, err := kv.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestKVOverwrite(t *testing.T) {
+	kv := NewKV()
+	_ = kv.Put([]byte("k"), []byte("old"))
+	_ = kv.Put([]byte("k"), []byte("new"))
+	v, _ := kv.Get([]byte("k"))
+	if string(v) != "new" {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestKVDelete(t *testing.T) {
+	kv := NewKV()
+	_ = kv.Put([]byte("k"), []byte("v"))
+	_ = kv.Delete([]byte("k"))
+	if _, err := kv.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key still readable: %v", err)
+	}
+	if kv.Has([]byte("k")) {
+		t.Fatal("Has true after delete")
+	}
+}
+
+func TestKVEmptyValueIsNotTombstone(t *testing.T) {
+	kv := NewKV()
+	_ = kv.Put([]byte("k"), []byte{})
+	v, err := kv.Get([]byte("k"))
+	if err != nil {
+		t.Fatalf("empty value read as missing: %v", err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestKVFlushAndReadFromRuns(t *testing.T) {
+	kv := NewKV(WithFlushSize(64))
+	for i := 0; i < 100; i++ {
+		_ = kv.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if kv.Runs() == 0 {
+		t.Fatal("flush never happened")
+	}
+	for i := 0; i < 100; i++ {
+		v, err := kv.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%03d = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestKVNewestRunWins(t *testing.T) {
+	kv := NewKV(WithFlushSize(32), WithMaxRuns(100)) // avoid compaction
+	_ = kv.Put([]byte("k"), []byte("v1"))
+	_ = kv.Put([]byte("pad1"), bytes.Repeat([]byte("x"), 64)) // force flush
+	_ = kv.Put([]byte("k"), []byte("v2"))
+	_ = kv.Put([]byte("pad2"), bytes.Repeat([]byte("x"), 64)) // force flush
+	if kv.Runs() < 2 {
+		t.Fatalf("runs = %d, want >= 2", kv.Runs())
+	}
+	v, err := kv.Get([]byte("k"))
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v (older run shadowed newer)", v, err)
+	}
+}
+
+func TestKVDeleteAcrossFlush(t *testing.T) {
+	kv := NewKV(WithFlushSize(16), WithMaxRuns(100))
+	_ = kv.Put([]byte("k"), []byte("v"))
+	_ = kv.Put([]byte("pad"), bytes.Repeat([]byte("x"), 32))
+	_ = kv.Delete([]byte("k"))
+	_ = kv.Put([]byte("pad2"), bytes.Repeat([]byte("x"), 32))
+	if _, err := kv.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstone in newer run did not shadow older value")
+	}
+}
+
+func TestKVCompaction(t *testing.T) {
+	kv := NewKV(WithFlushSize(64), WithMaxRuns(2))
+	for i := 0; i < 500; i++ {
+		_ = kv.Put([]byte(fmt.Sprintf("key-%03d", i%50)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	kv.Flush()
+	if kv.Runs() > 1 {
+		t.Fatalf("after Flush runs = %d, want 1", kv.Runs())
+	}
+	if got := kv.Len(); got != 50 {
+		t.Fatalf("Len = %d, want 50 live keys", got)
+	}
+	// Last write wins after compaction.
+	v, _ := kv.Get([]byte("key-049"))
+	if string(v) != "v499" {
+		t.Fatalf("key-049 = %q, want v499", v)
+	}
+}
+
+func TestKVCompactionDropsTombstones(t *testing.T) {
+	kv := NewKV()
+	_ = kv.Put([]byte("a"), []byte("1"))
+	_ = kv.Delete([]byte("a"))
+	kv.Flush()
+	if got := kv.Len(); got != 0 {
+		t.Fatalf("Len = %d after delete+compact", got)
+	}
+}
+
+func TestKVRange(t *testing.T) {
+	kv := NewKV(WithFlushSize(32))
+	for _, k := range []string{"apple", "banana", "cherry", "date", "elder"} {
+		_ = kv.Put([]byte(k), []byte("v-"+k))
+	}
+	_ = kv.Delete([]byte("cherry"))
+	var got []string
+	kv.Range([]byte("b"), []byte("e"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "banana" || got[1] != "date" {
+		t.Fatalf("Range = %v, want [banana date]", got)
+	}
+}
+
+func TestKVRangeFullAndEarlyStop(t *testing.T) {
+	kv := NewKV()
+	for i := 0; i < 10; i++ {
+		_ = kv.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	count := 0
+	kv.Range(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+}
+
+func TestKVValueIsolation(t *testing.T) {
+	kv := NewKV()
+	val := []byte("orig")
+	_ = kv.Put([]byte("k"), val)
+	val[0] = 'X'
+	got, _ := kv.Get([]byte("k"))
+	if string(got) != "orig" {
+		t.Fatal("Put aliased caller buffer")
+	}
+	got[0] = 'Y'
+	got2, _ := kv.Get([]byte("k"))
+	if string(got2) != "orig" {
+		t.Fatal("Get returned aliasing buffer")
+	}
+}
+
+func TestKVPropertyModelEquivalence(t *testing.T) {
+	// The store must behave exactly like a map under any sequence of
+	// put/delete, even with tiny flush thresholds forcing many runs.
+	type op struct {
+		Del bool
+		Key uint8
+		Val uint16
+	}
+	if err := quick.Check(func(ops []op) bool {
+		kv := NewKV(WithFlushSize(48), WithMaxRuns(3))
+		model := make(map[string]string)
+		for _, o := range ops {
+			k := []byte{byte('a' + o.Key%16)}
+			if o.Del {
+				_ = kv.Delete(k)
+				delete(model, string(k))
+			} else {
+				v := []byte(fmt.Sprintf("v%d", o.Val))
+				_ = kv.Put(k, v)
+				model[string(k)] = string(v)
+			}
+		}
+		for k, want := range model {
+			got, err := kv.Get([]byte(k))
+			if err != nil || string(got) != want {
+				return false
+			}
+		}
+		return kv.Len() == len(model)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVConcurrentAccess(t *testing.T) {
+	kv := NewKV(WithFlushSize(256))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", w, i))
+				_ = kv.Put(k, []byte("v"))
+				if _, err := kv.Get(k); err != nil {
+					t.Errorf("read own write failed: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := kv.Len(); got != 800 {
+		t.Fatalf("Len = %d, want 800", got)
+	}
+}
+
+func TestKVWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kv.wal")
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := NewKV(WithWAL(w))
+	_ = kv.Put([]byte("persist"), []byte("yes"))
+	_ = kv.Put([]byte("gone"), []byte("tmp"))
+	_ = kv.Delete([]byte("gone"))
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := RecoverKV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	v, err := kv2.Get([]byte("persist"))
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("recovered Get = %q, %v", v, err)
+	}
+	if _, err := kv2.Get([]byte("gone")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected by recovery")
+	}
+	// New writes after recovery append to the same log.
+	_ = kv2.Put([]byte("second"), []byte("gen"))
+	_ = kv2.Close()
+	kv3, err := RecoverKV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv3.Close()
+	if v, err := kv3.Get([]byte("second")); err != nil || string(v) != "gen" {
+		t.Fatalf("second-generation Get = %q, %v", v, err)
+	}
+}

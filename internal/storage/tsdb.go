@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Time-series errors.
+var (
+	ErrNoSeries     = errors.New("storage: series does not exist")
+	ErrBadTimeRange = errors.New("storage: query start must not be after end")
+)
+
+// Point is one sample in a series.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// series holds samples in append order; queries sort-merge as needed.
+// Samples usually arrive in time order, so we track whether a sort is
+// pending instead of sorting per append.
+type series struct {
+	mu       sync.Mutex
+	points   []Point
+	unsorted bool
+	maxAge   time.Duration
+}
+
+func (s *series) append(p Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.points); n > 0 && p.Time.Before(s.points[n-1].Time) {
+		s.unsorted = true
+	}
+	s.points = append(s.points, p)
+}
+
+// prune drops points older than maxAge relative to now.
+func (s *series) prune(now time.Time) {
+	if s.maxAge <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
+	horizon := now.Add(-s.maxAge)
+	i := sort.Search(len(s.points), func(i int) bool {
+		return !s.points[i].Time.Before(horizon)
+	})
+	if i > 0 {
+		s.points = append([]Point(nil), s.points[i:]...)
+	}
+}
+
+func (s *series) sortLocked() {
+	if !s.unsorted {
+		return
+	}
+	sort.SliceStable(s.points, func(i, j int) bool {
+		return s.points[i].Time.Before(s.points[j].Time)
+	})
+	s.unsorted = false
+}
+
+// query returns points in [start, end] in time order.
+func (s *series) query(start, end time.Time) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
+	lo := sort.Search(len(s.points), func(i int) bool {
+		return !s.points[i].Time.Before(start)
+	})
+	hi := sort.Search(len(s.points), func(i int) bool {
+		return s.points[i].Time.After(end)
+	})
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+func (s *series) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// TSDB is a simple in-memory time-series store keyed by series name. It
+// supports range queries, latest-value lookup, aggregation, and bucketed
+// downsampling — the operations AR overlays need against sensor histories
+// (vitals, traffic counts, building telemetry).
+type TSDB struct {
+	mu     sync.RWMutex
+	series map[string]*series
+	maxAge time.Duration
+}
+
+// TSDBOption configures a TSDB.
+type TSDBOption func(*TSDB)
+
+// WithRetention discards points older than d on Prune (default: keep all).
+func WithRetention(d time.Duration) TSDBOption {
+	return func(db *TSDB) { db.maxAge = d }
+}
+
+// NewTSDB returns an empty store.
+func NewTSDB(opts ...TSDBOption) *TSDB {
+	db := &TSDB{series: make(map[string]*series)}
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
+}
+
+// Append adds a sample to the named series, creating the series on first
+// write.
+func (db *TSDB) Append(name string, p Point) {
+	db.mu.Lock()
+	s, ok := db.series[name]
+	if !ok {
+		s = &series{maxAge: db.maxAge}
+		db.series[name] = s
+	}
+	db.mu.Unlock()
+	s.append(p)
+}
+
+func (db *TSDB) get(name string) (*series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[name]
+	if !ok {
+		return nil, ErrNoSeries
+	}
+	return s, nil
+}
+
+// Query returns all points of the series in [start, end] in time order.
+func (db *TSDB) Query(name string, start, end time.Time) ([]Point, error) {
+	if start.After(end) {
+		return nil, ErrBadTimeRange
+	}
+	s, err := db.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.query(start, end), nil
+}
+
+// Latest returns the most recent point of the series.
+func (db *TSDB) Latest(name string) (Point, error) {
+	s, err := db.get(name)
+	if err != nil {
+		return Point{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked()
+	if len(s.points) == 0 {
+		return Point{}, ErrNoSeries
+	}
+	return s.points[len(s.points)-1], nil
+}
+
+// SeriesNames returns the sorted names of all series.
+func (db *TSDB) SeriesNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumPoints returns the total number of stored points in the named series
+// (0 for unknown series).
+func (db *TSDB) NumPoints(name string) int {
+	s, err := db.get(name)
+	if err != nil {
+		return 0
+	}
+	return s.len()
+}
+
+// Prune applies retention to every series relative to now.
+func (db *TSDB) Prune(now time.Time) {
+	db.mu.RLock()
+	all := make([]*series, 0, len(db.series))
+	for _, s := range db.series {
+		all = append(all, s)
+	}
+	db.mu.RUnlock()
+	for _, s := range all {
+		s.prune(now)
+	}
+}
+
+// AggKind selects an aggregation function. Enums start at 1.
+type AggKind int
+
+// Aggregations supported by Aggregate and Downsample.
+const (
+	AggMean AggKind = iota + 1
+	AggMin
+	AggMax
+	AggSum
+	AggCount
+)
+
+// Aggregate reduces the series over [start, end] with the given function.
+// It returns 0 and no error for an empty range with AggCount/AggSum, and
+// ErrNoSeries if the series does not exist.
+func (db *TSDB) Aggregate(name string, start, end time.Time, kind AggKind) (float64, error) {
+	pts, err := db.Query(name, start, end)
+	if err != nil {
+		return 0, err
+	}
+	return aggregate(pts, kind), nil
+}
+
+func aggregate(pts []Point, kind AggKind) float64 {
+	if len(pts) == 0 {
+		if kind == AggCount || kind == AggSum {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch kind {
+	case AggCount:
+		return float64(len(pts))
+	case AggSum, AggMean:
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		if kind == AggSum {
+			return sum
+		}
+		return sum / float64(len(pts))
+	case AggMin:
+		m := pts[0].Value
+		for _, p := range pts[1:] {
+			if p.Value < m {
+				m = p.Value
+			}
+		}
+		return m
+	case AggMax:
+		m := pts[0].Value
+		for _, p := range pts[1:] {
+			if p.Value > m {
+				m = p.Value
+			}
+		}
+		return m
+	default:
+		return math.NaN()
+	}
+}
+
+// Bucket is one downsampled interval.
+type Bucket struct {
+	Start time.Time
+	Value float64
+	Count int
+}
+
+// Downsample reduces the series over [start, end] into fixed-width buckets.
+// Empty buckets are omitted.
+func (db *TSDB) Downsample(name string, start, end time.Time, width time.Duration, kind AggKind) ([]Bucket, error) {
+	if width <= 0 {
+		return nil, errors.New("storage: bucket width must be positive")
+	}
+	pts, err := db.Query(name, start, end)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bucket
+	var cur []Point
+	var curStart time.Time
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		out = append(out, Bucket{Start: curStart, Value: aggregate(cur, kind), Count: len(cur)})
+		cur = cur[:0]
+	}
+	for _, p := range pts {
+		bs := start.Add(p.Time.Sub(start).Truncate(width))
+		if len(cur) > 0 && !bs.Equal(curStart) {
+			flush()
+		}
+		curStart = bs
+		cur = append(cur, p)
+	}
+	flush()
+	return out, nil
+}

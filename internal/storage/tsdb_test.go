@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2017, 6, 5, 12, 0, 0, 0, time.UTC)
+
+func fill(db *TSDB, name string, n int, step time.Duration, f func(i int) float64) {
+	for i := 0; i < n; i++ {
+		db.Append(name, Point{Time: t0.Add(time.Duration(i) * step), Value: f(i)})
+	}
+}
+
+func TestTSDBQueryRange(t *testing.T) {
+	db := NewTSDB()
+	fill(db, "hr", 10, time.Second, func(i int) float64 { return float64(60 + i) })
+	pts, err := db.Query("hr", t0.Add(2*time.Second), t0.Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // inclusive bounds: 2,3,4,5
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	if pts[0].Value != 62 || pts[3].Value != 65 {
+		t.Fatalf("edge values %v, %v", pts[0].Value, pts[3].Value)
+	}
+}
+
+func TestTSDBQueryUnknownSeries(t *testing.T) {
+	db := NewTSDB()
+	if _, err := db.Query("nope", t0, t0.Add(time.Hour)); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestTSDBQueryBadRange(t *testing.T) {
+	db := NewTSDB()
+	db.Append("s", Point{Time: t0, Value: 1})
+	if _, err := db.Query("s", t0.Add(time.Hour), t0); !errors.Is(err, ErrBadTimeRange) {
+		t.Fatalf("err = %v, want ErrBadTimeRange", err)
+	}
+}
+
+func TestTSDBOutOfOrderAppends(t *testing.T) {
+	db := NewTSDB()
+	db.Append("s", Point{Time: t0.Add(3 * time.Second), Value: 3})
+	db.Append("s", Point{Time: t0.Add(1 * time.Second), Value: 1})
+	db.Append("s", Point{Time: t0.Add(2 * time.Second), Value: 2})
+	pts, err := db.Query("s", t0, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].Value != 1 || pts[1].Value != 2 || pts[2].Value != 3 {
+		t.Fatalf("points not time-ordered: %v", pts)
+	}
+}
+
+func TestTSDBLatest(t *testing.T) {
+	db := NewTSDB()
+	if _, err := db.Latest("s"); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v", err)
+	}
+	fill(db, "s", 5, time.Second, func(i int) float64 { return float64(i) })
+	p, err := db.Latest("s")
+	if err != nil || p.Value != 4 {
+		t.Fatalf("Latest = %v, %v", p, err)
+	}
+}
+
+func TestTSDBAggregates(t *testing.T) {
+	db := NewTSDB()
+	fill(db, "s", 4, time.Second, func(i int) float64 { return float64(i + 1) }) // 1,2,3,4
+	end := t0.Add(time.Minute)
+	cases := []struct {
+		kind AggKind
+		want float64
+	}{
+		{AggMean, 2.5},
+		{AggMin, 1},
+		{AggMax, 4},
+		{AggSum, 10},
+		{AggCount, 4},
+	}
+	for _, c := range cases {
+		got, err := db.Aggregate("s", t0, end, c.kind)
+		if err != nil || got != c.want {
+			t.Errorf("Aggregate(%v) = %v, %v; want %v", c.kind, got, err, c.want)
+		}
+	}
+}
+
+func TestTSDBAggregateEmptyRange(t *testing.T) {
+	db := NewTSDB()
+	db.Append("s", Point{Time: t0, Value: 1})
+	after := t0.Add(time.Hour)
+	if got, err := db.Aggregate("s", after, after.Add(time.Second), AggCount); err != nil || got != 0 {
+		t.Fatalf("empty count = %v, %v", got, err)
+	}
+	got, err := db.Aggregate("s", after, after.Add(time.Second), AggMean)
+	if err != nil || !math.IsNaN(got) {
+		t.Fatalf("empty mean = %v, %v; want NaN", got, err)
+	}
+}
+
+func TestTSDBDownsample(t *testing.T) {
+	db := NewTSDB()
+	// 60 points at 1s spacing; 10s buckets of means.
+	fill(db, "s", 60, time.Second, func(i int) float64 { return float64(i) })
+	buckets, err := db.Downsample("s", t0, t0.Add(time.Minute), 10*time.Second, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 6 {
+		t.Fatalf("got %d buckets, want 6", len(buckets))
+	}
+	if buckets[0].Value != 4.5 { // mean of 0..9
+		t.Fatalf("bucket 0 mean = %v, want 4.5", buckets[0].Value)
+	}
+	if buckets[0].Count != 10 {
+		t.Fatalf("bucket 0 count = %d", buckets[0].Count)
+	}
+	if !buckets[1].Start.Equal(t0.Add(10 * time.Second)) {
+		t.Fatalf("bucket 1 start = %v", buckets[1].Start)
+	}
+}
+
+func TestTSDBDownsampleSkipsEmptyBuckets(t *testing.T) {
+	db := NewTSDB()
+	db.Append("s", Point{Time: t0, Value: 1})
+	db.Append("s", Point{Time: t0.Add(35 * time.Second), Value: 2})
+	buckets, err := db.Downsample("s", t0, t0.Add(time.Minute), 10*time.Second, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2 (gaps omitted)", len(buckets))
+	}
+}
+
+func TestTSDBDownsampleBadWidth(t *testing.T) {
+	db := NewTSDB()
+	db.Append("s", Point{Time: t0, Value: 1})
+	if _, err := db.Downsample("s", t0, t0.Add(time.Minute), 0, AggMean); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestTSDBRetentionPrune(t *testing.T) {
+	db := NewTSDB(WithRetention(30 * time.Second))
+	fill(db, "s", 60, time.Second, func(i int) float64 { return float64(i) })
+	now := t0.Add(60 * time.Second)
+	db.Prune(now)
+	if got := db.NumPoints("s"); got != 30 {
+		t.Fatalf("after prune NumPoints = %d, want 30", got)
+	}
+	pts, _ := db.Query("s", t0, now)
+	if pts[0].Time.Before(now.Add(-30 * time.Second)) {
+		t.Fatalf("prune left old point at %v", pts[0].Time)
+	}
+}
+
+func TestTSDBSeriesNames(t *testing.T) {
+	db := NewTSDB()
+	db.Append("zeta", Point{Time: t0, Value: 1})
+	db.Append("alpha", Point{Time: t0, Value: 1})
+	names := db.SeriesNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	if db.NumPoints("missing") != 0 {
+		t.Fatal("NumPoints of missing series not 0")
+	}
+}

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := walPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []WALRecord{
+		{Op: OpPut, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpPut, Key: []byte("b"), Value: []byte("2")},
+		{Op: OpDelete, Key: []byte("a")},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []WALRecord
+	if err := ReplayWAL(path, func(r WALRecord) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d, want 3", len(got))
+	}
+	for i := range recs {
+		if got[i].Op != recs[i].Op || string(got[i].Key) != string(recs[i].Key) ||
+			string(got[i].Value) != string(recs[i].Value) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWALReplayMissingFileIsEmpty(t *testing.T) {
+	if err := ReplayWAL(filepath.Join(t.TempDir(), "absent.wal"), func(WALRecord) error {
+		t.Fatal("callback on missing file")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path)
+	_ = w.Append(WALRecord{Op: OpPut, Key: []byte("ok"), Value: []byte("v")})
+	_ = w.Append(WALRecord{Op: OpPut, Key: []byte("torn"), Value: []byte("half-written")})
+	_ = w.Close()
+
+	// Truncate mid-way through the second record to simulate a crash.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	if err := ReplayWAL(path, func(r WALRecord) error {
+		keys = append(keys, string(r.Key))
+		return nil
+	}); err != nil {
+		t.Fatalf("torn tail returned error: %v", err)
+	}
+	if len(keys) != 1 || keys[0] != "ok" {
+		t.Fatalf("replayed %v, want [ok]", keys)
+	}
+}
+
+func TestWALMidFileCorruptionDetected(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path)
+	_ = w.Append(WALRecord{Op: OpPut, Key: []byte("first"), Value: []byte("v1")})
+	_ = w.Append(WALRecord{Op: OpPut, Key: []byte("second"), Value: []byte("v2")})
+	_ = w.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF // corrupt first record body
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ReplayWAL(path, func(WALRecord) error { return nil })
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestWALAppendAfterClose(t *testing.T) {
+	w, _ := OpenWAL(walPath(t))
+	_ = w.Close()
+	if err := w.Append(WALRecord{Op: OpPut, Key: []byte("k")}); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("err = %v, want ErrWALClosed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("Sync err = %v, want ErrWALClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWALReplayCallbackError(t *testing.T) {
+	path := walPath(t)
+	w, _ := OpenWAL(path)
+	_ = w.Append(WALRecord{Op: OpPut, Key: []byte("k"), Value: []byte("v")})
+	_ = w.Close()
+	sentinel := errors.New("stop")
+	if err := ReplayWAL(path, func(WALRecord) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

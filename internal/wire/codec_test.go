@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var b Buffer
+	b.Uvarint(300)
+	b.Varint(-42)
+	b.Uint32(0xDEADBEEF)
+	b.Uint64(1 << 60)
+	b.Float64(3.14159)
+	b.Bool(true)
+	b.Bool(false)
+	b.String("héllo")
+	b.Bytes8([]byte{1, 2, 3})
+
+	r := NewReader(b.Bytes())
+	if v, err := r.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	if v, err := r.Varint(); err != nil || v != -42 {
+		t.Fatalf("Varint = %d, %v", v, err)
+	}
+	if v, err := r.Uint32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x, %v", v, err)
+	}
+	if v, err := r.Uint64(); err != nil || v != 1<<60 {
+		t.Fatalf("Uint64 = %d, %v", v, err)
+	}
+	if v, err := r.Float64(); err != nil || v != 3.14159 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if v, err := r.Bool(); err != nil || !v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := r.Bool(); err != nil || v {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := r.String(); err != nil || v != "héllo" {
+		t.Fatalf("String = %q, %v", v, err)
+	}
+	if v, err := r.Bytes8(); err != nil || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes8 = %v, %v", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestVarintPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(u uint64, i int64, f float64, s string) bool {
+		var b Buffer
+		b.Uvarint(u)
+		b.Varint(i)
+		b.Float64(f)
+		b.String(s)
+		r := NewReader(b.Bytes())
+		gu, err1 := r.Uvarint()
+		gi, err2 := r.Varint()
+		gf, err3 := r.Float64()
+		gs, err4 := r.String()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		fOK := gf == f || (math.IsNaN(f) && math.IsNaN(gf))
+		return gu == u && gi == i && fOK && gs == s
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0x80}) // incomplete varint
+	if _, err := r.Uvarint(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	r = NewReader([]byte{1, 2})
+	if _, err := r.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uint32 on short buf err = %v", err)
+	}
+	r = NewReader(nil)
+	if _, err := r.Bool(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Bool on empty err = %v", err)
+	}
+}
+
+func TestBytes8LengthBeyondBuffer(t *testing.T) {
+	var b Buffer
+	b.Uvarint(100) // claims 100 bytes follow, but none do
+	r := NewReader(b.Bytes())
+	if _, err := r.Bytes8(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(16)
+	b.String("abc")
+	if b.Len() == 0 {
+		t.Fatal("Len = 0 after write")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", b.Len())
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := &Envelope{Type: MsgQuery, Seq: 77, Session: 1234, Payload: []byte("find poi")}
+	p := EncodeEnvelope(nil, env)
+	got, err := DecodeEnvelope(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != env.Type || got.Seq != env.Seq || got.Session != env.Session ||
+		!bytes.Equal(got.Payload, env.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, env)
+	}
+}
+
+func TestEnvelopeInvalidType(t *testing.T) {
+	if _, err := DecodeEnvelope([]byte{0, 1, 2, 0}); err == nil {
+		t.Fatal("decoding type 0 succeeded")
+	}
+	if _, err := DecodeEnvelope([]byte{200, 1, 2, 0}); err == nil {
+		t.Fatal("decoding type 200 succeeded")
+	}
+	if _, err := DecodeEnvelope(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("empty decode err = %v", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for m := MsgSensorEvent; m <= MsgError; m++ {
+		if !m.Valid() {
+			t.Errorf("type %d should be valid", m)
+		}
+		if s := m.String(); s == "" || strings.HasPrefix(s, "msgtype") {
+			t.Errorf("type %d has no name", m)
+		}
+	}
+	if MsgType(0).Valid() {
+		t.Error("zero type is valid")
+	}
+	if MsgType(99).String() != "msgtype(99)" {
+		t.Error("unknown type String format")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	for _, p := range payloads {
+		if err := fw.WriteFrame(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range payloads {
+		got, err := fr.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("after last frame err = %v, want EOF", err)
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.WriteFrame([]byte("important data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte
+	fr := NewFrameReader(bytes.NewReader(raw))
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.WriteFrame(make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// A corrupt header claiming a huge length must not allocate.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+	fr := NewFrameReader(bytes.NewReader(hdr))
+	if _, err := fr.ReadFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriteReadEnvelopeOverFrames(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for i := uint64(1); i <= 5; i++ {
+		env := &Envelope{Type: MsgAck, Seq: i, Session: 9, Payload: []byte{byte(i)}}
+		if err := fw.WriteEnvelope(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i := uint64(1); i <= 5; i++ {
+		env, err := fr.ReadEnvelope()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Seq != i || env.Payload[0] != byte(i) {
+			t.Fatalf("envelope %d mismatch: %+v", i, env)
+		}
+	}
+}
+
+func TestEnvelopePayloadCopiedOnRead(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	_ = fw.WriteEnvelope(&Envelope{Type: MsgAck, Seq: 1, Payload: []byte("first")})
+	_ = fw.WriteEnvelope(&Envelope{Type: MsgAck, Seq: 2, Payload: []byte("secnd")})
+	_ = fw.Flush()
+	fr := NewFrameReader(&buf)
+	e1, err := fr.ReadEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.ReadEnvelope(); err != nil {
+		t.Fatal(err)
+	}
+	if string(e1.Payload) != "first" {
+		t.Fatalf("payload of first envelope clobbered: %q", e1.Payload)
+	}
+}

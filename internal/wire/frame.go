@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame's payload so a corrupt length prefix
+// cannot trigger an unbounded allocation.
+const MaxFrameSize = 16 << 20 // 16 MiB
+
+// MsgType identifies the kind of payload inside an envelope. Values are part
+// of the wire protocol; do not reorder.
+type MsgType uint8
+
+// Message types understood by the platform. Enums start at 1 so the zero
+// value is detectably invalid.
+const (
+	MsgSensorEvent MsgType = iota + 1
+	MsgFrameRequest
+	MsgAnnotations
+	MsgQuery
+	MsgQueryResult
+	MsgControl
+	MsgAck
+	MsgError
+)
+
+// String returns the message type's symbolic name.
+func (m MsgType) String() string {
+	switch m {
+	case MsgSensorEvent:
+		return "sensor_event"
+	case MsgFrameRequest:
+		return "frame_request"
+	case MsgAnnotations:
+		return "annotations"
+	case MsgQuery:
+		return "query"
+	case MsgQueryResult:
+		return "query_result"
+	case MsgControl:
+		return "control"
+	case MsgAck:
+		return "ack"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a known message type.
+func (m MsgType) Valid() bool { return m >= MsgSensorEvent && m <= MsgError }
+
+// Envelope is a typed message with routing metadata.
+type Envelope struct {
+	Type    MsgType
+	Seq     uint64 // sender-assigned sequence number
+	Session uint64 // session / device identifier
+	Payload []byte
+}
+
+// EncodeEnvelope appends the envelope's binary form to buf and returns the
+// extended slice.
+func EncodeEnvelope(buf []byte, env *Envelope) []byte {
+	buf = append(buf, byte(env.Type))
+	buf = binary.AppendUvarint(buf, env.Seq)
+	buf = binary.AppendUvarint(buf, env.Session)
+	buf = binary.AppendUvarint(buf, uint64(len(env.Payload)))
+	buf = append(buf, env.Payload...)
+	return buf
+}
+
+// DecodeEnvelope parses an envelope from p. The returned envelope's Payload
+// aliases p.
+func DecodeEnvelope(p []byte) (*Envelope, error) {
+	if len(p) < 1 {
+		return nil, ErrShortBuffer
+	}
+	env := &Envelope{Type: MsgType(p[0])}
+	if !env.Type.Valid() {
+		return nil, fmt.Errorf("wire: invalid message type %d", p[0])
+	}
+	r := NewReader(p[1:])
+	var err error
+	if env.Seq, err = r.Uvarint(); err != nil {
+		return nil, r.Err(err, "seq")
+	}
+	if env.Session, err = r.Uvarint(); err != nil {
+		return nil, r.Err(err, "session")
+	}
+	if env.Payload, err = r.Bytes8(); err != nil {
+		return nil, r.Err(err, "payload")
+	}
+	return env, nil
+}
+
+// FrameWriter writes checksummed, length-prefixed frames to an io.Writer.
+// Frame layout: 4-byte length N (little endian) | 4-byte CRC32C of payload |
+// N payload bytes. Not safe for concurrent use.
+type FrameWriter struct {
+	w   *bufio.Writer
+	hdr [8]byte
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame writes one frame containing payload.
+func (fw *FrameWriter) WriteFrame(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered frames to the underlying writer.
+func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
+
+// FrameReader reads frames written by FrameWriter. Not safe for concurrent
+// use.
+type FrameReader struct {
+	r   *bufio.Reader
+	hdr [8]byte
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// ReadFrame reads the next frame payload. The returned slice is reused by
+// subsequent calls; callers that retain it must copy. io.EOF is returned
+// cleanly at end of stream.
+func (fr *FrameReader) ReadFrame() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	sum := binary.LittleEndian.Uint32(fr.hdr[4:8])
+	if n > MaxFrameSize {
+		return nil, ErrTooLarge
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	if crc32.Checksum(fr.buf, castagnoli) != sum {
+		return nil, ErrChecksum
+	}
+	return fr.buf, nil
+}
+
+// WriteEnvelope frames and writes env in one call.
+func (fw *FrameWriter) WriteEnvelope(env *Envelope) error {
+	payload := EncodeEnvelope(nil, env)
+	return fw.WriteFrame(payload)
+}
+
+// ReadEnvelope reads one frame and decodes it as an envelope. The envelope's
+// payload is copied so callers may retain it.
+func (fr *FrameReader) ReadEnvelope() (*Envelope, error) {
+	p, err := fr.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	env, err := DecodeEnvelope(p)
+	if err != nil {
+		return nil, err
+	}
+	env.Payload = append([]byte(nil), env.Payload...)
+	return env, nil
+}
