@@ -1,7 +1,9 @@
 // Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
-// one testing.B benchmark per derived experiment E1-E13, so
+// one testing.B benchmark per derived experiment E1-E14, so
 // `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
 // The rendered tables themselves come from `go run ./cmd/arbd-bench`.
+// TestExperimentsSmoke additionally runs every experiment at tiny scale in
+// plain `go test`, so experiment regressions surface without -bench.
 package arbd
 
 import (
@@ -41,6 +43,28 @@ func BenchmarkE10Privacy(b *testing.B)           { runExperiment(b, "E10") }
 func BenchmarkE11Interpret(b *testing.B)         { runExperiment(b, "E11") }
 func BenchmarkE12Sketches(b *testing.B)          { runExperiment(b, "E12") }
 func BenchmarkE13Influence(b *testing.B)         { runExperiment(b, "E13") }
+
+// BenchmarkE14MultiSessionThroughput sweeps concurrent session counts
+// (1/8/64/512) through the bounded frame scheduler.
+func BenchmarkE14MultiSessionThroughput(b *testing.B) { runExperiment(b, "E14") }
+
+// TestExperimentsSmoke runs every registered experiment once at smoke scale:
+// a broken experiment fails plain `go test` instead of hiding until the next
+// -bench run.
+func TestExperimentsSmoke(t *testing.T) {
+	exps := bench.All()
+	if len(exps) < 14 {
+		t.Fatalf("only %d experiments registered, want >= 14", len(exps))
+	}
+	for _, e := range exps {
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.SmokeRun()
+			if tbl == nil || tbl.NumRows() == 0 {
+				t.Fatalf("%s smoke run produced an empty table", e.ID)
+			}
+		})
+	}
+}
 
 // BenchmarkFrameLoop measures the end-to-end per-frame cost of the core
 // pipeline — the number the §4.1 timeliness budget is spent against.

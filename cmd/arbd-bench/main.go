@@ -1,4 +1,4 @@
-// Command arbd-bench runs the derived experiment suite E1-E13 (DESIGN.md §3)
+// Command arbd-bench runs the derived experiment suite E1-E14 (DESIGN.md §3)
 // and prints each experiment's result table — the source of the numbers in
 // EXPERIMENTS.md.
 //
@@ -6,6 +6,8 @@
 //
 //	arbd-bench             # run everything
 //	arbd-bench -exp E5     # one experiment
+//	arbd-bench -exp E14    # the multi-session throughput sweep
+//	arbd-bench -smoke      # tiny-parameter pass over every experiment
 //	arbd-bench -list       # list experiments
 package main
 
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"arbd/internal/bench"
+	"arbd/internal/metrics"
 )
 
 func main() {
@@ -27,8 +30,9 @@ func main() {
 
 func run() error {
 	var (
-		exp  = flag.String("exp", "", "run a single experiment (E1..E13)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E14)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		smoke = flag.Bool("smoke", false, "run tiny-parameter smoke variants")
 	)
 	flag.Parse()
 
@@ -48,7 +52,12 @@ func run() error {
 	}
 	for _, e := range exps {
 		start := time.Now()
-		table := e.Run()
+		var table *metrics.Table
+		if *smoke {
+			table = e.SmokeRun()
+		} else {
+			table = e.Run()
+		}
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

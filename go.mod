@@ -1,0 +1,3 @@
+module arbd
+
+go 1.22

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per derived
-// experiment E1-E13 (see DESIGN.md §3 — the paper is a vision paper with no
+// experiment E1-E14 (see DESIGN.md §3 — the paper is a vision paper with no
 // measured evaluation, so each experiment quantifies one of its qualitative
 // claims). Each function returns a rendered table; cmd/arbd-bench prints
 // them and the root bench_test.go wraps them in testing.B benchmarks.
@@ -18,24 +18,39 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func() *metrics.Table
+	// Smoke is a tiny-parameter variant of Run used by plain `go test`
+	// (TestExperimentsSmoke) to catch regressions without benchmark-scale
+	// runtimes. Experiments cheap enough to run at full size leave it nil,
+	// and Smoke falls back to Run.
+	Smoke func() *metrics.Table
+}
+
+// SmokeRun executes the experiment at smoke scale (or full scale when no
+// smoke variant exists).
+func (e Experiment) SmokeRun() *metrics.Table {
+	if e.Smoke != nil {
+		return e.Smoke()
+	}
+	return e.Run()
 }
 
 // All returns every experiment in ID order.
 func All() []Experiment {
 	exps := []Experiment{
-		{"E1", "ingest throughput (mq)", E1LogIngest},
-		{"E2", "stream window throughput", E2StreamWindows},
-		{"E3", "incremental vs batch views", E3IncrementalVsBatch},
-		{"E4", "offloading latency/energy", E4Offload},
-		{"E5", "geo index query latency", E5GeoIndex},
-		{"E6", "annotation layout quality", E6Layout},
-		{"E7", "recommendation lift", E7Recommend},
-		{"E8", "health alert latency", E8HealthAlerts},
-		{"E9", "collision warning recall", E9Traffic},
-		{"E10", "privacy/utility trade-off", E10Privacy},
-		{"E11", "ARML interpretation cost", E11Interpret},
-		{"E12", "sketch accuracy vs memory", E12Sketches},
-		{"E13", "Figure 5 influence matrix", E13Influence},
+		{ID: "E1", Title: "ingest throughput (mq)", Run: E1LogIngest, Smoke: e1LogIngestSmoke},
+		{ID: "E2", Title: "stream window throughput", Run: E2StreamWindows, Smoke: e2StreamWindowsSmoke},
+		{ID: "E3", Title: "incremental vs batch views", Run: E3IncrementalVsBatch, Smoke: e3IncrementalVsBatchSmoke},
+		{ID: "E4", Title: "offloading latency/energy", Run: E4Offload},
+		{ID: "E5", Title: "geo index query latency", Run: E5GeoIndex, Smoke: e5GeoIndexSmoke},
+		{ID: "E6", Title: "annotation layout quality", Run: E6Layout},
+		{ID: "E7", Title: "recommendation lift", Run: E7Recommend, Smoke: e7RecommendSmoke},
+		{ID: "E8", Title: "health alert latency", Run: E8HealthAlerts, Smoke: e8HealthAlertsSmoke},
+		{ID: "E9", Title: "collision warning recall", Run: E9Traffic, Smoke: e9TrafficSmoke},
+		{ID: "E10", Title: "privacy/utility trade-off", Run: E10Privacy},
+		{ID: "E11", Title: "ARML interpretation cost", Run: E11Interpret},
+		{ID: "E12", Title: "sketch accuracy vs memory", Run: E12Sketches, Smoke: e12SketchesSmoke},
+		{ID: "E13", Title: "Figure 5 influence matrix", Run: E13Influence},
+		{ID: "E14", Title: "multi-session throughput", Run: E14MultiSession, Smoke: e14MultiSessionSmoke},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps
@@ -65,4 +80,16 @@ func ms(d time.Duration) string {
 // us renders a duration as fractional microseconds.
 func us(d time.Duration) string {
 	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+}
+
+// countLabel renders an event count as 1M / 500k / 999 for table titles.
+func countLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }

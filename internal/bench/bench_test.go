@@ -8,17 +8,32 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 13 {
-		t.Fatalf("registered %d experiments, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("registered %d experiments, want 14", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E13.
-	if exps[0].ID != "E1" || exps[12].ID != "E13" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[12].ID)
+	// Sorted E1..E14.
+	if exps[0].ID != "E1" || exps[13].ID != "E14" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[13].ID)
+	}
+}
+
+func TestE14SweepShape(t *testing.T) {
+	// The smoke sweep must report one row per session count with positive
+	// throughput; the full sweep's counts are asserted statically.
+	tbl := e14MultiSession([]int{1, 4}, 16, 200)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"sessions", "frames/s", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -146,11 +146,20 @@ func E11Interpret() *metrics.Table {
 // memory at stream scales (§1 volume — you cannot keep exact state for
 // everything).
 func E12Sketches() *metrics.Table {
-	t := metrics.NewTable("E12: sketches vs exact at 1M zipf events, 100k key space",
+	return e12Sketches(1_000_000, 100_000)
+}
+
+func e12SketchesSmoke() *metrics.Table {
+	return e12Sketches(50_000, 10_000)
+}
+
+func e12Sketches(n, keySpace int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E12: sketches vs exact at %s zipf events, %s key space",
+			countLabel(n), countLabel(keySpace)),
 		"structure", "memory KB", "metric", "value")
 	rng := sim.NewRand(12)
-	z := rng.NewZipf(1.3, 100_000)
-	const n = 1_000_000
+	z := rng.NewZipf(1.3, keySpace)
 	exactCounts := make(map[string]uint64)
 	exactDistinct := make(map[string]bool)
 	cm := analytics.NewCountMin(0.0005, 0.01)

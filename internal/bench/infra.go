@@ -16,12 +16,20 @@ import (
 // E1LogIngest measures broker produce/consume throughput across producer and
 // partition counts (§1 "velocity": data streaming in at high speed).
 func E1LogIngest() *metrics.Table {
-	t := metrics.NewTable("E1: commit-log ingest (100k records, 100B values)",
+	return e1LogIngest(100_000, []int{1, 4}, []int{1, 4, 8})
+}
+
+func e1LogIngestSmoke() *metrics.Table {
+	return e1LogIngest(5_000, []int{2}, []int{1, 4})
+}
+
+func e1LogIngest(total int, producerCounts, partitionCounts []int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E1: commit-log ingest (%dk records, 100B values)", total/1000),
 		"producers", "partitions", "produce k/s", "consume k/s")
-	const total = 100_000
 	value := make([]byte, 100)
-	for _, producers := range []int{1, 4} {
-		for _, partitions := range []int{1, 4, 8} {
+	for _, producers := range producerCounts {
+		for _, partitions := range partitionCounts {
 			b := mq.NewBroker()
 			if err := b.CreateTopic("t", mq.TopicConfig{Partitions: partitions}); err != nil {
 				panic(err)
@@ -75,10 +83,18 @@ func E1LogIngest() *metrics.Table {
 // E2StreamWindows measures windowed-aggregation throughput as worker
 // parallelism grows (§2: the analysis pipeline must keep up with streams).
 func E2StreamWindows() *metrics.Table {
-	t := metrics.NewTable("E2: stream engine, keyed 1s tumbling sum over 200k events",
+	return e2StreamWindows(200_000, []int{1, 2, 4, 8})
+}
+
+func e2StreamWindowsSmoke() *metrics.Table {
+	return e2StreamWindows(10_000, []int{1, 4})
+}
+
+func e2StreamWindows(total int, parallelisms []int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E2: stream engine, keyed 1s tumbling sum over %dk events", total/1000),
 		"parallelism", "events/s (k)", "results")
-	const total = 200_000
-	for _, par := range []int{1, 2, 4, 8} {
+	for _, par := range parallelisms {
 		p := stream.NewPipeline("bench", stream.WithChannelSize(1024))
 		results := 0
 		var resMu chan struct{} = make(chan struct{}, 1)
@@ -118,10 +134,18 @@ func E2StreamWindows() *metrics.Table {
 // maintained view against full recomputation at growing log sizes — §4.1's
 // timeliness argument made quantitative.
 func E3IncrementalVsBatch() *metrics.Table {
+	return e3IncrementalVsBatch([]int{1_000, 10_000, 100_000, 500_000})
+}
+
+func e3IncrementalVsBatchSmoke() *metrics.Table {
+	return e3IncrementalVsBatch([]int{1_000, 10_000})
+}
+
+func e3IncrementalVsBatch(logSizes []int) *metrics.Table {
 	t := metrics.NewTable("E3: per-update cost, incremental view vs batch recompute",
 		"log size", "incremental/update", "batch/update", "batch/incremental")
 	rng := sim.NewRand(3)
-	for _, n := range []int{1_000, 10_000, 100_000, 500_000} {
+	for _, n := range logSizes {
 		rows := make([]analytics.Row, n)
 		for i := range rows {
 			rows[i] = analytics.Row{Group: fmt.Sprintf("g%d", rng.Intn(200)), Value: rng.Float64()}

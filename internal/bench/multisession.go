@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/sim"
+)
+
+// E14MultiSession measures the concurrent multi-session frame engine: one
+// platform serving a sweep of session counts through the bounded frame
+// scheduler, reporting aggregate frames/sec and p99 frame latency — the
+// paper's "crowds of AR devices against one big-data backend" scenario
+// made quantitative.
+func E14MultiSession() *metrics.Table {
+	return e14MultiSession([]int{1, 8, 64, 512}, 4096, 4000)
+}
+
+// e14MultiSessionSmoke is the tiny-parameter variant for plain `go test`.
+func e14MultiSessionSmoke() *metrics.Table {
+	return e14MultiSession([]int{1, 8}, 64, 300)
+}
+
+func e14MultiSession(sessionCounts []int, totalFrames, numPOIs int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E14: multi-session throughput (%d frames total, %d POIs, %d workers)",
+			totalFrames, numPOIs, runtime.GOMAXPROCS(0)),
+		"sessions", "frames", "frames/s", "p50", "p99", "shed")
+	for _, n := range sessionCounts {
+		row := runMultiSession(n, totalFrames, numPOIs)
+		t.AddRow(n, row.frames, fmt.Sprintf("%.0f", row.rate), ms(row.p50), ms(row.p99), row.shed)
+	}
+	return t
+}
+
+type multiSessionResult struct {
+	frames int
+	rate   float64
+	p50    time.Duration
+	p99    time.Duration
+	shed   int64
+}
+
+func runMultiSession(sessions, totalFrames, numPOIs int) multiSessionResult {
+	p, err := core.NewPlatform(core.Config{
+		Seed: 14,
+		City: geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rng := sim.NewRand(14)
+	now := time.Now()
+	sess := make([]*core.Session, sessions)
+	for i := range sess {
+		sess[i] = p.NewSession()
+		// Spread devices over the city so sessions stress different parts
+		// of the spatial index rather than one cache-hot cell.
+		pos := geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1500)
+		if err := sess[i].OnGPS(sensor.GPSFix{Time: now, Position: pos, AccuracyM: 5}); err != nil {
+			panic(err)
+		}
+	}
+
+	fs := server.NewFrameScheduler(server.SchedulerConfig{
+		// A generous deadline: under extreme oversubscription stale frame
+		// requests are shed (and counted) rather than rendered late.
+		Deadline: time.Second,
+	}, nil)
+	defer fs.Close()
+
+	framesEach := totalFrames / sessions
+	if framesEach < 1 {
+		framesEach = 1
+	}
+	total := framesEach * sessions
+	var wg sync.WaitGroup
+	wg.Add(total)
+	start := time.Now()
+	// Round-robin across sessions so the queue interleaves all devices,
+	// matching how independent connections arrive.
+	for f := 0; f < framesEach; f++ {
+		for i := range sess {
+			if err := fs.Submit(sess[i], func(_ *core.Frame, err error) {
+				defer wg.Done()
+				if err != nil && err != server.ErrFrameShed {
+					panic(err)
+				}
+			}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Report completed renders only: shed frames did no work and must not
+	// inflate throughput.
+	done := fs.Metrics().Counter("server.frames.done").Value()
+	snap := fs.Metrics().Histogram("server.frame.latency").Snapshot()
+	return multiSessionResult{
+		frames: int(done),
+		rate:   float64(done) / wall.Seconds(),
+		p50:    snap.P50,
+		p99:    snap.P99,
+		shed:   fs.Metrics().Counter("server.frames.shed").Value(),
+	}
+}

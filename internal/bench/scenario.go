@@ -21,9 +21,17 @@ var benchCenter = geo.Point{Lat: 22.3364, Lon: 114.2655}
 // share result post-processing across indexes; 10-NN queries isolate the
 // search structure, which is where trees win by orders of magnitude.
 func E5GeoIndex() *metrics.Table {
+	return e5GeoIndex([]int{1_000, 10_000, 50_000, 200_000}, 40)
+}
+
+func e5GeoIndexSmoke() *metrics.Table {
+	return e5GeoIndex([]int{1_000, 5_000}, 8)
+}
+
+func e5GeoIndex(poiCounts []int, numQueries int) *metrics.Table {
 	t := metrics.NewTable("E5: POI queries, mean latency (150m range / 10-NN)",
 		"POIs", "range scan", "range rtree", "knn scan", "knn quadtree", "knn rtree", "knn speedup")
-	for _, n := range []int{1_000, 10_000, 50_000, 200_000} {
+	for _, n := range poiCounts {
 		city := geo.GenerateCity(geo.CityConfig{
 			Center: benchCenter, RadiusM: 5000, NumPOIs: n, TallRatio: 0.2, Seed: 5,
 		})
@@ -38,7 +46,7 @@ func E5GeoIndex() *metrics.Table {
 		}
 		queryCenters := func() []geo.Point {
 			rng := sim.NewRand(55)
-			out := make([]geo.Point, 40)
+			out := make([]geo.Point, numQueries)
 			for i := range out {
 				out[i] = geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*3000)
 			}
@@ -110,10 +118,18 @@ func E6Layout() *metrics.Table {
 // E7Recommend evaluates recommendation lift: popularity vs item-CF vs
 // context-aware, HR@10 and NDCG@10 on synthetic shoppers (§3.1).
 func E7Recommend() *metrics.Table {
+	return e7Recommend(400, 500, 30)
+}
+
+func e7RecommendSmoke() *metrics.Table {
+	return e7Recommend(60, 80, 12)
+}
+
+func e7Recommend(users, items, eventsPerUser int) *metrics.Table {
 	t := metrics.NewTable("E7: recommendation quality (leave-one-out, K=10)",
 		"model", "HR@10", "NDCG@10", "users")
 	w := recommend.GenerateShoppers(recommend.ShopperConfig{
-		Seed: 7, NumUsers: 400, NumItems: 500, EventsPerUser: 30, Center: benchCenter,
+		Seed: 7, NumUsers: users, NumItems: items, EventsPerUser: eventsPerUser, Center: benchCenter,
 	})
 	sp := recommend.LeaveOneOut(w.Log, 5)
 	pop := recommend.NewPopularity(sp.Train)
@@ -129,9 +145,18 @@ func E7Recommend() *metrics.Table {
 // E8HealthAlerts measures alert detection latency and precision/recall as
 // the monitored population grows (§3.3).
 func E8HealthAlerts() *metrics.Table {
-	t := metrics.NewTable("E8: vitals alerting, 10-minute episodes at 1Hz sampling",
+	return e8HealthAlerts([]int{10, 100, 500}, 600)
+}
+
+func e8HealthAlertsSmoke() *metrics.Table {
+	return e8HealthAlerts([]int{10}, 180)
+}
+
+func e8HealthAlerts(patientCounts []int, duration int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E8: vitals alerting, %d-minute episodes at 1Hz sampling", duration/60),
 		"patients", "episodes", "detected", "false alarms", "mean latency", "ingest k/s")
-	for _, patients := range []int{10, 100, 500} {
+	for _, patients := range patientCounts {
 		store := ehr.NewStore()
 		engine := ehr.NewAlertEngine(store, ehr.StandardRules())
 		rng := sim.NewRand(8)
@@ -145,13 +170,14 @@ func E8HealthAlerts() *metrics.Table {
 		episodes := 0
 		for i := range vitals {
 			if rng.Bool(0.33) {
-				at := sim.Epoch.Add(time.Duration(60+rng.Intn(240)) * time.Second)
+				// Episodes start in the first half of the run so even short
+				// (smoke) runs leave room to detect them.
+				at := sim.Epoch.Add(time.Duration(duration/10+rng.Intn(duration*2/5)) * time.Second)
 				vitals[i].StartEpisode(at, 2*time.Minute)
 				episodeAt[i] = at
 				episodes++
 			}
 		}
-		const duration = 600 // seconds
 		firstAlert := make(map[uint64]time.Time)
 		falseAlarms := 0
 		samples := 0
@@ -198,17 +224,26 @@ func E8HealthAlerts() *metrics.Table {
 // E9Traffic measures collision-warning recall and the "x-ray vision"
 // benefit of cloud-shared beacons across penetration rates (§3.4).
 func E9Traffic() *metrics.Table {
-	t := metrics.NewTable("E9: conflict detection recall over 60s urban sim",
+	return e9Traffic([]float64{0.3, 0.6, 1.0}, 60, 120)
+}
+
+func e9TrafficSmoke() *metrics.Table {
+	return e9Traffic([]float64{1.0}, 20, 30)
+}
+
+func e9Traffic(penetrations []float64, vehicles, steps int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E9: conflict detection recall over %.0fs urban sim", float64(steps)/2),
 		"penetration", "mode", "truth pairs", "detected", "recall", "mean TTC")
-	for _, pen := range []float64{0.3, 0.6, 1.0} {
+	for _, pen := range penetrations {
 		for _, shared := range []bool{false, true} {
 			s := traffic.NewSim(traffic.Config{
-				Seed: 9, GridN: 6, BlockM: 120, NumVehicles: 60, Penetration: pen,
+				Seed: 9, GridN: 6, BlockM: 120, NumVehicles: vehicles, Penetration: pen,
 			}, sim.Epoch)
 			var truth, det int
 			var ttcSum time.Duration
 			ttcN := 0
-			for step := 0; step < 120; step++ {
+			for step := 0; step < steps; step++ {
 				s.Step(500 * time.Millisecond)
 				st := s.MeasureDetection(250, shared, 8*time.Second, 12)
 				truth += st.TruthPairs

@@ -168,6 +168,9 @@ func TestPrivacyGatePerturbsLocations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := s.FlushTelemetry(); err != nil {
+		t.Fatal(err)
+	}
 	var values [][]byte
 	for pi := 0; pi < 4; pi++ {
 		rs, err := p.Broker().Fetch(TopicLocations, pi, 0, 100)
@@ -221,6 +224,9 @@ func TestPrivacyBudgetSuppressesTelemetry(t *testing.T) {
 		if err := s.OnGPS(sensor.GPSFix{Time: sim.Epoch, Position: center, AccuracyM: 3}); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := s.FlushTelemetry(); err != nil {
+		t.Fatal(err)
 	}
 	total := 0
 	for pi := 0; pi < 4; pi++ {
@@ -292,6 +298,9 @@ func TestGazeBecomesInteraction(t *testing.T) {
 	}
 	// Sustained dwell: telemetry.
 	if err := s.OnGaze(sensor.GazeSample{TargetID: 5, DwellMS: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushTelemetry(); err != nil {
 		t.Fatal(err)
 	}
 	total := 0

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arbd/internal/analytics"
@@ -21,6 +22,7 @@ import (
 	"arbd/internal/mq"
 	"arbd/internal/privacy"
 	"arbd/internal/recommend"
+	"arbd/internal/render"
 	"arbd/internal/sim"
 	"arbd/internal/stream"
 )
@@ -56,6 +58,20 @@ type Config struct {
 	LocationEpsilon float64
 	// PrivacyBudget is the total ε each session may spend (default 100).
 	PrivacyBudget float64
+	// TelemetryBatchSize is how many telemetry records a session buffers
+	// per topic before publishing them to the broker in one batch
+	// (default 32; 1 publishes every record immediately). Buffered records
+	// become broker-visible on the size or age trigger, or explicitly via
+	// Session.FlushTelemetry / Platform.FlushTelemetry / EndSession.
+	TelemetryBatchSize int
+	// TelemetryMaxDelay bounds how long a buffered telemetry record may
+	// wait before it is published (default 50 ms). After Start, a
+	// background sweeper enforces it; without Start, the bound is enforced
+	// on the session's next enqueue.
+	TelemetryMaxDelay time.Duration
+	// SessionShards is the session-registry shard count, rounded up to a
+	// power of two (default 32).
+	SessionShards int
 	// Clock defaults to the wall clock; tests inject a virtual one.
 	Clock sim.Clock
 }
@@ -72,6 +88,15 @@ func (c *Config) defaults() {
 	}
 	if c.PrivacyBudget <= 0 {
 		c.PrivacyBudget = 100
+	}
+	if c.TelemetryBatchSize <= 0 {
+		c.TelemetryBatchSize = 32
+	}
+	if c.TelemetryMaxDelay <= 0 {
+		c.TelemetryMaxDelay = 50 * time.Millisecond
+	}
+	if c.SessionShards <= 0 {
+		c.SessionShards = defaultRegistryShards
 	}
 	if c.POIIndex == 0 {
 		c.POIIndex = geo.IndexRTree
@@ -99,21 +124,34 @@ type Platform struct {
 	// crowd maintains per-POI interaction aggregates incrementally — the
 	// context analytics overlays draw on.
 	crowd *analytics.View
-	// hot tracks trending POIs with a space-saving sketch.
-	hot *analytics.SpaceSaving
+	// hot tracks trending POIs with a space-saving sketch; the sketch
+	// itself is single-writer, so hotMu covers the consumer's Adds against
+	// every session's TopK reads.
+	hot   *analytics.SpaceSaving
+	hotMu sync.RWMutex
 
-	interp *arml.Interpreter
-	rec    recommend.Recommender
-	recMu  sync.RWMutex
+	interp   *arml.Interpreter
+	interpMu sync.RWMutex
+	rec      recommend.Recommender
+	recMu    sync.RWMutex
 
 	pipe *stream.Pipeline
 
-	mu       sync.Mutex
-	started  bool
-	stopped  bool
-	nextSess uint64
-	cancel   context.CancelFunc
-	done     chan struct{}
+	// sessions is the sharded live-session registry; nextSess hands out
+	// IDs without touching any lock.
+	sessions *sessionRegistry
+	nextSess atomic.Uint64
+	// occluders is the shared static occluder set: the city never changes,
+	// so sessions reference one slice instead of rebuilding it each.
+	occluders []render.Occluder
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	cancel    context.CancelFunc
+	done      chan struct{}
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // NewPlatform builds a platform over a generated synthetic city.
@@ -130,16 +168,18 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		return nil, fmt.Errorf("core: loading city: %w", err)
 	}
 	p := &Platform{
-		cfg:    cfg,
-		rng:    sim.NewRand(cfg.Seed).Child("platform"),
-		reg:    metrics.NewRegistry(),
-		pois:   pois,
-		broker: mq.NewBroker(mq.WithClock(cfg.Clock)),
-		acct:   privacy.NewAccountant(cfg.PrivacyBudget),
-		crowd:  analytics.NewView(),
-		hot:    analytics.NewSpaceSaving(64),
-		interp: arml.RetailVocabulary(),
+		cfg:      cfg,
+		rng:      sim.NewRand(cfg.Seed).Child("platform"),
+		reg:      metrics.NewRegistry(),
+		pois:     pois,
+		broker:   mq.NewBroker(mq.WithClock(cfg.Clock)),
+		acct:     privacy.NewAccountant(cfg.PrivacyBudget),
+		crowd:    analytics.NewView(),
+		hot:      analytics.NewSpaceSaving(64),
+		interp:   arml.RetailVocabulary(),
+		sessions: newSessionRegistry(cfg.SessionShards),
 	}
+	p.occluders = render.OccludersFromPOIs(p.pois.All(), 30)
 	for _, topic := range []string{TopicLocations, TopicInteractions} {
 		if err := p.broker.CreateTopic(topic, mq.TopicConfig{Partitions: 4}); err != nil {
 			return nil, err
@@ -168,7 +208,18 @@ func (p *Platform) SetRecommender(r recommend.Recommender) {
 }
 
 // SetInterpreter replaces the semantic vocabulary (default: retail).
-func (p *Platform) SetInterpreter(in *arml.Interpreter) { p.interp = in }
+func (p *Platform) SetInterpreter(in *arml.Interpreter) {
+	p.interpMu.Lock()
+	defer p.interpMu.Unlock()
+	p.interp = in
+}
+
+// interpreter returns the current semantic vocabulary.
+func (p *Platform) interpreter() *arml.Interpreter {
+	p.interpMu.RLock()
+	defer p.interpMu.RUnlock()
+	return p.interp
+}
 
 // Start launches the analytics plane: a consumer group over the interaction
 // topic feeding a stream pipeline whose windowed output updates the crowd
@@ -207,7 +258,9 @@ func (p *Platform) Start() error {
 					p.reg.Counter("core.interactions.bad").Inc()
 					continue
 				}
+				p.hotMu.Lock()
 				p.hot.Add(evt.POIKey)
+				p.hotMu.Unlock()
 				if err := p.pipe.Push("interactions", stream.Event{
 					Key:   evt.POIKey,
 					Time:  r.Time,
@@ -219,6 +272,13 @@ func (p *Platform) Start() error {
 			p.reg.Counter("core.interactions.consumed").Add(int64(len(recs)))
 			return nil
 		})
+	}()
+
+	p.flushStop = make(chan struct{})
+	p.flushDone = make(chan struct{})
+	go func() {
+		defer close(p.flushDone)
+		p.flushLoop(p.flushStop)
 	}()
 	return nil
 }
@@ -236,6 +296,13 @@ func (p *Platform) Stop() error {
 	}
 	p.stopped = true
 	p.mu.Unlock()
+	close(p.flushStop)
+	<-p.flushDone
+	// Surface any still-buffered telemetry before the consumer goes away so
+	// shutdown does not silently drop the tail of every session's stream.
+	if err := p.FlushTelemetry(); err != nil {
+		p.reg.Counter("core.telemetry.flush_errors").Inc()
+	}
 	p.cancel()
 	<-p.done
 	return p.pipe.Drain()
@@ -244,6 +311,13 @@ func (p *Platform) Stop() error {
 // WaitAnalyticsIdle blocks until the consumer has caught up with the
 // interaction topic (used by tests and examples for determinism).
 func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
+	// Push buffered telemetry out first: "idle" means the consumer has
+	// seen everything sessions produced before this call, including what
+	// was batched. Records produced during the wait are concurrent
+	// traffic that "idle" cannot meaningfully include.
+	if err := p.FlushTelemetry(); err != nil {
+		return err
+	}
 	deadline := time.Now().Add(timeout)
 	for {
 		lag := int64(0)
@@ -267,5 +341,7 @@ func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
 
 // HotPOIs returns the trending POI keys.
 func (p *Platform) HotPOIs(k int) []analytics.HeavyHitter {
+	p.hotMu.RLock()
+	defer p.hotMu.RUnlock()
 	return p.hot.TopK(k)
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sessionRegistry tracks live sessions without funnelling every lookup
+// through one lock: sessions are spread over a power-of-two number of
+// shards, each with its own RWMutex, so concurrent NewSession / lookup /
+// removal traffic from many connections only contends within a shard.
+type sessionRegistry struct {
+	shards []registryShard
+	mask   uint64
+	count  atomic.Int64
+}
+
+type registryShard struct {
+	mu       sync.RWMutex
+	sessions map[uint64]*Session
+}
+
+// defaultRegistryShards is sized for tens of cores; shard choice is cheap
+// enough that over-sharding costs only a few empty maps.
+const defaultRegistryShards = 32
+
+func newSessionRegistry(shards int) *sessionRegistry {
+	if shards < 1 {
+		shards = 1
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &sessionRegistry{shards: make([]registryShard, n), mask: uint64(n - 1)}
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[uint64]*Session)
+	}
+	return r
+}
+
+// shardFor mixes the ID before masking: session IDs are sequential, and
+// without mixing, consecutive sessions would hit consecutive shards in
+// lockstep batches. SplitMix64's finalizer spreads them uniformly.
+func (r *sessionRegistry) shardFor(id uint64) *registryShard {
+	h := id
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return &r.shards[h&r.mask]
+}
+
+func (r *sessionRegistry) add(s *Session) {
+	sh := r.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.sessions[s.ID] = s
+	sh.mu.Unlock()
+	r.count.Add(1)
+}
+
+func (r *sessionRegistry) get(id uint64) (*Session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (r *sessionRegistry) remove(id uint64) (*Session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		r.count.Add(-1)
+	}
+	return s, ok
+}
+
+func (r *sessionRegistry) len() int { return int(r.count.Load()) }
+
+// forEach visits every live session. Each shard is snapshotted under its
+// read lock and the callback runs lock-free, so callbacks may call back
+// into the registry (or block on session work) without holding shards up.
+// Returning false stops the walk.
+func (r *sessionRegistry) forEach(fn func(*Session) bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		snapshot := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			snapshot = append(snapshot, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range snapshot {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// Session returns the live session with the given ID.
+func (p *Platform) Session(id uint64) (*Session, bool) { return p.sessions.get(id) }
+
+// NumSessions returns the number of live sessions.
+func (p *Platform) NumSessions() int { return p.sessions.len() }
+
+// ForEachSession visits every live session; return false to stop early.
+func (p *Platform) ForEachSession(fn func(*Session) bool) { p.sessions.forEach(fn) }
+
+// EndSession flushes a session's buffered telemetry and removes it from the
+// registry. Servers call it when the device disconnects; without it sessions
+// accumulate for the life of the platform.
+func (p *Platform) EndSession(id uint64) error {
+	s, ok := p.sessions.remove(id)
+	if !ok {
+		return nil
+	}
+	return s.FlushTelemetry()
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryShardCountRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {3, 4}, {32, 32}, {33, 64},
+	} {
+		r := newSessionRegistry(tc.in)
+		if len(r.shards) != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, len(r.shards), tc.want)
+		}
+		if r.mask != uint64(tc.want-1) {
+			t.Errorf("mask(%d) = %d", tc.in, r.mask)
+		}
+	}
+}
+
+func TestRegistryAddGetRemove(t *testing.T) {
+	r := newSessionRegistry(4)
+	for id := uint64(1); id <= 100; id++ {
+		r.add(&Session{ID: id})
+	}
+	if r.len() != 100 {
+		t.Fatalf("len = %d", r.len())
+	}
+	s, ok := r.get(42)
+	if !ok || s.ID != 42 {
+		t.Fatalf("get(42) = %v, %v", s, ok)
+	}
+	if _, ok := r.get(101); ok {
+		t.Fatal("get of unknown id succeeded")
+	}
+	if _, ok := r.remove(42); !ok {
+		t.Fatal("remove of live id failed")
+	}
+	if _, ok := r.remove(42); ok {
+		t.Fatal("second remove of same id succeeded")
+	}
+	if r.len() != 99 {
+		t.Fatalf("len after remove = %d", r.len())
+	}
+	seen := make(map[uint64]bool)
+	r.forEach(func(s *Session) bool {
+		seen[s.ID] = true
+		return true
+	})
+	if len(seen) != 99 || seen[42] {
+		t.Fatalf("forEach visited %d sessions (42 present: %v)", len(seen), seen[42])
+	}
+}
+
+func TestRegistryForEachEarlyStop(t *testing.T) {
+	r := newSessionRegistry(4)
+	for id := uint64(1); id <= 50; id++ {
+		r.add(&Session{ID: id})
+	}
+	visited := 0
+	r.forEach(func(*Session) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Fatalf("visited %d sessions after early stop", visited)
+	}
+}
+
+func TestRegistrySpreadsSequentialIDs(t *testing.T) {
+	r := newSessionRegistry(16)
+	for id := uint64(1); id <= 1600; id++ {
+		r.add(&Session{ID: id})
+	}
+	// With mixing, no shard should hold a wildly disproportionate share of
+	// sequential IDs. Allow generous slack over the ideal 100/shard.
+	for i := range r.shards {
+		n := len(r.shards[i].sessions)
+		if n < 25 || n > 250 {
+			t.Fatalf("shard %d holds %d of 1600 sessions — IDs not spread", i, n)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := newSessionRegistry(8)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perWorker)
+			for i := uint64(0); i < perWorker; i++ {
+				id := base + i + 1
+				r.add(&Session{ID: id})
+				if _, ok := r.get(id); !ok {
+					t.Errorf("session %d not found right after add", id)
+					return
+				}
+				r.forEach(func(*Session) bool { return false })
+				if i%2 == 0 {
+					r.remove(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.len(); got != workers*perWorker/2 {
+		t.Fatalf("len = %d, want %d", got, workers*perWorker/2)
+	}
+}

@@ -2,13 +2,16 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"arbd/internal/analytics"
 	"arbd/internal/arml"
 	"arbd/internal/geo"
 	"arbd/internal/privacy"
 	"arbd/internal/render"
 	"arbd/internal/sensor"
+	"arbd/internal/sim"
 	"arbd/internal/tracking"
 	"arbd/internal/wire"
 )
@@ -39,14 +42,21 @@ func (d DegradeLevel) String() string {
 	}
 }
 
-// Session is one device's connection to the platform.
+// Session is one device's connection to the platform. All methods are safe
+// for concurrent use: a single mutex serialises the session's own state
+// (tracking, gaze, degradation), which keeps per-session ordering while the
+// platform scales across sessions.
 type Session struct {
 	ID       uint64
 	platform *Platform
-	fuser    *tracking.Fuser
-	gaze     map[uint64]float64 // annotation dwell, ms
-	camera   render.Camera
-	occl     []render.Occluder
+	rng      *sim.Rand // per-session stream: the platform rng is not shared
+	telem    *telemetryBatcher
+
+	mu     sync.Mutex
+	fuser  *tracking.Fuser
+	gaze   map[uint64]float64 // annotation dwell, ms
+	camera render.Camera
+	occl   []render.Occluder // shared, read-only platform slice
 
 	level      DegradeLevel
 	lastLayout []render.Annotation
@@ -55,23 +65,25 @@ type Session struct {
 	principal  string
 }
 
-// NewSession opens a session for a device. The session owns the device's
-// tracking state and privacy principal.
+// NewSession opens a session for a device, registers it in the sharded
+// session registry, and returns it. The session owns the device's tracking
+// state and privacy principal.
 func (p *Platform) NewSession() *Session {
-	p.mu.Lock()
-	p.nextSess++
-	id := p.nextSess
-	p.mu.Unlock()
-	city := p.pois.All()
-	return &Session{
+	id := p.nextSess.Add(1)
+	principal := fmt.Sprintf("session-%d", id)
+	s := &Session{
 		ID:        id,
 		platform:  p,
+		rng:       p.rng.Child(principal),
+		telem:     newTelemetryBatcher(principal, p.cfg.TelemetryBatchSize, p.cfg.TelemetryMaxDelay),
 		fuser:     tracking.NewFuser(p.cfg.City.Center, p.pois),
 		gaze:      make(map[uint64]float64),
 		camera:    render.DefaultCamera,
-		occl:      render.OccludersFromPOIs(city, 30),
-		principal: fmt.Sprintf("session-%d", id),
+		occl:      p.occluders,
+		principal: principal,
 	}
+	p.sessions.add(s)
+	return s
 }
 
 // OnGPS feeds a position fix: it updates tracking and publishes a
@@ -79,6 +91,8 @@ func (p *Platform) NewSession() *Session {
 // privacy budget is exhausted, telemetry stops but tracking continues —
 // privacy never degrades the user's own experience.
 func (s *Session) OnGPS(fix sensor.GPSFix) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fuser.OnGPS(fix)
 	reported := fix.Position
 	p := s.platform
@@ -87,7 +101,7 @@ func (s *Session) OnGPS(fix sensor.GPSFix) error {
 			p.reg.Counter("core.privacy.suppressed").Inc()
 			return nil //nolint:nilerr // suppression is the intended behaviour
 		}
-		noisy, err := privacy.PlanarLaplace(p.rng, fix.Position, p.cfg.LocationEpsilon)
+		noisy, err := privacy.PlanarLaplace(s.rng, fix.Position, p.cfg.LocationEpsilon)
 		if err != nil {
 			return err
 		}
@@ -97,17 +111,21 @@ func (s *Session) OnGPS(fix sensor.GPSFix) error {
 	buf.Uvarint(s.ID)
 	buf.Float64(reported.Lat)
 	buf.Float64(reported.Lon)
-	_, _, err := p.broker.Produce(TopicLocations, []byte(s.principal), buf.Bytes())
-	return err
+	value := append([]byte(nil), buf.Bytes()...)
+	return s.telem.enqueue(p.broker, telemetryLocations, value)
 }
 
 // OnIMU feeds an inertial sample into tracking.
 func (s *Session) OnIMU(samp sensor.IMUSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fuser.OnIMU(samp)
 }
 
 // OnVision feeds camera landmark observations into tracking.
 func (s *Session) OnVision(now time.Time, obs []sensor.LandmarkObservation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fuser.OnVision(now, obs)
 }
 
@@ -117,7 +135,9 @@ func (s *Session) OnGaze(sample sensor.GazeSample) error {
 	if sample.TargetID == 0 {
 		return nil
 	}
+	s.mu.Lock()
 	s.gaze[sample.TargetID] += sample.DwellMS
+	s.mu.Unlock()
 	if sample.DwellMS < 1500 {
 		return nil // only sustained attention becomes telemetry
 	}
@@ -132,15 +152,22 @@ func (s *Session) RecordInteraction(poiID uint64, weight float64) error {
 		User:   s.ID,
 		Weight: weight,
 	})
-	_, _, err := s.platform.broker.Produce(TopicInteractions, []byte(s.principal), payload)
-	return err
+	return s.telem.enqueue(s.platform.broker, telemetryInteractions, payload)
 }
 
 // Pose returns the fused pose estimate.
-func (s *Session) Pose() sensor.Pose { return s.fuser.Pose() }
+func (s *Session) Pose() sensor.Pose {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fuser.Pose()
+}
 
 // Level returns the current degradation level.
-func (s *Session) Level() DegradeLevel { return s.level }
+func (s *Session) Level() DegradeLevel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.level
+}
 
 // Stats summarises session health.
 type Stats struct {
@@ -151,6 +178,8 @@ type Stats struct {
 
 // Stats returns session counters.
 func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Stats{Frames: s.frames, Overruns: s.overruns, Level: s.level}
 }
 
@@ -174,6 +203,8 @@ type Frame struct {
 // overlay. It implements the timeliness loop: measure, and if over budget,
 // degrade the next frame; if comfortably under budget, recover.
 func (s *Session) Frame(now time.Time) (*Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	start := s.platform.cfg.Clock.Now()
 	pose := s.fuser.Pose()
 
@@ -194,12 +225,16 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 	// degradation level).
 	tags := make(map[uint64][]arml.Tag)
 	if s.level < DegradeInterp {
+		interp := s.platform.interpreter()
+		// One sketch snapshot per frame, not per POI: TopK copies and
+		// sorts the sketch under the hot lock.
+		hottest := s.platform.HotPOIs(1)
 		for _, poi := range pois {
-			m := s.contextMetrics(poi)
+			m := s.contextMetrics(poi, hottest)
 			if len(m) == 0 {
 				continue
 			}
-			if fired := s.platform.interp.Interpret(m); len(fired) > 0 {
+			if fired := interp.Interpret(m); len(fired) > 0 {
 				tags[poi.ID] = fired
 			}
 		}
@@ -264,8 +299,8 @@ func (s *Session) adapt(elapsed time.Duration) {
 }
 
 // contextMetrics assembles the metric map for one POI from the live
-// analytics views.
-func (s *Session) contextMetrics(poi geo.POI) map[string]float64 {
+// analytics views. hottest is the frame's shared HotPOIs(1) snapshot.
+func (s *Session) contextMetrics(poi geo.POI, hottest []analytics.HeavyHitter) map[string]float64 {
 	stats, ok := s.platform.crowd.Get(poiKey(poi.ID))
 	if !ok {
 		return nil
@@ -274,8 +309,8 @@ func (s *Session) contextMetrics(poi geo.POI) map[string]float64 {
 		"visits": stats.Sum,
 	}
 	// Crowding is this POI's traffic relative to the hottest POI.
-	if top := s.platform.hot.TopK(1); len(top) > 0 && top[0].Count > 0 {
-		m["crowding"] = stats.Sum / float64(top[0].Count)
+	if len(hottest) > 0 && hottest[0].Count > 0 {
+		m["crowding"] = stats.Sum / float64(hottest[0].Count)
 	}
 	return m
 }
@@ -283,6 +318,8 @@ func (s *Session) contextMetrics(poi geo.POI) map[string]float64 {
 // GazeTargets returns the IDs of the current layout's annotations in
 // priority order, for feeding the gaze simulator.
 func (s *Session) GazeTargets() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]uint64, 0, len(s.lastLayout))
 	for _, a := range s.lastLayout {
 		out = append(out, a.ID)

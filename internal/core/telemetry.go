@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"arbd/internal/mq"
+)
+
+// Telemetry topic indexes inside a batcher.
+const (
+	telemetryLocations = iota
+	telemetryInteractions
+	numTelemetryTopics
+)
+
+var telemetryTopicNames = [numTelemetryTopics]string{
+	telemetryLocations:    TopicLocations,
+	telemetryInteractions: TopicInteractions,
+}
+
+// telemetryBatcher buffers one session's outgoing telemetry per topic and
+// publishes it with ProduceBatch, so a session streaming GPS at device rates
+// pays one broker round-trip per batch instead of one per fix. Buffers flush
+// when they reach the configured size; the platform's background flusher
+// sweeps out anything older than the max delay so quiet sessions still
+// surface promptly.
+type telemetryBatcher struct {
+	key       []byte // broker routing key: the session principal
+	batchSize int
+	maxDelay  time.Duration
+
+	mu      sync.Mutex
+	buffers [numTelemetryTopics]topicBuffer
+}
+
+type topicBuffer struct {
+	values   [][]byte
+	oldestAt time.Time // enqueue time of values[0]
+}
+
+func newTelemetryBatcher(principal string, batchSize int, maxDelay time.Duration) *telemetryBatcher {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &telemetryBatcher{key: []byte(principal), batchSize: batchSize, maxDelay: maxDelay}
+}
+
+// enqueue buffers one record for the topic, flushing the buffer to the
+// broker if it reached the batch size. Ages are stamped with the wall
+// clock, not the platform clock: the flush-delay bound is about real
+// elapsed time, and the sweeper's ticker is wall-clock anyway — a virtual
+// platform clock must not freeze age-based flushing.
+func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	buf := &tb.buffers[topic]
+	if len(buf.values) == 0 {
+		buf.oldestAt = now
+	}
+	buf.values = append(buf.values, value)
+	// Size or age, whichever trips first. The age check here makes the
+	// delay bound hold even on platforms that never called Start (no
+	// background sweeper): any later enqueue — on any topic — drains every
+	// overdue buffer, so a quiet topic cannot strand a record behind a
+	// busy one.
+	if len(buf.values) >= tb.batchSize {
+		if err := tb.flushLocked(broker, topic); err != nil {
+			return err
+		}
+	}
+	for t := range tb.buffers {
+		b := &tb.buffers[t]
+		if len(b.values) == 0 || now.Sub(b.oldestAt) < tb.maxDelay {
+			continue
+		}
+		if err := tb.flushLocked(broker, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOlderThan publishes any buffer whose oldest record was enqueued at or
+// before cutoff. The background flusher calls it on every sweep.
+func (tb *telemetryBatcher) flushOlderThan(broker *mq.Broker, cutoff time.Time) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for topic := range tb.buffers {
+		if len(tb.buffers[topic].values) == 0 || tb.buffers[topic].oldestAt.After(cutoff) {
+			continue
+		}
+		if err := tb.flushLocked(broker, topic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushAll publishes every non-empty buffer.
+func (tb *telemetryBatcher) flushAll(broker *mq.Broker) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for topic := range tb.buffers {
+		if len(tb.buffers[topic].values) == 0 {
+			continue
+		}
+		if err := tb.flushLocked(broker, topic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tb *telemetryBatcher) flushLocked(broker *mq.Broker, topic int) error {
+	buf := &tb.buffers[topic]
+	values := buf.values
+	buf.values = nil
+	_, err := broker.ProduceBatch(telemetryTopicNames[topic], tb.key, values)
+	if err != nil {
+		// Keep the records for the next flush attempt rather than
+		// silently dropping accepted telemetry.
+		buf.values = values
+	}
+	return err
+}
+
+// FlushTelemetry publishes any telemetry buffered on this session. Callers
+// that need records visible on the broker immediately (tests, shutdown)
+// use it; steady-state traffic flushes by size and age.
+func (s *Session) FlushTelemetry() error {
+	return s.telem.flushAll(s.platform.broker)
+}
+
+// FlushTelemetry publishes the buffered telemetry of every live session.
+func (p *Platform) FlushTelemetry() error {
+	var firstErr error
+	p.sessions.forEach(func(s *Session) bool {
+		if err := s.FlushTelemetry(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return true
+	})
+	return firstErr
+}
+
+// flushLoop is the platform's background sweeper: every half max-delay it
+// publishes buffers whose oldest record has waited at least the max delay.
+// It runs from Start until Stop.
+func (p *Platform) flushLoop(stop <-chan struct{}) {
+	interval := p.cfg.TelemetryMaxDelay / 2
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			cutoff := time.Now().Add(-p.cfg.TelemetryMaxDelay)
+			p.sessions.forEach(func(s *Session) bool {
+				if err := s.telem.flushOlderThan(p.broker, cutoff); err != nil {
+					p.reg.Counter("core.telemetry.flush_errors").Inc()
+				}
+				return true
+			})
+		}
+	}
+}

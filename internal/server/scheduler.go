@@ -1,0 +1,179 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/metrics"
+)
+
+// Scheduler errors.
+var (
+	// ErrSchedulerClosed is returned for frames submitted after Close.
+	ErrSchedulerClosed = errors.New("server: frame scheduler closed")
+	// ErrFrameShed is returned when a frame request waited in the queue
+	// past its deadline and was dropped instead of rendered late — the
+	// paper's timeliness rule applied to scheduling: a stale AR overlay is
+	// worse than none.
+	ErrFrameShed = errors.New("server: frame shed: queue delay exceeded deadline")
+)
+
+// SchedulerConfig parameterises a FrameScheduler.
+type SchedulerConfig struct {
+	// Workers is the worker-pool size (default GOMAXPROCS). Frame work is
+	// CPU-bound, so more workers than cores only adds contention.
+	Workers int
+	// QueueDepth bounds in-flight frame requests (default Workers*16).
+	// When the queue is full, Submit blocks — backpressure reaches the
+	// connection instead of growing an unbounded goroutine pile.
+	QueueDepth int
+	// Deadline is the maximum time a request may wait for a worker before
+	// being shed. Zero disables shedding for directly-constructed
+	// schedulers; server.NewWithOptions applies its own 250 ms default.
+	Deadline time.Duration
+}
+
+func (c *SchedulerConfig) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.Workers * 16
+	}
+}
+
+// FrameScheduler executes session frame jobs on a bounded worker pool with
+// per-frame deadlines. It decouples "how many devices are connected" from
+// "how many frames render at once": N connections share Workers renderers
+// instead of each connection burning a core whenever it pleases.
+type FrameScheduler struct {
+	cfg  SchedulerConfig
+	reg  *metrics.Registry
+	jobs chan frameJob
+
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+	// closeMu orders Submit's enqueue against Close: any job that made it
+	// into the channel is guaranteed an answer (worker or close drain).
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+type frameJob struct {
+	sess *core.Session
+	enq  time.Time
+	done func(*core.Frame, error)
+}
+
+type frameResult struct {
+	frame *core.Frame
+	err   error
+}
+
+// NewFrameScheduler starts the worker pool. reg may be nil.
+func NewFrameScheduler(cfg SchedulerConfig, reg *metrics.Registry) *FrameScheduler {
+	cfg.defaults()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	fs := &FrameScheduler{
+		cfg:  cfg,
+		reg:  reg,
+		jobs: make(chan frameJob, cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		fs.wg.Add(1)
+		go fs.worker()
+	}
+	return fs
+}
+
+// Metrics returns the registry the scheduler records into
+// (server.frame.latency, server.frame.queue_wait, server.frames.*).
+func (fs *FrameScheduler) Metrics() *metrics.Registry { return fs.reg }
+
+func (fs *FrameScheduler) worker() {
+	defer fs.wg.Done()
+	for {
+		select {
+		case <-fs.quit:
+			return
+		case job := <-fs.jobs:
+			fs.run(job)
+		}
+	}
+}
+
+func (fs *FrameScheduler) run(job frameJob) {
+	wait := time.Since(job.enq)
+	fs.reg.Histogram("server.frame.queue_wait").Observe(wait)
+	if fs.cfg.Deadline > 0 && wait > fs.cfg.Deadline {
+		fs.reg.Counter("server.frames.shed").Inc()
+		job.done(nil, ErrFrameShed)
+		return
+	}
+	start := time.Now()
+	f, err := job.sess.Frame(start)
+	fs.reg.Histogram("server.frame.latency").Observe(time.Since(start))
+	fs.reg.Counter("server.frames.done").Inc()
+	job.done(f, err)
+}
+
+// Submit enqueues a frame job; done is invoked exactly once, from a worker
+// goroutine (or the close drain) — no per-job goroutine is spawned. Submit
+// blocks while the queue is full and fails with ErrSchedulerClosed after
+// Close.
+func (fs *FrameScheduler) Submit(sess *core.Session, done func(*core.Frame, error)) error {
+	job := frameJob{sess: sess, enq: time.Now(), done: done}
+	fs.closeMu.RLock()
+	defer fs.closeMu.RUnlock()
+	if fs.closed {
+		return ErrSchedulerClosed
+	}
+	select {
+	case fs.jobs <- job:
+		return nil
+	case <-fs.quit:
+		return ErrSchedulerClosed
+	}
+}
+
+// Frame schedules one frame for the session and blocks for the result —
+// the synchronous path the per-connection loop uses. Every enqueued job is
+// answered (worker or close drain), so the wait cannot leak.
+func (fs *FrameScheduler) Frame(sess *core.Session) (*core.Frame, error) {
+	reply := make(chan frameResult, 1)
+	if err := fs.Submit(sess, func(f *core.Frame, err error) {
+		reply <- frameResult{frame: f, err: err}
+	}); err != nil {
+		return nil, err
+	}
+	res := <-reply
+	return res.frame, res.err
+}
+
+// Close stops the workers, then answers any still-queued jobs with
+// ErrSchedulerClosed. quit is closed before taking closeMu so submitters
+// blocked on a full queue wake up rather than deadlocking the close.
+func (fs *FrameScheduler) Close() {
+	fs.closeOnce.Do(func() {
+		close(fs.quit)
+		fs.closeMu.Lock()
+		fs.closed = true
+		fs.closeMu.Unlock()
+		fs.wg.Wait()
+		for {
+			select {
+			case job := <-fs.jobs:
+				job.done(nil, ErrSchedulerClosed)
+			default:
+				return
+			}
+		}
+	})
+}

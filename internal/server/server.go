@@ -24,11 +24,15 @@ const (
 	SensorGaze
 )
 
-// Server serves the platform over TCP.
+// Server serves the platform over TCP. Sensor envelopes are applied inline
+// on the connection goroutine (cheap state updates); frame requests are
+// executed by a shared FrameScheduler so render work is bounded by the
+// worker pool, not by the connection count.
 type Server struct {
 	platform *core.Platform
 	ln       net.Listener
 	logger   *log.Logger
+	sched    *FrameScheduler
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -37,18 +41,45 @@ type Server struct {
 	wg        sync.WaitGroup
 }
 
-// New returns a server for the platform (not yet listening).
+// Options tunes the server beyond its defaults.
+type Options struct {
+	// Scheduler configures the frame worker pool; zero values take the
+	// SchedulerConfig defaults, except Deadline where the server applies
+	// its own 250 ms default — pass a negative Deadline to disable
+	// shedding entirely (render late frames rather than drop them).
+	Scheduler SchedulerConfig
+}
+
+// New returns a server for the platform (not yet listening) with default
+// options.
 func New(p *core.Platform, logger *log.Logger) *Server {
+	return NewWithOptions(p, logger, Options{})
+}
+
+// NewWithOptions returns a server with explicit scheduler tuning.
+func NewWithOptions(p *core.Platform, logger *log.Logger, opts Options) *Server {
 	if logger == nil {
 		logger = log.Default()
+	}
+	switch {
+	case opts.Scheduler.Deadline < 0:
+		opts.Scheduler.Deadline = 0 // explicit: never shed
+	case opts.Scheduler.Deadline == 0:
+		// Generous by default: shedding should only trip under overload,
+		// not on a transient queue blip.
+		opts.Scheduler.Deadline = 250 * time.Millisecond
 	}
 	return &Server{
 		platform: p,
 		logger:   logger,
+		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
 }
+
+// Scheduler exposes the server's frame scheduler (for stats).
+func (s *Server) Scheduler() *FrameScheduler { return s.sched }
 
 // Listen binds addr and starts accepting connections. It returns the bound
 // address (useful with ":0").
@@ -109,6 +140,7 @@ func (s *Server) Close() error {
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.sched.Close()
 	})
 	return err
 }
@@ -122,6 +154,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	sess := s.platform.NewSession()
+	defer func() {
+		if err := s.platform.EndSession(sess.ID); err != nil {
+			s.logger.Printf("server: ending session %d: %v", sess.ID, err)
+		}
+	}()
 	fr := wire.NewFrameReader(conn)
 	fw := wire.NewFrameWriter(conn)
 	for {
@@ -152,7 +189,7 @@ func (s *Server) handle(sess *core.Session, env *wire.Envelope) (*wire.Envelope,
 		}
 		return nil, nil // sensor stream is one-way
 	case wire.MsgFrameRequest:
-		f, err := sess.Frame(time.Now())
+		f, err := s.sched.Frame(sess)
 		if err != nil {
 			return nil, err
 		}
