@@ -1,5 +1,5 @@
 // Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
-// one testing.B benchmark per derived experiment E1-E14, so
+// one testing.B benchmark per derived experiment E1-E15, so
 // `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
 // The rendered tables themselves come from `go run ./cmd/arbd-bench`.
 // TestExperimentsSmoke additionally runs every experiment at tiny scale in
@@ -47,6 +47,10 @@ func BenchmarkE13Influence(b *testing.B)         { runExperiment(b, "E13") }
 // BenchmarkE14MultiSessionThroughput sweeps concurrent session counts
 // (1/8/64/512) through the bounded frame scheduler.
 func BenchmarkE14MultiSessionThroughput(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkE15GCPressure compares frame hot-path allocations and latency
+// with the per-session scratch enabled (pooled) and disabled (alloc).
+func BenchmarkE15GCPressure(b *testing.B) { runExperiment(b, "E15") }
 
 // TestExperimentsSmoke runs every registered experiment once at smoke scale:
 // a broken experiment fails plain `go test` instead of hiding until the next

@@ -87,6 +87,19 @@ func (v *View) Get(group string) (GroupStats, bool) {
 	return *g, true
 }
 
+// GetKey is Get for a byte-slice key. The compiler elides the string
+// conversion for map lookups, so hot paths that render group keys into a
+// reusable byte buffer query the view without allocating.
+func (v *View) GetKey(group []byte) (GroupStats, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	g, ok := v.groups[string(group)]
+	if !ok {
+		return GroupStats{}, false
+	}
+	return *g, true
+}
+
 // Rows returns the number of rows folded in.
 func (v *View) Rows() int64 {
 	v.mu.RLock()

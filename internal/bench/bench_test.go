@@ -8,17 +8,17 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("registered %d experiments, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E14.
-	if exps[0].ID != "E1" || exps[13].ID != "E14" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[13].ID)
+	// Sorted E1..E15.
+	if exps[0].ID != "E1" || exps[14].ID != "E15" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[14].ID)
 	}
 }
 

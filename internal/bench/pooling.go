@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+)
+
+// E15GCPressure measures sustained-load GC pressure on the frame hot path:
+// allocations and bytes per frame, plus latency percentiles, with the
+// per-session frame scratch enabled (pooled) and disabled (alloc) — the
+// paper's per-frame latency budget defended against memory churn.
+func E15GCPressure() *metrics.Table {
+	return e15GCPressure(5000, 2000)
+}
+
+// e15GCPressureSmoke is the tiny-parameter variant for plain `go test`.
+func e15GCPressureSmoke() *metrics.Table {
+	return e15GCPressure(200, 400)
+}
+
+func e15GCPressure(frames, numPOIs int) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E15: frame hot path GC pressure (%d frames, %d POIs)", frames, numPOIs),
+		"mode", "allocs/frame", "KB/frame", "p50", "p99", "GC cycles")
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"pooled", false},
+		{"alloc", true},
+	} {
+		row := runGCPressure(frames, numPOIs, mode.disable)
+		t.AddRow(mode.name,
+			fmt.Sprintf("%.1f", row.allocsPerFrame),
+			fmt.Sprintf("%.2f", row.kbPerFrame),
+			ms(row.p50), ms(row.p99), row.gcCycles)
+	}
+	return t
+}
+
+type gcPressureResult struct {
+	allocsPerFrame float64
+	kbPerFrame     float64
+	p50, p99       time.Duration
+	gcCycles       uint32
+}
+
+func runGCPressure(frames, numPOIs int, disableScratch bool) gcPressureResult {
+	p, err := core.NewPlatform(core.Config{
+		Seed:                15,
+		City:                geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+		DisableFrameScratch: disableScratch,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := p.NewSession()
+	now := time.Now()
+	if err := s.OnGPS(sensor.GPSFix{Time: now, Position: benchCenter, AccuracyM: 5}); err != nil {
+		panic(err)
+	}
+	// Warm up so pooled buffers reach steady-state capacity before
+	// measurement starts.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Frame(now); err != nil {
+			panic(err)
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < frames; i++ {
+		if _, err := s.Frame(now); err != nil {
+			panic(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	snap := p.Metrics().Histogram("core.frame.latency").Snapshot()
+	return gcPressureResult{
+		allocsPerFrame: float64(after.Mallocs-before.Mallocs) / float64(frames),
+		kbPerFrame:     float64(after.TotalAlloc-before.TotalAlloc) / float64(frames) / 1024,
+		p50:            snap.P50,
+		p99:            snap.P99,
+		gcCycles:       after.NumGC - before.NumGC,
+	}
+}

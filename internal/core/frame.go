@@ -37,24 +37,35 @@ func (f *Frame) ToARML() ([]byte, error) {
 }
 
 // EncodeFrame serialises the frame's overlay for the TCP server protocol:
-// count, then per annotation (id, label, box, anchor, flags).
+// count, then per annotation (id, label, box, anchor, flags). The caller
+// owns the returned slice (it is backed by a buffer allocated here, not
+// retained). Hot paths that reuse or pool encode buffers — the server's
+// frame-response path — use EncodeFrameInto instead.
 func EncodeFrame(f *Frame) []byte {
 	var b wire.Buffer
-	b.Uvarint(uint64(len(f.Annotations)))
+	EncodeFrameInto(&b, f)
+	return b.Bytes()
+}
+
+// EncodeFrameInto appends the frame's wire encoding to buf. The encoded
+// bytes (buf.Bytes) alias buf's storage and are valid until buf is reset or
+// reused, which lets the server encode each response into a pooled buffer
+// and hand it to the framed writer without allocating per frame.
+func EncodeFrameInto(buf *wire.Buffer, f *Frame) {
+	buf.Uvarint(uint64(len(f.Annotations)))
 	for _, a := range f.Annotations {
-		b.Uvarint(a.ID)
-		b.String(a.Label)
-		b.Float64(a.X)
-		b.Float64(a.Y)
-		b.Float64(a.W)
-		b.Float64(a.H)
-		b.Float64(a.Anchor.Lat)
-		b.Float64(a.Anchor.Lon)
-		b.Bool(a.XRay)
+		buf.Uvarint(a.ID)
+		buf.String(a.Label)
+		buf.Float64(a.X)
+		buf.Float64(a.Y)
+		buf.Float64(a.W)
+		buf.Float64(a.H)
+		buf.Float64(a.Anchor.Lat)
+		buf.Float64(a.Anchor.Lon)
+		buf.Bool(a.XRay)
 	}
-	b.Uvarint(uint64(f.Level))
-	b.Uvarint(uint64(f.Elapsed.Nanoseconds()))
-	return append([]byte(nil), b.Bytes()...)
+	buf.Uvarint(uint64(f.Level))
+	buf.Uvarint(uint64(f.Elapsed.Nanoseconds()))
 }
 
 // DecodedFrame is the client-side view of an encoded frame.

@@ -69,6 +69,19 @@ type Config struct {
 	// background sweeper enforces it; without Start, the bound is enforced
 	// on the session's next enqueue.
 	TelemetryMaxDelay time.Duration
+	// TelemetryMaxBatchSize caps adaptive batch sizing: when observed flush
+	// latency rises, sessions batch more records per publish so each broker
+	// round-trip amortises better, never beyond this ceiling (default
+	// 8× TelemetryBatchSize). The age bound above still applies.
+	TelemetryMaxBatchSize int
+	// DisableFrameScratch turns off per-session buffer reuse on the frame
+	// hot path, restoring the pre-pooling behaviour: each frame's buffers
+	// are freshly allocated, so later frames never overwrite an earlier
+	// frame's results. (The session still keeps a reference to the latest
+	// layout for jitter, so returned annotations must not be mutated in
+	// either mode.) Benchmarks use it to quantify GC pressure (E15);
+	// production leaves it false.
+	DisableFrameScratch bool
 	// SessionShards is the session-registry shard count, rounded up to a
 	// power of two (default 32).
 	SessionShards int
@@ -94,6 +107,9 @@ func (c *Config) defaults() {
 	}
 	if c.TelemetryMaxDelay <= 0 {
 		c.TelemetryMaxDelay = 50 * time.Millisecond
+	}
+	if c.TelemetryMaxBatchSize <= 0 {
+		c.TelemetryMaxBatchSize = 8 * c.TelemetryBatchSize
 	}
 	if c.SessionShards <= 0 {
 		c.SessionShards = defaultRegistryShards
@@ -136,6 +152,9 @@ type Platform struct {
 	recMu    sync.RWMutex
 
 	pipe *stream.Pipeline
+	// load aggregates telemetry flush latency across sessions and derives
+	// the adaptive batch size; LoadSignal exposes it to frame admission.
+	load *loadTracker
 
 	// sessions is the sharded live-session registry; nextSess hands out
 	// IDs without touching any lock.
@@ -148,6 +167,7 @@ type Platform struct {
 	mu        sync.Mutex
 	started   bool
 	stopped   bool
+	group     *mq.Group // analytics consumer group (set at Start)
 	cancel    context.CancelFunc
 	done      chan struct{}
 	flushStop chan struct{}
@@ -177,6 +197,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		crowd:    analytics.NewView(),
 		hot:      analytics.NewSpaceSaving(64),
 		interp:   arml.RetailVocabulary(),
+		load:     newLoadTracker(cfg.TelemetryBatchSize, cfg.TelemetryMaxBatchSize),
 		sessions: newSessionRegistry(cfg.SessionShards),
 	}
 	p.occluders = render.OccludersFromPOIs(p.pois.All(), 30)
@@ -246,6 +267,7 @@ func (p *Platform) Start() error {
 	if err != nil {
 		return err
 	}
+	p.group = group
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
 	p.done = make(chan struct{})
@@ -337,6 +359,34 @@ func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// LoadSignal summarises backend pressure for admission control: how slow
+// telemetry flushes are running and how far the analytics consumer lags the
+// interaction topic. The frame scheduler polls it to shed frames earlier
+// when the big-data plane falls behind — a frame whose context analytics
+// are stale is the paper's timeliness failure even if it renders on time.
+type LoadSignal struct {
+	// FlushLatency is an exponentially-weighted moving average of telemetry
+	// batch publish latency across all sessions.
+	FlushLatency time.Duration
+	// Backlog counts interaction records produced but not yet consumed by
+	// the analytics plane (0 before Start).
+	Backlog int64
+}
+
+// LoadSignal reports the platform's current backend pressure.
+func (p *Platform) LoadSignal() LoadSignal {
+	sig := LoadSignal{FlushLatency: p.load.flushLatency()}
+	p.mu.Lock()
+	g := p.group
+	p.mu.Unlock()
+	if g != nil {
+		if lag, err := g.Lag(); err == nil {
+			sig.Backlog = lag
+		}
+	}
+	return sig
 }
 
 // HotPOIs returns the trending POI keys.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +64,31 @@ type Session struct {
 	frames     uint64
 	overruns   uint64
 	principal  string
+	scratch    *frameScratch // nil when Config.DisableFrameScratch
+}
+
+// frameScratch holds the per-session reusable buffers of the frame hot
+// path, so a session rendering at device rates allocates (nearly) nothing
+// per frame in steady state. All fields are guarded by Session.mu. Layouts
+// are double-buffered because jitter compares the previous frame's layout
+// against the new one before the old buffer can be recycled.
+type frameScratch struct {
+	pois    []geo.POI
+	anns    []render.Annotation
+	laid    [2][]render.Annotation
+	cur     int // index into laid holding the most recent layout
+	layout  render.LayoutScratch
+	tags    map[uint64][]arml.Tag
+	metrics map[string]float64
+	rec     []uint64
+	key     []byte // analytics key scratch (poi-<id>)
+}
+
+func newFrameScratch() *frameScratch {
+	return &frameScratch{
+		tags:    make(map[uint64][]arml.Tag),
+		metrics: make(map[string]float64, 4),
+	}
 }
 
 // NewSession opens a session for a device, registers it in the sharded
@@ -75,12 +101,15 @@ func (p *Platform) NewSession() *Session {
 		ID:        id,
 		platform:  p,
 		rng:       p.rng.Child(principal),
-		telem:     newTelemetryBatcher(principal, p.cfg.TelemetryBatchSize, p.cfg.TelemetryMaxDelay),
+		telem:     newTelemetryBatcher(principal, p.load, p.cfg.TelemetryMaxDelay),
 		fuser:     tracking.NewFuser(p.cfg.City.Center, p.pois),
 		gaze:      make(map[uint64]float64),
 		camera:    render.DefaultCamera,
 		occl:      p.occluders,
 		principal: principal,
+	}
+	if !p.cfg.DisableFrameScratch {
+		s.scratch = newFrameScratch()
 	}
 	p.sessions.add(s)
 	return s
@@ -107,12 +136,13 @@ func (s *Session) OnGPS(fix sensor.GPSFix) error {
 		}
 		reported = noisy
 	}
+	// The buffer is function-local and the batcher owns the bytes until
+	// flush, so handing its storage over directly is safe — no tail copy.
 	var buf wire.Buffer
 	buf.Uvarint(s.ID)
 	buf.Float64(reported.Lat)
 	buf.Float64(reported.Lon)
-	value := append([]byte(nil), buf.Bytes()...)
-	return s.telem.enqueue(p.broker, telemetryLocations, value)
+	return s.telem.enqueue(p.broker, telemetryLocations, buf.Bytes())
 }
 
 // OnIMU feeds an inertial sample into tracking.
@@ -202,11 +232,21 @@ type Frame struct {
 // Frame runs the per-frame pipeline at the fused pose and returns the
 // overlay. It implements the timeliness loop: measure, and if over budget,
 // degrade the next frame; if comfortably under budget, recover.
+//
+// The returned Frame's slices and maps alias per-session buffers that
+// subsequent Frame calls on the same session reuse: consume (or deep-copy)
+// a frame before requesting the next one. Config.DisableFrameScratch
+// restores fully allocating frames.
 func (s *Session) Frame(now time.Time) (*Frame, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := s.platform.cfg.Clock.Now()
 	pose := s.fuser.Pose()
+
+	sc := s.scratch
+	if sc == nil {
+		sc = newFrameScratch() // DisableFrameScratch: fresh buffers per frame
+	}
 
 	radius := s.platform.cfg.AnnotationRadiusM
 	maxAnn := s.platform.cfg.MaxAnnotations
@@ -216,54 +256,63 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 	}
 
 	// 1. Geospatial context.
-	pois := s.platform.pois.QueryRadius(pose.Position, radius, 0)
+	pois := s.platform.pois.QueryRadiusInto(sc.pois[:0], pose.Position, radius, 0)
+	sc.pois = pois
 	if len(pois) > maxAnn*3 {
 		pois = pois[:maxAnn*3] // nearest first; cap the working set
 	}
 
 	// 2. Interpretation: analytics → semantic tags (skipped at the deepest
 	// degradation level).
-	tags := make(map[uint64][]arml.Tag)
+	tags := sc.tags
+	clear(tags)
 	if s.level < DegradeInterp {
 		interp := s.platform.interpreter()
 		// One sketch snapshot per frame, not per POI: TopK copies and
 		// sorts the sketch under the hot lock.
 		hottest := s.platform.HotPOIs(1)
-		for _, poi := range pois {
-			m := s.contextMetrics(poi, hottest)
+		for i := range pois {
+			m := s.contextMetrics(sc, &pois[i], hottest)
 			if len(m) == 0 {
 				continue
 			}
 			if fired := interp.Interpret(m); len(fired) > 0 {
-				tags[poi.ID] = fired
+				tags[pois[i].ID] = fired
 			}
 		}
 	}
 
 	// 3. Recommendations re-ranked by live context.
-	var recommended []uint64
+	recommended := sc.rec[:0]
 	s.platform.recMu.RLock()
 	rec := s.platform.rec
 	s.platform.recMu.RUnlock()
 	if rec != nil {
-		for _, sc := range rec.Recommend(s.ID, 5) {
-			recommended = append(recommended, sc.ItemID)
+		for _, score := range rec.Recommend(s.ID, 5) {
+			recommended = append(recommended, score.ItemID)
 		}
 	}
+	sc.rec = recommended
 
-	// 4. Layout.
-	anns := render.AnnotationsFromPOIs(pose, pois)
+	// 4. Layout, double-buffered: the new layout lands in the buffer the
+	// frame before last used, leaving lastLayout intact for the jitter
+	// comparison.
+	anns := render.AnnotationsFromPOIsInto(sc.anns[:0], pose, pois)
+	sc.anns = anns
 	for i := range anns {
 		if t, ok := tags[anns[i].ID]; ok {
 			anns[i].Priority *= 1.5 // tagged content is more relevant
 			anns[i].Label = anns[i].Label + " [" + t[0].Value + "]"
 		}
 	}
-	laid := render.LayoutAnchored(s.camera, pose, anns, s.occl, render.LayoutOptions{})
+	next := sc.cur ^ 1
+	laid := render.LayoutAnchoredInto(sc.laid[next][:0], &sc.layout, s.camera, pose, anns, s.occl, render.LayoutOptions{})
 	if len(laid) > maxAnn {
 		laid = laid[:maxAnn]
 	}
 	jitter := render.Jitter(s.lastLayout, laid)
+	sc.laid[next] = laid
+	sc.cur = next
 	s.lastLayout = laid
 
 	elapsed := s.platform.cfg.Clock.Since(start)
@@ -299,15 +348,18 @@ func (s *Session) adapt(elapsed time.Duration) {
 }
 
 // contextMetrics assembles the metric map for one POI from the live
-// analytics views. hottest is the frame's shared HotPOIs(1) snapshot.
-func (s *Session) contextMetrics(poi geo.POI, hottest []analytics.HeavyHitter) map[string]float64 {
-	stats, ok := s.platform.crowd.Get(poiKey(poi.ID))
+// analytics views, reusing the scratch key buffer and metric map across
+// POIs. hottest is the frame's shared HotPOIs(1) snapshot. The returned map
+// is valid until the next contextMetrics call on the same scratch.
+func (s *Session) contextMetrics(sc *frameScratch, poi *geo.POI, hottest []analytics.HeavyHitter) map[string]float64 {
+	sc.key = appendPOIKey(sc.key[:0], poi.ID)
+	stats, ok := s.platform.crowd.GetKey(sc.key)
 	if !ok {
 		return nil
 	}
-	m := map[string]float64{
-		"visits": stats.Sum,
-	}
+	m := sc.metrics
+	clear(m)
+	m["visits"] = stats.Sum
 	// Crowding is this POI's traffic relative to the hottest POI.
 	if len(hottest) > 0 && hottest[0].Count > 0 {
 		m["crowding"] = stats.Sum / float64(hottest[0].Count)
@@ -328,7 +380,19 @@ func (s *Session) GazeTargets() []uint64 {
 }
 
 // poiKey renders a POI ID as the string key the analytics plane groups by.
-func poiKey(id uint64) string { return fmt.Sprintf("poi-%d", id) }
+// It formats on a stack buffer with strconv instead of fmt.Sprintf: the key
+// is minted on every interaction, so format-string parsing and interface
+// boxing were pure overhead.
+func poiKey(id uint64) string {
+	var b [24]byte
+	return string(appendPOIKey(b[:0], id))
+}
+
+// appendPOIKey appends the poi-<id> analytics key to dst.
+func appendPOIKey(dst []byte, id uint64) []byte {
+	dst = append(dst, "poi-"...)
+	return strconv.AppendUint(dst, id, 10)
+}
 
 // interaction is the wire-level telemetry record for user-POI events.
 type interaction struct {
@@ -338,11 +402,13 @@ type interaction struct {
 }
 
 func encodeInteraction(ev interaction) []byte {
+	// The buffer is function-local, so its storage can be returned without
+	// the defensive tail copy.
 	var b wire.Buffer
 	b.String(ev.POIKey)
 	b.Uvarint(ev.User)
 	b.Float64(ev.Weight)
-	return append([]byte(nil), b.Bytes()...)
+	return b.Bytes()
 }
 
 func decodeInteraction(p []byte) (interaction, error) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arbd/internal/mq"
@@ -19,16 +20,99 @@ var telemetryTopicNames = [numTelemetryTopics]string{
 	telemetryInteractions: TopicInteractions,
 }
 
+// adaptiveFlushRef is the flush latency at which adaptive batch sizing
+// starts to grow batches: below it the broker is keeping up and the
+// configured batch size stands; each additional multiple of it adds one
+// more base batch per publish (bounded by the configured ceiling).
+const adaptiveFlushRef = 2 * time.Millisecond
+
+// flushDecayHalfLife ages the flush-latency signal while telemetry is
+// quiet: with no flushes to observe, the EWMA halves per half-life so a
+// pressure spike cannot freeze into admission control after the backend
+// recovers and goes idle.
+const flushDecayHalfLife = time.Second
+
+// loadTracker aggregates telemetry flush latency across every session's
+// batcher into one EWMA, derives the adaptive batch size from it, and feeds
+// the same signal into frame admission (Platform.LoadSignal). One tracker
+// per platform; all methods are safe for concurrent use.
+type loadTracker struct {
+	flushNs atomic.Int64 // EWMA of ProduceBatch latency, ns
+	lastNs  atomic.Int64 // wall time of the last observation, unix ns
+	base    int          // configured batch size
+	max     int          // adaptive ceiling
+}
+
+func newLoadTracker(base, maxSize int) *loadTracker {
+	if base < 1 {
+		base = 1
+	}
+	if maxSize < base {
+		maxSize = base
+	}
+	return &loadTracker{base: base, max: maxSize}
+}
+
+// observeFlush folds one batch-publish latency into the EWMA (α = 1/8).
+// It folds into the idle-decayed value, not the raw one: the first healthy
+// flush after a quiet spell must not resurrect stale pressure. Concurrent
+// observers may drop each other's sample — harmless for an EWMA.
+func (lt *loadTracker) observeFlush(d time.Duration) {
+	old := int64(lt.flushLatency())
+	lt.lastNs.Store(time.Now().UnixNano())
+	next := int64(d)
+	if old != 0 {
+		next = old + (int64(d)-old)/8
+	}
+	lt.flushNs.Store(next)
+}
+
+// flushLatency returns the flush-latency EWMA, decayed by half per
+// flushDecayHalfLife since the last observation so idle periods read as
+// recovery rather than frozen pressure.
+func (lt *loadTracker) flushLatency() time.Duration {
+	lat := lt.flushNs.Load()
+	if lat == 0 {
+		return 0
+	}
+	idle := time.Now().UnixNano() - lt.lastNs.Load()
+	if idle > int64(flushDecayHalfLife) {
+		halvings := idle / int64(flushDecayHalfLife)
+		if halvings > 62 {
+			return 0
+		}
+		lat >>= halvings
+	}
+	return time.Duration(lat)
+}
+
+// batchSize returns the effective telemetry batch size under the current
+// flush latency: the configured base while the broker keeps up, growing
+// proportionally to flush latency (so each round-trip amortises better)
+// up to the ceiling when it falls behind.
+func (lt *loadTracker) batchSize() int {
+	lat := lt.flushLatency()
+	if lat <= adaptiveFlushRef {
+		return lt.base
+	}
+	n := lt.base * int(1+lat/adaptiveFlushRef)
+	if n > lt.max || n < lt.base { // also guards multiplication overflow
+		n = lt.max
+	}
+	return n
+}
+
 // telemetryBatcher buffers one session's outgoing telemetry per topic and
 // publishes it with ProduceBatch, so a session streaming GPS at device rates
 // pays one broker round-trip per batch instead of one per fix. Buffers flush
-// when they reach the configured size; the platform's background flusher
-// sweeps out anything older than the max delay so quiet sessions still
-// surface promptly.
+// when they reach the effective batch size — the configured size, scaled up
+// by the platform's load tracker when flushes run slow — and the platform's
+// background flusher sweeps out anything older than the max delay so quiet
+// sessions still surface promptly.
 type telemetryBatcher struct {
-	key       []byte // broker routing key: the session principal
-	batchSize int
-	maxDelay  time.Duration
+	key      []byte // broker routing key: the session principal
+	load     *loadTracker
+	maxDelay time.Duration
 
 	mu      sync.Mutex
 	buffers [numTelemetryTopics]topicBuffer
@@ -39,11 +123,8 @@ type topicBuffer struct {
 	oldestAt time.Time // enqueue time of values[0]
 }
 
-func newTelemetryBatcher(principal string, batchSize int, maxDelay time.Duration) *telemetryBatcher {
-	if batchSize < 1 {
-		batchSize = 1
-	}
-	return &telemetryBatcher{key: []byte(principal), batchSize: batchSize, maxDelay: maxDelay}
+func newTelemetryBatcher(principal string, load *loadTracker, maxDelay time.Duration) *telemetryBatcher {
+	return &telemetryBatcher{key: []byte(principal), load: load, maxDelay: maxDelay}
 }
 
 // enqueue buffers one record for the topic, flushing the buffer to the
@@ -65,7 +146,7 @@ func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) 
 	// background sweeper): any later enqueue — on any topic — drains every
 	// overdue buffer, so a quiet topic cannot strand a record behind a
 	// busy one.
-	if len(buf.values) >= tb.batchSize {
+	if len(buf.values) >= tb.load.batchSize() {
 		if err := tb.flushLocked(broker, topic); err != nil {
 			return err
 		}
@@ -117,7 +198,11 @@ func (tb *telemetryBatcher) flushLocked(broker *mq.Broker, topic int) error {
 	buf := &tb.buffers[topic]
 	values := buf.values
 	buf.values = nil
+	start := time.Now()
 	_, err := broker.ProduceBatch(telemetryTopicNames[topic], tb.key, values)
+	// A slow failure is still backend pressure: observe the latency either
+	// way so admission and batch sizing see a struggling broker.
+	tb.load.observeFlush(time.Since(start))
 	if err != nil {
 		// Keep the records for the next flush attempt rather than
 		// silently dropping accepted telemetry.

@@ -187,12 +187,49 @@ func (s *Store) Get(id uint64) (POI, error) {
 }
 
 // QueryRadius returns POIs within radiusMeters of center, nearest first,
-// optionally filtered by category (0 = all categories).
+// optionally filtered by category (0 = all categories). The returned slice
+// is freshly allocated; hot paths that reuse a buffer across queries should
+// call QueryRadiusInto.
 func (s *Store) QueryRadius(center Point, radiusMeters float64, cat Category) []POI {
+	return s.QueryRadiusInto(nil, center, radiusMeters, cat)
+}
+
+// scoredPOI pairs a candidate with its distance for the nearest-first sort.
+type scoredPOI struct {
+	poi  *POI
+	dist float64
+}
+
+// radiusScratch holds the intermediate buffers one radius query needs. The
+// buffers are pooled so steady-state queries allocate nothing beyond the
+// caller's destination slice.
+type radiusScratch struct {
+	items []Item
+	hits  []scoredPOI
+}
+
+func (rs *radiusScratch) Len() int { return len(rs.hits) }
+func (rs *radiusScratch) Less(i, j int) bool {
+	if rs.hits[i].dist != rs.hits[j].dist {
+		return rs.hits[i].dist < rs.hits[j].dist
+	}
+	return rs.hits[i].poi.ID < rs.hits[j].poi.ID
+}
+func (rs *radiusScratch) Swap(i, j int) { rs.hits[i], rs.hits[j] = rs.hits[j], rs.hits[i] }
+
+var radiusScratchPool = sync.Pool{New: func() any { return new(radiusScratch) }}
+
+// QueryRadiusInto is QueryRadius appending into dst (which may be nil or a
+// previous result truncated to zero length). Results overwrite dst's
+// contents; the returned slice shares dst's storage when capacity allows,
+// so callers reusing a buffer must consume the results before the next
+// query into the same buffer.
+func (s *Store) QueryRadiusInto(dst []POI, center Point, radiusMeters float64, cat Category) []POI {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	rs := radiusScratchPool.Get().(*radiusScratch)
 	bbox := RectAround(center, radiusMeters)
-	var candidates []Item
+	candidates := rs.items[:0]
 	switch s.kind {
 	case IndexScan:
 		for _, p := range s.all {
@@ -215,12 +252,9 @@ func (s *Store) QueryRadius(center Point, radiusMeters float64, cat Category) []
 	case IndexRTree:
 		candidates = s.rt.Search(bbox, candidates)
 	}
+	rs.items = candidates
 
-	type scored struct {
-		poi  *POI
-		dist float64
-	}
-	hits := make([]scored, 0, len(candidates))
+	hits := rs.hits[:0]
 	for _, c := range candidates {
 		d := DistanceMeters(center, c.Point)
 		if d > radiusMeters {
@@ -230,18 +264,22 @@ func (s *Store) QueryRadius(center Point, radiusMeters float64, cat Category) []
 		if cat != 0 && p.Category != cat {
 			continue
 		}
-		hits = append(hits, scored{poi: p, dist: d})
+		hits = append(hits, scoredPOI{poi: p, dist: d})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].dist != hits[j].dist {
-			return hits[i].dist < hits[j].dist
-		}
-		return hits[i].poi.ID < hits[j].poi.ID
-	})
-	out := make([]POI, len(hits))
-	for i, h := range hits {
-		out[i] = *h.poi
+	rs.hits = hits
+	sort.Sort(rs)
+	out := dst[:0]
+	for _, h := range hits {
+		out = append(out, *h.poi)
 	}
+	// Drop the stale POI pointers before pooling so the scratch does not
+	// pin a replaced store's objects (Item holds no pointers).
+	for i := range hits {
+		hits[i].poi = nil
+	}
+	rs.items = rs.items[:0]
+	rs.hits = rs.hits[:0]
+	radiusScratchPool.Put(rs)
 	return out
 }
 

@@ -1,0 +1,71 @@
+package geo
+
+import (
+	"testing"
+)
+
+// TestQueryRadiusIntoEquivalence checks the buffer-reusing query returns
+// exactly what the allocating form returns — across every index kind, with
+// the destination buffer reused (dirty) between queries of different sizes.
+func TestQueryRadiusIntoEquivalence(t *testing.T) {
+	city := testCity(2000)
+	queries := []struct {
+		radius float64
+		cat    Category
+	}{
+		{250, 0},
+		{900, 0},
+		{500, CatShop},
+		{5000, 0},
+		{40, 0},
+	}
+	for _, kind := range []IndexKind{IndexScan, IndexGeohash, IndexQuadtree, IndexRTree} {
+		s, err := LoadStore(city, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		var dst []POI
+		for qi, q := range queries {
+			for step := 0; step < 3; step++ {
+				center := Destination(hkust, float64(step*110), float64(step)*400)
+				want := s.QueryRadius(center, q.radius, q.cat)
+				dst = s.QueryRadiusInto(dst, center, q.radius, q.cat)
+				if len(dst) != len(want) {
+					t.Fatalf("%v query %d step %d: got %d POIs, want %d",
+						kind, qi, step, len(dst), len(want))
+				}
+				for i := range want {
+					if dst[i].ID != want[i].ID || dst[i].Location != want[i].Location ||
+						dst[i].Name != want[i].Name || dst[i].Category != want[i].Category {
+						t.Fatalf("%v query %d step %d: result %d differs: got %+v want %+v",
+							kind, qi, step, i, dst[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryRadiusIntoSteadyStateAllocs checks the hot-path promise: with a
+// warmed destination buffer and pooled scratch, a radius query allocates
+// nothing.
+func TestQueryRadiusIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	s, err := LoadStore(testCity(2000), IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []POI
+	// Warm the destination and the pooled scratch.
+	for i := 0; i < 4; i++ {
+		dst = s.QueryRadiusInto(dst, hkust, 800, 0)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = s.QueryRadiusInto(dst, hkust, 800, 0)
+	})
+	if allocs > 0 {
+		t.Fatalf("QueryRadiusInto allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

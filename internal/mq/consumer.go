@@ -48,6 +48,13 @@ func (g *Group) Commit(partitionIdx int, offset int64) {
 	}
 }
 
+// Lag returns the total number of records between this group's committed
+// offsets and the topic head across all partitions — the backlog signal
+// lag-aware admission control watches.
+func (g *Group) Lag() (int64, error) {
+	return g.broker.Lag(g.topic, g)
+}
+
 // Poll fetches up to max uncommitted records across all partitions, without
 // committing them. It returns nil when fully caught up.
 func (g *Group) Poll(max int) ([]Record, error) {

@@ -107,7 +107,14 @@ type Occluder struct {
 
 // OccludersFromPOIs treats tall POIs as occluding buildings.
 func OccludersFromPOIs(pois []geo.POI, minHeightM float64) []Occluder {
-	var out []Occluder
+	return OccludersFromPOIsInto(nil, pois, minHeightM)
+}
+
+// OccludersFromPOIsInto is OccludersFromPOIs appending into dst. Results
+// overwrite dst's contents from length zero; the returned slice shares dst's
+// storage when capacity allows.
+func OccludersFromPOIsInto(dst []Occluder, pois []geo.POI, minHeightM float64) []Occluder {
+	out := dst[:0]
 	for _, p := range pois {
 		if p.HeightMeters >= minHeightM {
 			out = append(out, Occluder{Location: p.Location, HeightM: p.HeightMeters, WidthM: 20})
@@ -191,13 +198,46 @@ var candidateOffsets = [][2]float64{
 	{0, -90}, {90, -60}, {-90, -60}, {0, 40}, {100, 40}, {-100, 40}, {0, -120},
 }
 
+// LayoutScratch holds the intermediate buffers LayoutAnchoredInto reuses
+// across frames: the projected-and-visible working set and the placed-box
+// pointer list. The zero value is ready to use; a scratch must not be shared
+// between concurrent layout calls.
+type LayoutScratch struct {
+	visible []Annotation
+	placed  []*Annotation
+}
+
+// sort.Interface over the visible working set: nearer and higher-priority
+// content first.
+func (sc *LayoutScratch) Len() int { return len(sc.visible) }
+func (sc *LayoutScratch) Less(i, j int) bool {
+	if sc.visible[i].Priority != sc.visible[j].Priority {
+		return sc.visible[i].Priority > sc.visible[j].Priority
+	}
+	return sc.visible[i].Pos.Depth < sc.visible[j].Pos.Depth
+}
+func (sc *LayoutScratch) Swap(i, j int) {
+	sc.visible[i], sc.visible[j] = sc.visible[j], sc.visible[i]
+}
+
 // LayoutAnchored places annotations priority-first, avoiding box collisions
 // and screen edges, culling or X-ray-marking occluded anchors, and keeping
 // labels near their anchors with short leader lines.
 func LayoutAnchored(cam Camera, pose sensor.Pose, anns []Annotation, occluders []Occluder, opts LayoutOptions) []Annotation {
+	return LayoutAnchoredInto(nil, nil, cam, pose, anns, occluders, opts)
+}
+
+// LayoutAnchoredInto is LayoutAnchored appending into dst with reusable
+// intermediate buffers. dst and sc may both be nil (allocating fresh
+// buffers); results overwrite dst's contents from length zero and the
+// returned slice shares dst's storage when capacity allows.
+func LayoutAnchoredInto(dst []Annotation, sc *LayoutScratch, cam Camera, pose sensor.Pose, anns []Annotation, occluders []Occluder, opts LayoutOptions) []Annotation {
 	opts.defaults()
+	if sc == nil {
+		sc = &LayoutScratch{}
+	}
 	// Project and occlusion-test everything first.
-	visible := make([]Annotation, 0, len(anns))
+	visible := sc.visible[:0]
 	for _, a := range anns {
 		pos, ok := cam.Project(pose, a.Anchor, a.AnchorHM)
 		if !ok {
@@ -214,16 +254,17 @@ func LayoutAnchored(cam Camera, pose sensor.Pose, anns []Annotation, occluders [
 		}
 		visible = append(visible, a)
 	}
-	// Nearer and higher-priority content first.
-	sort.SliceStable(visible, func(i, j int) bool {
-		if visible[i].Priority != visible[j].Priority {
-			return visible[i].Priority > visible[j].Priority
-		}
-		return visible[i].Pos.Depth < visible[j].Pos.Depth
-	})
+	sc.visible = visible
+	sort.Stable(sc)
 
-	var placed []*Annotation
-	out := make([]Annotation, 0, len(visible))
+	// The placement loop keeps pointers into out, so out must never grow
+	// once placement starts: reserve full capacity up front.
+	out := dst
+	if cap(out) < len(visible) {
+		out = make([]Annotation, 0, len(visible))
+	}
+	out = out[:0]
+	placed := sc.placed[:0]
 	for i := range visible {
 		a := visible[i]
 		if tryPlace(cam, &a, placed, opts) {
@@ -232,6 +273,12 @@ func LayoutAnchored(cam Camera, pose sensor.Pose, anns []Annotation, occluders [
 			placed = append(placed, &out[len(out)-1])
 		}
 	}
+	// Drop the stale annotation pointers so the pooled scratch does not pin
+	// a previous frame's buffer.
+	for i := range placed {
+		placed[i] = nil
+	}
+	sc.placed = placed[:0]
 	return out
 }
 
@@ -307,19 +354,34 @@ func Jitter(prev, cur []Annotation) float64 {
 	if len(prev) == 0 || len(cur) == 0 {
 		return 0
 	}
-	prevByID := make(map[uint64]*Annotation, len(prev))
-	for i := range prev {
-		prevByID[prev[i].ID] = &prev[i]
-	}
 	var sum float64
 	n := 0
-	for i := range cur {
-		p, ok := prevByID[cur[i].ID]
-		if !ok {
-			continue
+	// Typical AR overlays hold a few dozen labels at most: a quadratic ID
+	// match is both faster there and allocation-free, which matters on the
+	// frame hot path. Large layouts fall back to the map.
+	if len(prev) <= 64 {
+		for i := range cur {
+			for j := range prev {
+				if prev[j].ID == cur[i].ID {
+					sum += math.Hypot(cur[i].X-prev[j].X, cur[i].Y-prev[j].Y)
+					n++
+					break
+				}
+			}
 		}
-		sum += math.Hypot(cur[i].X-p.X, cur[i].Y-p.Y)
-		n++
+	} else {
+		prevByID := make(map[uint64]*Annotation, len(prev))
+		for i := range prev {
+			prevByID[prev[i].ID] = &prev[i]
+		}
+		for i := range cur {
+			p, ok := prevByID[cur[i].ID]
+			if !ok {
+				continue
+			}
+			sum += math.Hypot(cur[i].X-p.X, cur[i].Y-p.Y)
+			n++
+		}
 	}
 	if n == 0 {
 		return 0
@@ -332,7 +394,14 @@ func Jitter(prev, cur []Annotation) float64 {
 // anchor at facade viewing height (2-8 m) rather than rooftops so nearby
 // content stays inside a phone camera's narrow vertical FOV.
 func AnnotationsFromPOIs(pose sensor.Pose, pois []geo.POI) []Annotation {
-	out := make([]Annotation, 0, len(pois))
+	return AnnotationsFromPOIsInto(nil, pose, pois)
+}
+
+// AnnotationsFromPOIsInto is AnnotationsFromPOIs appending into dst. Results
+// overwrite dst's contents from length zero; the returned slice shares dst's
+// storage when capacity allows.
+func AnnotationsFromPOIsInto(dst []Annotation, pose sensor.Pose, pois []geo.POI) []Annotation {
+	out := dst[:0]
 	for _, p := range pois {
 		d := geo.DistanceMeters(pose.Position, p.Location)
 		anchorH := math.Max(2, math.Min(p.HeightMeters*0.4, 8))

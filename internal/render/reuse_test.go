@@ -1,0 +1,116 @@
+package render
+
+import (
+	"testing"
+
+	"arbd/internal/geo"
+)
+
+func annEqual(a, b Annotation) bool {
+	return a.ID == b.ID && a.Label == b.Label && a.Anchor == b.Anchor &&
+		a.AnchorHM == b.AnchorHM && a.Priority == b.Priority &&
+		a.X == b.X && a.Y == b.Y && a.W == b.W && a.H == b.H &&
+		a.Placed == b.Placed && a.Occluded == b.Occluded &&
+		a.XRay == b.XRay && a.LeaderPx == b.LeaderPx
+}
+
+// TestIntoVariantsEquivalence runs the full annotate→layout chain through
+// the allocating and buffer-reusing forms over several scenes, reusing the
+// same buffers and scratch throughout, and requires identical output.
+func TestIntoVariantsEquivalence(t *testing.T) {
+	var (
+		pois    []geo.POI
+		annBuf  []Annotation
+		laidBuf []Annotation
+		occlBuf []Occluder
+		scratch LayoutScratch
+	)
+	for scene := 0; scene < 4; scene++ {
+		pois = pois[:0]
+		for i := 0; i < 40+scene*25; i++ {
+			id := uint64(scene*1000 + i + 1)
+			pois = append(pois, poiAt(id, float64(i*7%360), 30+float64(i*13%400), 5+float64(i%40)))
+		}
+
+		wantOccl := OccludersFromPOIs(pois, 30)
+		occlBuf = OccludersFromPOIsInto(occlBuf, pois, 30)
+		if len(occlBuf) != len(wantOccl) {
+			t.Fatalf("scene %d: occluders %d, want %d", scene, len(occlBuf), len(wantOccl))
+		}
+		for i := range wantOccl {
+			if occlBuf[i] != wantOccl[i] {
+				t.Fatalf("scene %d: occluder %d differs", scene, i)
+			}
+		}
+
+		wantAnns := AnnotationsFromPOIs(pose, pois)
+		annBuf = AnnotationsFromPOIsInto(annBuf, pose, pois)
+		if len(annBuf) != len(wantAnns) {
+			t.Fatalf("scene %d: annotations %d, want %d", scene, len(annBuf), len(wantAnns))
+		}
+		for i := range wantAnns {
+			if !annEqual(annBuf[i], wantAnns[i]) {
+				t.Fatalf("scene %d: annotation %d differs: got %+v want %+v",
+					scene, i, annBuf[i], wantAnns[i])
+			}
+		}
+
+		wantLaid := LayoutAnchored(cam, pose, wantAnns, wantOccl, LayoutOptions{})
+		laidBuf = LayoutAnchoredInto(laidBuf, &scratch, cam, pose, annBuf, occlBuf, LayoutOptions{})
+		if len(laidBuf) != len(wantLaid) {
+			t.Fatalf("scene %d: laid %d, want %d", scene, len(laidBuf), len(wantLaid))
+		}
+		for i := range wantLaid {
+			if !annEqual(laidBuf[i], wantLaid[i]) {
+				t.Fatalf("scene %d: laid %d differs: got %+v want %+v",
+					scene, i, laidBuf[i], wantLaid[i])
+			}
+		}
+	}
+}
+
+// TestLayoutAnchoredIntoSteadyStateAllocs checks that with warmed buffers
+// the layout engine allocates nothing per frame.
+func TestLayoutAnchoredIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	var pois []geo.POI
+	for i := 0; i < 80; i++ {
+		pois = append(pois, poiAt(uint64(i+1), float64(i*5%360), 30+float64(i*11%350), 5+float64(i%35)))
+	}
+	occl := OccludersFromPOIs(pois, 30)
+	anns := AnnotationsFromPOIs(pose, pois)
+	var laid []Annotation
+	var sc LayoutScratch
+	for i := 0; i < 4; i++ {
+		laid = LayoutAnchoredInto(laid, &sc, cam, pose, anns, occl, LayoutOptions{})
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		laid = LayoutAnchoredInto(laid, &sc, cam, pose, anns, occl, LayoutOptions{})
+	})
+	if allocs > 0 {
+		t.Fatalf("LayoutAnchoredInto allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestJitterSmallAndLargePathsAgree pins the allocation-free quadratic
+// path to the map-based fallback.
+func TestJitterSmallAndLargePathsAgree(t *testing.T) {
+	mk := func(n int, dx float64) []Annotation {
+		out := make([]Annotation, n)
+		for i := range out {
+			out[i] = Annotation{ID: uint64(i + 1), X: float64(i)*10 + dx, Y: float64(i) * 5}
+		}
+		return out
+	}
+	// 100 annotations exercises the map path; its 64-element prefix the
+	// quadratic path. Matching IDs move by exactly (3,0) in both.
+	prev, cur := mk(100, 0), mk(100, 3)
+	if got := Jitter(prev, cur); got < 2.99 || got > 3.01 {
+		t.Fatalf("map-path jitter = %v, want 3", got)
+	}
+	if got := Jitter(prev[:40], cur[:40]); got < 2.99 || got > 3.01 {
+		t.Fatalf("quadratic-path jitter = %v, want 3", got)
+	}
+}

@@ -21,6 +21,7 @@ type Client struct {
 	fr   *wire.FrameReader
 	fw   *wire.FrameWriter
 	seq  uint64
+	buf  wire.Buffer // reusable payload encode buffer
 }
 
 // Dial connects to an arbd server.
@@ -45,31 +46,37 @@ func (c *Client) send(t wire.MsgType, payload []byte) error {
 
 // SendGPS streams a GPS fix (no reply expected).
 func (c *Client) SendGPS(fix sensor.GPSFix) error {
-	var b wire.Buffer
+	b := &c.buf
+	b.Reset()
+	b.Byte(SensorGPS)
 	b.Uvarint(uint64(fix.Time.UnixNano()))
 	b.Float64(fix.Position.Lat)
 	b.Float64(fix.Position.Lon)
 	b.Float64(fix.AccuracyM)
-	return c.send(wire.MsgSensorEvent, append([]byte{SensorGPS}, b.Bytes()...))
+	return c.send(wire.MsgSensorEvent, b.Bytes())
 }
 
 // SendIMU streams an inertial sample.
 func (c *Client) SendIMU(s sensor.IMUSample) error {
-	var b wire.Buffer
+	b := &c.buf
+	b.Reset()
+	b.Byte(SensorIMU)
 	b.Uvarint(uint64(s.Time.UnixNano()))
 	b.Float64(s.GyroZRad)
 	b.Float64(s.AccelMps2)
 	b.Float64(s.CompassDeg)
-	return c.send(wire.MsgSensorEvent, append([]byte{SensorIMU}, b.Bytes()...))
+	return c.send(wire.MsgSensorEvent, b.Bytes())
 }
 
 // SendGaze streams a gaze sample.
 func (c *Client) SendGaze(s sensor.GazeSample) error {
-	var b wire.Buffer
+	b := &c.buf
+	b.Reset()
+	b.Byte(SensorGaze)
 	b.Uvarint(uint64(s.Time.UnixNano()))
 	b.Uvarint(s.TargetID)
 	b.Float64(s.DwellMS)
-	return c.send(wire.MsgSensorEvent, append([]byte{SensorGaze}, b.Bytes()...))
+	return c.send(wire.MsgSensorEvent, b.Bytes())
 }
 
 // RequestFrame asks for the current overlay and blocks for the reply.

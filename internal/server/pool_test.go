@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+)
+
+// TestPooledFrameBuffersNoCrossTalk drives many concurrent connections
+// through the pooled zero-copy response path and checks no response leaks
+// another session's data: every annotation a client receives must anchor
+// near that client's own reported position. Run under -race (CI does) this
+// also proves pooled wire.Buffers never cross concurrent frame responses.
+func TestPooledFrameBuffersNoCrossTalk(t *testing.T) {
+	_, addr := startServer(t)
+	const clients = 24
+	const rounds = 15
+	// Positions far enough apart that one client's query radius (250 m
+	// default) cannot reach another's POIs.
+	positions := make([]geo.Point, clients)
+	for i := range positions {
+		positions[i] = geo.Destination(center, float64(i*360/clients), 200+float64(i%5)*150)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			pos := positions[c]
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 3}); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				f, _, err := cl.RequestFrame()
+				if err != nil {
+					errs <- fmt.Errorf("client %d round %d: %w", c, r, err)
+					return
+				}
+				for _, a := range f.Annotations {
+					if d := geo.DistanceMeters(pos, a.Anchor); d > 300 {
+						errs <- fmt.Errorf("client %d round %d: annotation %d anchored %.0f m away — another session's frame?",
+							c, r, a.ID, d)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

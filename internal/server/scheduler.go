@@ -34,6 +34,22 @@ type SchedulerConfig struct {
 	// being shed. Zero disables shedding for directly-constructed
 	// schedulers; server.NewWithOptions applies its own 250 ms default.
 	Deadline time.Duration
+	// Load reports backend pressure (telemetry flush latency and analytics
+	// backlog). When set alongside a Deadline, admission becomes lag-aware:
+	// the effective shedding deadline tightens as pressure grows, so the
+	// server sheds earlier when the big-data plane falls behind instead of
+	// rendering frames whose context analytics are already stale.
+	// Platform.LoadSignal is the intended source; server.NewWithOptions
+	// wires it by default.
+	Load func() core.LoadSignal
+	// LoadPollEvery bounds how often Load is consulted (default 10 ms) so
+	// admission stays cheap at frame rates.
+	LoadPollEvery time.Duration
+	// FlushLatencyRef and BacklogRef normalise pressure: each is the signal
+	// level that alone halves the effective deadline (defaults 5 ms and
+	// 4096 records). The effective deadline never drops below Deadline/16.
+	FlushLatencyRef time.Duration
+	BacklogRef      int64
 }
 
 func (c *SchedulerConfig) defaults() {
@@ -42,6 +58,15 @@ func (c *SchedulerConfig) defaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = c.Workers * 16
+	}
+	if c.LoadPollEvery <= 0 {
+		c.LoadPollEvery = 10 * time.Millisecond
+	}
+	if c.FlushLatencyRef <= 0 {
+		c.FlushLatencyRef = 5 * time.Millisecond
+	}
+	if c.BacklogRef <= 0 {
+		c.BacklogRef = 4096
 	}
 }
 
@@ -53,6 +78,12 @@ type FrameScheduler struct {
 	cfg  SchedulerConfig
 	reg  *metrics.Registry
 	jobs chan frameJob
+
+	// loadMu guards the cached backend-load sample; cfg.Load is polled at
+	// most every cfg.LoadPollEvery.
+	loadMu  sync.Mutex
+	loadAt  time.Time
+	loadSig core.LoadSignal
 
 	wg        sync.WaitGroup
 	quit      chan struct{}
@@ -109,11 +140,50 @@ func (fs *FrameScheduler) worker() {
 	}
 }
 
+// currentLoad returns the most recent backend-load sample, refreshing it
+// from cfg.Load at most every LoadPollEvery.
+func (fs *FrameScheduler) currentLoad() core.LoadSignal {
+	fs.loadMu.Lock()
+	defer fs.loadMu.Unlock()
+	if now := time.Now(); now.Sub(fs.loadAt) >= fs.cfg.LoadPollEvery {
+		fs.loadSig = fs.cfg.Load()
+		fs.loadAt = now
+	}
+	return fs.loadSig
+}
+
+// EffectiveDeadline returns the queue-wait budget currently applied to
+// frame jobs: the configured deadline, tightened by backend pressure when a
+// Load source is configured. Pressure 1 (flush latency at FlushLatencyRef,
+// or backlog at BacklogRef) halves the deadline; the floor is Deadline/16.
+func (fs *FrameScheduler) EffectiveDeadline() time.Duration {
+	d := fs.cfg.Deadline
+	if d <= 0 || fs.cfg.Load == nil {
+		return d
+	}
+	sig := fs.currentLoad()
+	pressure := float64(sig.FlushLatency)/float64(fs.cfg.FlushLatencyRef) +
+		float64(sig.Backlog)/float64(fs.cfg.BacklogRef)
+	if pressure <= 0 {
+		return d
+	}
+	eff := time.Duration(float64(d) / (1 + pressure))
+	if floor := d / 16; eff < floor {
+		eff = floor
+	}
+	return eff
+}
+
 func (fs *FrameScheduler) run(job frameJob) {
 	wait := time.Since(job.enq)
 	fs.reg.Histogram("server.frame.queue_wait").Observe(wait)
-	if fs.cfg.Deadline > 0 && wait > fs.cfg.Deadline {
+	if deadline := fs.EffectiveDeadline(); deadline > 0 && wait > deadline {
 		fs.reg.Counter("server.frames.shed").Inc()
+		if wait <= fs.cfg.Deadline {
+			// Inside the base deadline: this frame was shed only because
+			// backend pressure tightened admission.
+			fs.reg.Counter("server.frames.shed_lag").Inc()
+		}
 		job.done(nil, ErrFrameShed)
 		return
 	}

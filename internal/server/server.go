@@ -33,6 +33,10 @@ type Server struct {
 	ln       net.Listener
 	logger   *log.Logger
 	sched    *FrameScheduler
+	// bufs pools frame-response encode buffers: a frame is encoded once
+	// into a pooled wire.Buffer handed to the framed writer, then the
+	// buffer returns to the pool — no per-response allocations.
+	bufs sync.Pool
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -69,13 +73,20 @@ func NewWithOptions(p *core.Platform, logger *log.Logger, opts Options) *Server 
 		// not on a transient queue blip.
 		opts.Scheduler.Deadline = 250 * time.Millisecond
 	}
-	return &Server{
+	if opts.Scheduler.Load == nil {
+		// Lag-aware admission by default: frames shed earlier when the
+		// analytics plane falls behind the devices feeding it.
+		opts.Scheduler.Load = p.LoadSignal
+	}
+	s := &Server{
 		platform: p,
 		logger:   logger,
 		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
+	s.bufs.New = func() any { return wire.NewBuffer(1024) }
+	return s
 }
 
 // Scheduler exposes the server's frame scheduler (for stats).
@@ -161,46 +172,59 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	fr := wire.NewFrameReader(conn)
 	fw := wire.NewFrameWriter(conn)
+	// One envelope pair per connection, reused across messages: inbound
+	// payloads alias the frame reader's buffer and are fully applied before
+	// the next read; outbound payloads alias pooled encode buffers released
+	// after the write. The steady-state request/response loop allocates
+	// nothing.
+	var env, reply wire.Envelope
 	for {
-		env, err := fr.ReadEnvelope()
-		if err != nil {
+		if err := fr.ReadEnvelopeReuse(&env); err != nil {
 			return // EOF or broken pipe: session over
 		}
-		reply, err := s.handle(sess, env)
+		hasReply, pooled, err := s.handle(sess, &env, &reply)
 		if err != nil {
-			reply = &wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())}
+			reply = wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())}
+			hasReply = true
 		}
-		if reply != nil {
-			if err := fw.WriteEnvelope(reply); err != nil {
-				return
+		if hasReply {
+			werr := fw.WriteEnvelope(&reply)
+			ferr := fw.Flush()
+			if pooled != nil {
+				s.bufs.Put(pooled)
 			}
-			if err := fw.Flush(); err != nil {
+			if werr != nil || ferr != nil {
 				return
 			}
 		}
 	}
 }
 
-func (s *Server) handle(sess *core.Session, env *wire.Envelope) (*wire.Envelope, error) {
+// handle applies one inbound envelope. When hasReply is true, reply has been
+// filled in; pooled (when non-nil) backs reply.Payload and must be returned
+// to s.bufs only after the reply has been written.
+func (s *Server) handle(sess *core.Session, env, reply *wire.Envelope) (hasReply bool, pooled *wire.Buffer, err error) {
 	switch env.Type {
 	case wire.MsgSensorEvent:
-		if err := applySensor(sess, env.Payload); err != nil {
-			return nil, err
-		}
-		return nil, nil // sensor stream is one-way
+		return false, nil, applySensor(sess, env.Payload) // sensor stream is one-way
 	case wire.MsgFrameRequest:
 		f, err := s.sched.Frame(sess)
 		if err != nil {
-			return nil, err
+			return false, nil, err
 		}
-		return &wire.Envelope{
+		buf := s.bufs.Get().(*wire.Buffer)
+		buf.Reset()
+		core.EncodeFrameInto(buf, f)
+		*reply = wire.Envelope{
 			Type: wire.MsgAnnotations, Seq: env.Seq, Session: sess.ID,
-			Payload: core.EncodeFrame(f),
-		}, nil
+			Payload: buf.Bytes(),
+		}
+		return true, buf, nil
 	case wire.MsgControl:
-		return &wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}, nil
+		*reply = wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}
+		return true, nil, nil
 	default:
-		return nil, fmt.Errorf("server: unsupported message %v", env.Type)
+		return false, nil, fmt.Errorf("server: unsupported message %v", env.Type)
 	}
 }
 

@@ -64,6 +64,11 @@ func (e *Buffer) Float64(v float64) {
 	e.Uint64(math.Float64bits(v))
 }
 
+// Byte appends one raw byte (protocol discriminators like sensor kinds).
+func (e *Buffer) Byte(v byte) {
+	e.b = append(e.b, v)
+}
+
 // Bool appends v as a single byte.
 func (e *Buffer) Bool(v bool) {
 	if v {

@@ -78,25 +78,36 @@ func EncodeEnvelope(buf []byte, env *Envelope) []byte {
 // DecodeEnvelope parses an envelope from p. The returned envelope's Payload
 // aliases p.
 func DecodeEnvelope(p []byte) (*Envelope, error) {
-	if len(p) < 1 {
-		return nil, ErrShortBuffer
-	}
-	env := &Envelope{Type: MsgType(p[0])}
-	if !env.Type.Valid() {
-		return nil, fmt.Errorf("wire: invalid message type %d", p[0])
-	}
-	r := NewReader(p[1:])
-	var err error
-	if env.Seq, err = r.Uvarint(); err != nil {
-		return nil, r.Err(err, "seq")
-	}
-	if env.Session, err = r.Uvarint(); err != nil {
-		return nil, r.Err(err, "session")
-	}
-	if env.Payload, err = r.Bytes8(); err != nil {
-		return nil, r.Err(err, "payload")
+	env := &Envelope{}
+	if err := DecodeEnvelopeInto(env, p); err != nil {
+		return nil, err
 	}
 	return env, nil
+}
+
+// DecodeEnvelopeInto parses an envelope from p into env, overwriting every
+// field. env.Payload aliases p. Connection loops reuse one Envelope across
+// reads to keep the inbound path allocation-free.
+func DecodeEnvelopeInto(env *Envelope, p []byte) error {
+	if len(p) < 1 {
+		return ErrShortBuffer
+	}
+	env.Type = MsgType(p[0])
+	if !env.Type.Valid() {
+		return fmt.Errorf("wire: invalid message type %d", p[0])
+	}
+	r := Reader{b: p[1:]}
+	var err error
+	if env.Seq, err = r.Uvarint(); err != nil {
+		return r.Err(err, "seq")
+	}
+	if env.Session, err = r.Uvarint(); err != nil {
+		return r.Err(err, "session")
+	}
+	if env.Payload, err = r.Bytes8(); err != nil {
+		return r.Err(err, "payload")
+	}
+	return nil
 }
 
 // FrameWriter writes checksummed, length-prefixed frames to an io.Writer.
@@ -105,6 +116,7 @@ func DecodeEnvelope(p []byte) (*Envelope, error) {
 type FrameWriter struct {
 	w   *bufio.Writer
 	hdr [8]byte
+	env []byte // reusable envelope encode buffer (FrameWriter is single-user)
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -174,10 +186,11 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 	return fr.buf, nil
 }
 
-// WriteEnvelope frames and writes env in one call.
+// WriteEnvelope frames and writes env in one call, reusing the writer's
+// internal encode buffer across calls.
 func (fw *FrameWriter) WriteEnvelope(env *Envelope) error {
-	payload := EncodeEnvelope(nil, env)
-	return fw.WriteFrame(payload)
+	fw.env = EncodeEnvelope(fw.env[:0], env)
+	return fw.WriteFrame(fw.env)
 }
 
 // ReadEnvelope reads one frame and decodes it as an envelope. The envelope's
@@ -193,4 +206,16 @@ func (fr *FrameReader) ReadEnvelope() (*Envelope, error) {
 	}
 	env.Payload = append([]byte(nil), env.Payload...)
 	return env, nil
+}
+
+// ReadEnvelopeReuse reads one frame and decodes it into env without copying:
+// env.Payload aliases the reader's internal frame buffer and is valid only
+// until the next Read call. Connection loops that fully apply each message
+// before reading the next use it to keep the inbound path allocation-free.
+func (fr *FrameReader) ReadEnvelopeReuse(env *Envelope) error {
+	p, err := fr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	return DecodeEnvelopeInto(env, p)
 }
