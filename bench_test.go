@@ -1,5 +1,5 @@
 // Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
-// one testing.B benchmark per derived experiment E1-E15, so
+// one testing.B benchmark per derived experiment E1-E16, so
 // `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
 // The rendered tables themselves come from `go run ./cmd/arbd-bench`.
 // TestExperimentsSmoke additionally runs every experiment at tiny scale in
@@ -51,6 +51,11 @@ func BenchmarkE14MultiSessionThroughput(b *testing.B) { runExperiment(b, "E14") 
 // BenchmarkE15GCPressure compares frame hot-path allocations and latency
 // with the per-session scratch enabled (pooled) and disabled (alloc).
 func BenchmarkE15GCPressure(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkE16ScaleOut sweeps shard counts behind one router (1/2/4 shard
+// nodes over loopback TCP) — the multi-node frontend's aggregate frames/s
+// against the E14 single-process baseline.
+func BenchmarkE16ScaleOut(b *testing.B) { runExperiment(b, "E16") }
 
 // TestExperimentsSmoke runs every registered experiment once at smoke scale:
 // a broken experiment fails plain `go test` instead of hiding until the next

@@ -1,6 +1,10 @@
 // Command arbd-loadgen drives an arbd-server with simulated devices:
 // each client walks the city, streams GPS/IMU at device rates, requests
-// frames at the target FPS, and reports end-to-end frame latency.
+// frames at the target FPS, and reports end-to-end frame latency. The
+// target may be a standalone server or a router fronting shard nodes —
+// the client protocol is identical, so pointing -addr at a router
+// exercises the full multi-node forward path (router sheds count as shed,
+// not as errors).
 //
 // Usage:
 //

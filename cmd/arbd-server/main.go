@@ -2,9 +2,24 @@
 // the wire protocol: clients stream sensor envelopes and request AR overlay
 // frames. See cmd/arbd-loadgen for a matching client.
 //
+// Three roles share one frame-serving engine (internal/server.Engine):
+//
+//	standalone — one process, one session per client connection (default)
+//	shard      — owns a partition of the session ID space; serves routers
+//	router     — owns client connections; places sessions on shards by a
+//	             rendezvous ring and forwards envelopes, shedding frames
+//	             early when a shard's pushed LoadSignal reports pressure
+//
 // Usage:
 //
 //	arbd-server -addr :7600 -pois 5000 -seed 1 [-epsilon 0.01]
+//	arbd-server -role shard -shard-id 1 -addr :7701
+//	arbd-server -role shard -shard-id 2 -addr :7702
+//	arbd-server -role router -addr :7600 -shards 1=127.0.0.1:7701,2=127.0.0.1:7702
+//
+// A router process hosts no platform: world flags (-pois, -seed, ...) apply
+// to standalone and shard roles. Point arbd-loadgen at a router exactly as
+// at a standalone server — the client protocol is identical.
 package main
 
 import (
@@ -13,6 +28,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"arbd/internal/core"
@@ -30,6 +47,9 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7600", "listen address")
+		role    = flag.String("role", "standalone", "server role: standalone | shard | router")
+		shardID = flag.Uint64("shard-id", 1, "this shard's ring member ID (role=shard)")
+		shards  = flag.String("shards", "", "static shard membership for role=router: id=host:port,id=host:port")
 		seed    = flag.Int64("seed", 1, "world seed")
 		pois    = flag.Int("pois", 5000, "synthetic city POI count")
 		radius  = flag.Float64("radius", 3000, "city radius, meters")
@@ -38,6 +58,10 @@ func run() error {
 		epsilon = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
 	)
 	flag.Parse()
+
+	if *role == "router" {
+		return runRouter(*addr, *shards)
+	}
 
 	platform, err := core.NewPlatform(core.Config{
 		Seed: *seed,
@@ -61,16 +85,74 @@ func run() error {
 		}
 	}()
 
-	srv := server.New(platform, log.Default())
-	bound, err := srv.Listen(*addr)
+	switch *role {
+	case "standalone":
+		srv := server.New(platform, log.Default())
+		bound, err := srv.Listen(*addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("arbd-server listening on %s (%d POIs, seed %d)", bound, *pois, *seed)
+		awaitSignal()
+		return srv.Close()
+	case "shard":
+		sh := server.NewShard(platform, log.Default(), server.ShardOptions{ID: *shardID})
+		bound, err := sh.Listen(*addr)
+		if err != nil {
+			return err
+		}
+		log.Printf("arbd-server shard %d listening on %s (%d POIs, seed %d)", *shardID, bound, *pois, *seed)
+		awaitSignal()
+		return sh.Close()
+	default:
+		return fmt.Errorf("unknown role %q (standalone | shard | router)", *role)
+	}
+}
+
+func runRouter(addr, shards string) error {
+	members, err := parseMembers(shards)
 	if err != nil {
 		return err
 	}
-	log.Printf("arbd-server listening on %s (%d POIs, seed %d)", bound, *pois, *seed)
+	r, err := server.NewRouter(members, log.Default(), nil, server.RouterOptions{})
+	if err != nil {
+		return err
+	}
+	if err := r.Connect(); err != nil {
+		return err
+	}
+	bound, err := r.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("arbd-server router listening on %s (%d shards)", bound, len(members))
+	awaitSignal()
+	return r.Close()
+}
 
+// parseMembers parses "1=127.0.0.1:7701,2=127.0.0.1:7702".
+func parseMembers(s string) ([]server.Member, error) {
+	if s == "" {
+		return nil, fmt.Errorf("role=router needs -shards (id=host:port,...)")
+	}
+	var members []server.Member
+	for _, part := range strings.Split(s, ",") {
+		id, a, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad shard entry %q, want id=host:port", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard id in %q: %w", part, err)
+		}
+		members = append(members, server.Member{ID: n, Addr: a})
+	}
+	return members, nil
+}
+
+func awaitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
-	return srv.Close()
 }

@@ -217,20 +217,37 @@ type HeavyHitter struct {
 // TopK returns up to k tracked keys sorted by estimated count descending
 // (ties by key for determinism).
 func (ss *SpaceSaving) TopK(k int) []HeavyHitter {
-	out := make([]HeavyHitter, 0, len(ss.counts))
+	return ss.TopKInto(make([]HeavyHitter, 0, len(ss.counts)), k)
+}
+
+// TopKInto is TopK appending into dst (overwriting its contents), so a
+// caller snapshotting the sketch every frame can reuse one slice. It sorts
+// by insertion rather than sort.Slice: the monitored set is small (the
+// sketch capacity, ~64) and the closure-free sort keeps the snapshot
+// allocation-free once dst has warmed to capacity.
+func (ss *SpaceSaving) TopKInto(dst []HeavyHitter, k int) []HeavyHitter {
+	out := dst[:0]
 	for key, e := range ss.counts {
 		out = append(out, HeavyHitter{Key: key, Count: e.count, Err: e.err})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && heavierHitter(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
-		return out[i].Key < out[j].Key
-	})
+	}
 	if len(out) > k {
 		out = out[:k]
 	}
 	return out
+}
+
+// heavierHitter orders heavy hitters by estimated count descending, ties by
+// key ascending for determinism.
+func heavierHitter(a, b HeavyHitter) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
 }
 
 // Total returns the number of observations.

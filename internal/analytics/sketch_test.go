@@ -239,3 +239,51 @@ func TestReservoirSmallStream(t *testing.T) {
 		t.Fatal("empty quantile not NaN")
 	}
 }
+
+// TestTopKIntoMatchesTopK checks the buffer-reusing snapshot returns
+// exactly what the allocating form returns, with the destination reused
+// (dirty) across sketches of different sizes.
+func TestTopKIntoMatchesTopK(t *testing.T) {
+	var dst []HeavyHitter
+	for _, keys := range []int{0, 3, 64, 200} {
+		ss := NewSpaceSaving(64)
+		for i := 0; i < keys*31; i++ {
+			// Skewed stream: key k appears ~k times per cycle.
+			ss.Add(fmt.Sprintf("key-%d", i%keys+1))
+			for j := 0; j < i%keys; j++ {
+				ss.Add(fmt.Sprintf("key-%d", i%keys+1))
+			}
+		}
+		for _, k := range []int{1, 5, 64} {
+			want := ss.TopK(k)
+			dst = ss.TopKInto(dst, k)
+			if len(dst) != len(want) {
+				t.Fatalf("keys=%d k=%d: TopKInto len %d, want %d", keys, k, len(dst), len(want))
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("keys=%d k=%d: entry %d = %+v, want %+v", keys, k, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKIntoSteadyStateAllocs checks a warmed snapshot buffer makes the
+// per-frame sketch snapshot allocation-free.
+func TestTopKIntoSteadyStateAllocs(t *testing.T) {
+	ss := NewSpaceSaving(64)
+	for i := 0; i < 5000; i++ {
+		ss.Add(fmt.Sprintf("key-%d", i%100))
+	}
+	var dst []HeavyHitter
+	for i := 0; i < 4; i++ {
+		dst = ss.TopKInto(dst, 1)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = ss.TopKInto(dst, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("TopKInto allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

@@ -8,17 +8,42 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 15 {
-		t.Fatalf("registered %d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registered %d experiments, want 16", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E15.
-	if exps[0].ID != "E1" || exps[14].ID != "E15" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[14].ID)
+	// Sorted E1..E16.
+	if exps[0].ID != "E1" || exps[15].ID != "E16" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[15].ID)
+	}
+}
+
+// TestE16SmokeShape runs the scale-out smoke harness end to end (a real
+// router and shard processes-in-miniature over loopback) and checks the
+// table reports one row per shard count with no client errors.
+func TestE16SmokeShape(t *testing.T) {
+	tbl := e16ScaleOutSmoke()
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"shards", "frames/s", "p99", "shed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	for _, l := range strings.Split(out, "\n") {
+		fields := strings.Fields(l)
+		if len(fields) < 7 || (fields[0] != "1" && fields[0] != "2") {
+			continue
+		}
+		if fields[6] != "0" {
+			t.Fatalf("shard count %s reported %s client errors:\n%s", fields[0], fields[6], out)
+		}
 	}
 }
 

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/sim"
+)
+
+// E16ScaleOut measures the multi-node frontend: one router fronting 1/2/4
+// shard nodes over loopback TCP, driven by concurrent protocol clients.
+// Each shard's frame scheduler is pinned to one worker, emulating a fixed
+// per-node compute budget, so aggregate frames/s growing with the shard
+// count is the scale-out property itself rather than incidental
+// parallelism — the paper's horizontal-scale assumption (CloudRiDAR-style
+// offload across nodes, §4.1) made measurable. Compare against E14 for the
+// single-process ceiling.
+func E16ScaleOut() *metrics.Table {
+	return e16ScaleOut([]int{1, 2, 4}, 512, 2000, 3*time.Second)
+}
+
+// e16ScaleOutSmoke is the tiny-parameter variant for plain `go test` and
+// arbd-bench -smoke.
+func e16ScaleOutSmoke() *metrics.Table {
+	return e16ScaleOut([]int{1, 2}, 8, 300, 250*time.Millisecond)
+}
+
+func e16ScaleOut(shardCounts []int, sessions, numPOIs int, duration time.Duration) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E16: multi-node scale-out (router × N shards, %d sessions, %d POIs, 1 worker/shard, %v/point)",
+			sessions, numPOIs, duration),
+		"shards", "frames", "frames/s", "p50", "p99", "shed", "errors")
+	for _, n := range shardCounts {
+		row := runScaleOut(n, sessions, numPOIs, duration)
+		t.AddRow(n, row.frames, fmt.Sprintf("%.0f", row.rate),
+			ms(row.p50), ms(row.p99), row.shed, row.errors)
+	}
+	return t
+}
+
+type scaleOutResult struct {
+	frames   int64
+	rate     float64
+	p50, p99 time.Duration
+	shed     int64
+	errors   int64
+}
+
+// scaleOutCluster is a router plus in-process shard nodes wired over
+// loopback TCP — the E16 harness and the router integration tests share it.
+func runScaleOut(shards, sessions, numPOIs int, duration time.Duration) scaleOutResult {
+	discard := log.New(io.Discard, "", 0)
+	members := make([]server.Member, 0, shards)
+	nodes := make([]*server.Shard, 0, shards)
+	for i := 0; i < shards; i++ {
+		p, err := core.NewPlatform(core.Config{
+			Seed: 16,
+			City: geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+		})
+		if err != nil {
+			panic(err)
+		}
+		sh := server.NewShard(p, discard, server.ShardOptions{
+			ID: uint64(i + 1),
+			// One worker per shard: per-node compute is the unit of
+			// scale-out. A generous deadline keeps shedding an overload
+			// signal rather than steady-state behaviour.
+			Options: server.Options{Scheduler: server.SchedulerConfig{Workers: 1, Deadline: 2 * time.Second}},
+		})
+		addr, err := sh.Listen("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		members = append(members, server.Member{ID: uint64(i + 1), Addr: addr})
+		nodes = append(nodes, sh)
+	}
+	defer func() {
+		for _, sh := range nodes {
+			_ = sh.Close()
+		}
+	}()
+
+	rt, err := server.NewRouter(members, discard, nil, server.RouterOptions{Deadline: 2 * time.Second})
+	if err != nil {
+		panic(err)
+	}
+	if err := rt.Connect(); err != nil {
+		panic(err)
+	}
+	addr, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = rt.Close() }()
+
+	var (
+		hist    metrics.Histogram
+		frames  metrics.Counter
+		shedCtr metrics.Counter
+		errsCtr metrics.Counter
+		wg      sync.WaitGroup
+	)
+	rng := sim.NewRand(16)
+	positions := make([]geo.Point, sessions)
+	for i := range positions {
+		positions[i] = geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1500)
+	}
+	start := time.Now()
+	deadline := start.Add(duration)
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			defer cl.Close()
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: positions[c], AccuracyM: 5}); err != nil {
+				errsCtr.Inc()
+				return
+			}
+			for time.Now().Before(deadline) {
+				_, rtt, err := cl.RequestFrame()
+				switch {
+				case err == nil:
+					hist.Observe(rtt)
+					frames.Inc()
+				case strings.Contains(err.Error(), server.ErrFrameShed.Error()):
+					shedCtr.Inc()
+				default:
+					errsCtr.Inc()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	snap := hist.Snapshot()
+	return scaleOutResult{
+		frames: frames.Value(),
+		rate:   float64(frames.Value()) / wall.Seconds(),
+		p50:    snap.P50,
+		p99:    snap.P99,
+		shed:   shedCtr.Value(),
+		errors: errsCtr.Value(),
+	}
+}

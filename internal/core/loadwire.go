@@ -1,0 +1,31 @@
+package core
+
+import (
+	"time"
+
+	"arbd/internal/wire"
+)
+
+// EncodeLoadSignalInto appends sig's wire form to buf — the payload of a
+// wire.MsgLoad envelope. Shard nodes push it periodically over backend
+// connections so a router can run the same lag-aware admission it would run
+// in-process, against remote pressure.
+func EncodeLoadSignalInto(buf *wire.Buffer, sig LoadSignal) {
+	buf.Uvarint(uint64(sig.FlushLatency))
+	buf.Varint(sig.Backlog)
+}
+
+// DecodeLoadSignal parses an encoded LoadSignal.
+func DecodeLoadSignal(p []byte) (LoadSignal, error) {
+	r := wire.NewReader(p)
+	var sig LoadSignal
+	ns, err := r.Uvarint()
+	if err != nil {
+		return sig, r.Err(err, "flush latency")
+	}
+	sig.FlushLatency = time.Duration(ns)
+	if sig.Backlog, err = r.Varint(); err != nil {
+		return sig, r.Err(err, "backlog")
+	}
+	return sig, nil
+}

@@ -367,8 +367,9 @@ func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
 // when the big-data plane falls behind — a frame whose context analytics
 // are stale is the paper's timeliness failure even if it renders on time.
 type LoadSignal struct {
-	// FlushLatency is an exponentially-weighted moving average of telemetry
-	// batch publish latency across all sessions.
+	// FlushLatency is a streaming p99 estimate (P² algorithm) of telemetry
+	// batch publish latency across all sessions, falling back to an EWMA
+	// until the estimator has seen enough flushes.
 	FlushLatency time.Duration
 	// Backlog counts interaction records produced but not yet consumed by
 	// the analytics plane (0 before Start).
@@ -394,4 +395,13 @@ func (p *Platform) HotPOIs(k int) []analytics.HeavyHitter {
 	p.hotMu.RLock()
 	defer p.hotMu.RUnlock()
 	return p.hot.TopK(k)
+}
+
+// HotPOIsInto is HotPOIs appending into dst — the frame hot path snapshots
+// the sketch into per-session scratch so steady-state frames allocate
+// nothing here.
+func (p *Platform) HotPOIsInto(dst []analytics.HeavyHitter, k int) []analytics.HeavyHitter {
+	p.hotMu.RLock()
+	defer p.hotMu.RUnlock()
+	return p.hot.TopKInto(dst, k)
 }

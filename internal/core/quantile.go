@@ -1,0 +1,125 @@
+package core
+
+// p2Quantile estimates one quantile of a stream in O(1) space with the P²
+// algorithm (Jain & Chlamtac, 1985): five markers track the minimum, the
+// target quantile, points halfway to each side, and the maximum. Marker
+// heights move by a piecewise-parabolic fit as observations arrive, so the
+// estimate follows the tail without buffering the stream — which is what
+// lets admission control react to p99 flush latency instead of the mean
+// without keeping a latency log per platform.
+//
+// Not safe for concurrent use; loadTracker serialises access.
+type p2Quantile struct {
+	q    float64
+	n    int        // observations seen
+	init [5]float64 // the first five observations, pre-initialisation
+	h    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based counts)
+	des  [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increment per observation
+}
+
+func newP2Quantile(q float64) *p2Quantile {
+	return &p2Quantile{q: q}
+}
+
+// reset discards all state, as if no observations had been seen. The load
+// tracker resets after long idle gaps so a stale pressure spike frozen in
+// the markers cannot resurrect when traffic resumes.
+func (p *p2Quantile) reset() {
+	n := newP2Quantile(p.q)
+	*p = *n
+}
+
+// observe folds one sample into the estimator.
+func (p *p2Quantile) observe(x float64) {
+	if p.n < 5 {
+		p.init[p.n] = x
+		p.n++
+		if p.n == 5 {
+			p.initialise()
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x, extending the extremes when x falls
+	// outside them.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.des[i] += p.inc[i]
+	}
+
+	// Nudge interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.des[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			step := 1.0
+			if d < 0 {
+				step = -1.0
+			}
+			if h := p.parabolic(i, step); p.h[i-1] < h && h < p.h[i+1] {
+				p.h[i] = h
+			} else {
+				p.h[i] = p.linear(i, step)
+			}
+			p.pos[i] += step
+		}
+	}
+}
+
+// initialise sorts the first five observations into the markers.
+func (p *p2Quantile) initialise() {
+	s := p.init // copy
+	for i := 1; i < 5; i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	p.h = s
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	q := p.q
+	p.des = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+// parabolic is the P² piecewise-parabolic height update for marker i moving
+// by step (±1).
+func (p *p2Quantile) parabolic(i int, step float64) float64 {
+	return p.h[i] + step/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+step)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-step)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabola overshoots a
+// neighbouring marker.
+func (p *p2Quantile) linear(i int, step float64) float64 {
+	j := i + int(step)
+	return p.h[i] + step*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// estimate returns the current quantile estimate; ok is false until five
+// observations have been seen.
+func (p *p2Quantile) estimate() (float64, bool) {
+	if p.n < 5 {
+		return 0, false
+	}
+	return p.h[2], true
+}

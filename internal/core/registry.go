@@ -40,17 +40,25 @@ func newSessionRegistry(shards int) *sessionRegistry {
 	return r
 }
 
-// shardFor mixes the ID before masking: session IDs are sequential, and
-// without mixing, consecutive sessions would hit consecutive shards in
-// lockstep batches. SplitMix64's finalizer spreads them uniformly.
-func (r *sessionRegistry) shardFor(id uint64) *registryShard {
+// MixSessionID applies the SplitMix64 finalizer to a session ID. Session
+// IDs are sequential, so anything that partitions by ID — the in-process
+// registry shards here, and the multi-node router's rendezvous ring — must
+// mix first or consecutive sessions land on consecutive partitions in
+// lockstep batches. Both partitioners key off this one mix so the spread
+// properties are shared.
+func MixSessionID(id uint64) uint64 {
 	h := id
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
-	return &r.shards[h&r.mask]
+	return h
+}
+
+// shardFor picks the registry shard owning an ID.
+func (r *sessionRegistry) shardFor(id uint64) *registryShard {
+	return &r.shards[MixSessionID(id)&r.mask]
 }
 
 func (r *sessionRegistry) add(s *Session) {
@@ -59,6 +67,22 @@ func (r *sessionRegistry) add(s *Session) {
 	sh.sessions[s.ID] = s
 	sh.mu.Unlock()
 	r.count.Add(1)
+}
+
+// addIfAbsent registers s unless a session with its ID already exists, in
+// which case the existing session is returned. Shard nodes use it to make
+// concurrent get-or-create by router-assigned ID race-free.
+func (r *sessionRegistry) addIfAbsent(s *Session) (*Session, bool) {
+	sh := r.shardFor(s.ID)
+	sh.mu.Lock()
+	if cur, ok := sh.sessions[s.ID]; ok {
+		sh.mu.Unlock()
+		return cur, true
+	}
+	sh.sessions[s.ID] = s
+	sh.mu.Unlock()
+	r.count.Add(1)
+	return s, false
 }
 
 func (r *sessionRegistry) get(id uint64) (*Session, bool) {

@@ -81,7 +81,9 @@ type frameScratch struct {
 	tags    map[uint64][]arml.Tag
 	metrics map[string]float64
 	rec     []uint64
-	key     []byte // analytics key scratch (poi-<id>)
+	key     []byte                  // analytics key scratch (poi-<id>)
+	hot     []analytics.HeavyHitter // sketch TopK snapshot scratch
+	frame   Frame                   // the returned *Frame itself is reused
 }
 
 func newFrameScratch() *frameScratch {
@@ -95,7 +97,35 @@ func newFrameScratch() *frameScratch {
 // session registry, and returns it. The session owns the device's tracking
 // state and privacy principal.
 func (p *Platform) NewSession() *Session {
-	id := p.nextSess.Add(1)
+	s := p.buildSession(p.nextSess.Add(1))
+	p.sessions.add(s)
+	return s
+}
+
+// SessionOrNew returns the live session with the given ID, creating and
+// registering one if absent. This is the shard-node path: the router mints
+// session IDs and a single backend connection multiplexes many sessions, so
+// the shard resolves each envelope's session by ID instead of owning one
+// session per connection. Safe for concurrent use; when two callers race on
+// the same new ID exactly one session wins and both get it.
+func (p *Platform) SessionOrNew(id uint64) *Session {
+	if s, ok := p.sessions.get(id); ok {
+		return s
+	}
+	// Keep platform-assigned IDs ahead of externally minted ones so a later
+	// NewSession cannot collide with a router-assigned session.
+	for {
+		cur := p.nextSess.Load()
+		if cur >= id || p.nextSess.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+	s, _ := p.sessions.addIfAbsent(p.buildSession(id))
+	return s
+}
+
+// buildSession constructs (but does not register) a session with the ID.
+func (p *Platform) buildSession(id uint64) *Session {
 	principal := fmt.Sprintf("session-%d", id)
 	s := &Session{
 		ID:        id,
@@ -111,7 +141,6 @@ func (p *Platform) NewSession() *Session {
 	if !p.cfg.DisableFrameScratch {
 		s.scratch = newFrameScratch()
 	}
-	p.sessions.add(s)
 	return s
 }
 
@@ -233,13 +262,36 @@ type Frame struct {
 // overlay. It implements the timeliness loop: measure, and if over budget,
 // degrade the next frame; if comfortably under budget, recover.
 //
-// The returned Frame's slices and maps alias per-session buffers that
-// subsequent Frame calls on the same session reuse: consume (or deep-copy)
-// a frame before requesting the next one. Config.DisableFrameScratch
-// restores fully allocating frames.
+// The returned *Frame — the struct itself as well as its slices and maps —
+// aliases per-session buffers that subsequent Frame calls on the same
+// session reuse: consume (or deep-copy) a frame before requesting the next
+// one. Config.DisableFrameScratch restores fully allocating frames.
 func (s *Session) Frame(now time.Time) (*Frame, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.frameLocked(now)
+}
+
+// FrameVisit renders one frame and invokes visit with it before releasing
+// the session lock, so visit observes the frame's scratch-backed contents
+// atomically with respect to the session's next Frame call. Asynchronous
+// servers (the shard role) encode the wire response inside visit: without
+// the lock, a pipelined second frame request could re-enter Frame on
+// another worker and overwrite the shared scratch mid-encode. visit must
+// not call back into the session.
+func (s *Session) FrameVisit(now time.Time, visit func(*Frame)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.frameLocked(now)
+	if err != nil {
+		return err
+	}
+	visit(f)
+	return nil
+}
+
+// frameLocked is the frame pipeline; callers hold s.mu.
+func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	start := s.platform.cfg.Clock.Now()
 	pose := s.fuser.Pose()
 
@@ -269,8 +321,10 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 	if s.level < DegradeInterp {
 		interp := s.platform.interpreter()
 		// One sketch snapshot per frame, not per POI: TopK copies and
-		// sorts the sketch under the hot lock.
-		hottest := s.platform.HotPOIs(1)
+		// sorts the sketch under the hot lock. The snapshot lands in a
+		// per-session scratch slice so steady-state frames don't allocate.
+		hottest := s.platform.HotPOIsInto(sc.hot[:0], 1)
+		sc.hot = hottest
 		for i := range pois {
 			m := s.contextMetrics(sc, &pois[i], hottest)
 			if len(m) == 0 {
@@ -320,7 +374,12 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 	s.adapt(elapsed)
 	s.platform.reg.Histogram("core.frame.latency").Observe(elapsed)
 
-	return &Frame{
+	// The Frame struct itself lives in scratch too: with the scratch
+	// enabled the same *Frame is returned every call (fresh per call when
+	// DisableFrameScratch allocated sc above), which removes the last
+	// steady-state heap allocation of the hot path.
+	f := &sc.frame
+	*f = Frame{
 		Time:        now,
 		Pose:        pose,
 		Annotations: laid,
@@ -329,7 +388,8 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 		Elapsed:     elapsed,
 		Level:       s.level,
 		JitterPx:    jitter,
-	}, nil
+	}
+	return f, nil
 }
 
 // adapt moves the degradation level: one step harsher on overrun, one step

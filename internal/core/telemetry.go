@@ -33,14 +33,24 @@ const adaptiveFlushRef = 2 * time.Millisecond
 const flushDecayHalfLife = time.Second
 
 // loadTracker aggregates telemetry flush latency across every session's
-// batcher into one EWMA, derives the adaptive batch size from it, and feeds
-// the same signal into frame admission (Platform.LoadSignal). One tracker
-// per platform; all methods are safe for concurrent use.
+// batcher into two estimates — a streaming p99 (the P² estimator) and an
+// EWMA fallback for cold starts — derives the adaptive batch size, and
+// feeds the same signal into frame admission (Platform.LoadSignal).
+// Admission keys off the p99 once it is warm: a tail of slow flushes is
+// exactly the "analytics are stale" condition the paper's timeliness rule
+// sheds for, and a mean-tracking EWMA hides it. One tracker per platform;
+// all methods are safe for concurrent use.
 type loadTracker struct {
-	flushNs atomic.Int64 // EWMA of ProduceBatch latency, ns
+	flushNs atomic.Int64 // EWMA of ProduceBatch latency, ns (fallback)
+	p99Ns   atomic.Int64 // streaming p99 of ProduceBatch latency, ns (0 = cold)
 	lastNs  atomic.Int64 // wall time of the last observation, unix ns
 	base    int          // configured batch size
 	max     int          // adaptive ceiling
+
+	// qmu serialises the P² estimator; flushes are per-batch, not
+	// per-frame, so a mutex here is off the hot path.
+	qmu sync.Mutex
+	p99 *p2Quantile
 }
 
 func newLoadTracker(base, maxSize int) *loadTracker {
@@ -50,28 +60,59 @@ func newLoadTracker(base, maxSize int) *loadTracker {
 	if maxSize < base {
 		maxSize = base
 	}
-	return &loadTracker{base: base, max: maxSize}
+	return &loadTracker{base: base, max: maxSize, p99: newP2Quantile(0.99)}
 }
 
-// observeFlush folds one batch-publish latency into the EWMA (α = 1/8).
-// It folds into the idle-decayed value, not the raw one: the first healthy
-// flush after a quiet spell must not resurrect stale pressure. Concurrent
-// observers may drop each other's sample — harmless for an EWMA.
+// observeFlush folds one batch-publish latency into the estimators: the
+// EWMA (α = 1/8) folds into the idle-decayed value, not the raw one — the
+// first healthy flush after a quiet spell must not resurrect stale
+// pressure — and the P² markers reset entirely after a long idle gap for
+// the same reason. Concurrent observers may drop each other's EWMA sample;
+// harmless for an EWMA.
 func (lt *loadTracker) observeFlush(d time.Duration) {
-	old := int64(lt.flushLatency())
+	old := int64(lt.ewma())
+	idle := time.Now().UnixNano() - lt.lastNs.Load()
 	lt.lastNs.Store(time.Now().UnixNano())
 	next := int64(d)
 	if old != 0 {
 		next = old + (int64(d)-old)/8
 	}
 	lt.flushNs.Store(next)
+
+	lt.qmu.Lock()
+	if idle > 2*int64(flushDecayHalfLife) {
+		// Clear the published estimate too: until the estimator re-warms,
+		// flushLatency must fall back to the (freshly folded) EWMA rather
+		// than serve the pre-idle p99 at full strength — lastNs was just
+		// refreshed, so read-time decay no longer ages it.
+		lt.p99.reset()
+		lt.p99Ns.Store(0)
+	}
+	lt.p99.observe(float64(d))
+	if est, ok := lt.p99.estimate(); ok {
+		lt.p99Ns.Store(int64(est))
+	}
+	lt.qmu.Unlock()
 }
 
-// flushLatency returns the flush-latency EWMA, decayed by half per
-// flushDecayHalfLife since the last observation so idle periods read as
-// recovery rather than frozen pressure.
+// ewma returns the flush-latency EWMA, idle-decayed.
+func (lt *loadTracker) ewma() time.Duration {
+	return lt.decayed(lt.flushNs.Load())
+}
+
+// flushLatency returns the admission/batching signal: the streaming p99 of
+// flush latency once the estimator is warm (≥5 samples), the EWMA before
+// that. Either is decayed by half per flushDecayHalfLife since the last
+// observation so idle periods read as recovery rather than frozen pressure.
 func (lt *loadTracker) flushLatency() time.Duration {
-	lat := lt.flushNs.Load()
+	if lat := lt.p99Ns.Load(); lat != 0 {
+		return lt.decayed(lat)
+	}
+	return lt.ewma()
+}
+
+// decayed halves lat once per flushDecayHalfLife of idle time.
+func (lt *loadTracker) decayed(lat int64) time.Duration {
 	if lat == 0 {
 		return 0
 	}

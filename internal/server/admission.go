@@ -1,0 +1,53 @@
+package server
+
+import (
+	"time"
+
+	"arbd/internal/core"
+)
+
+// Admission defaults, shared by every role so the standalone scheduler, the
+// shard, and the router tighten deadlines at the same pressure levels — the
+// "same rule local or remote" invariant below depends on these having one
+// source of truth.
+const (
+	// defaultFrameDeadline is generous: shedding should only trip under
+	// overload, not on a transient queue blip.
+	defaultFrameDeadline = 250 * time.Millisecond
+	// defaultFlushLatencyRef and defaultBacklogRef are the signal levels
+	// that alone halve the effective deadline.
+	defaultFlushLatencyRef = 5 * time.Millisecond
+	defaultBacklogRef      = 4096
+)
+
+// loadGate is the lag-aware admission rule shared by every role: it turns a
+// backend LoadSignal into an effective queue-wait deadline. Pressure 1 —
+// flush latency at flushLatencyRef, or backlog at backlogRef — halves the
+// configured deadline; contributions add; the floor is deadline/16. The
+// FrameScheduler applies it to its own platform's signal, the Router to
+// each shard's MsgLoad-reported signal, so a frame is shed by the same rule
+// whether the pressure is local or a forward hop away.
+type loadGate struct {
+	deadline        time.Duration
+	flushLatencyRef time.Duration
+	backlogRef      int64
+}
+
+// effective returns the admission deadline under sig. A non-positive
+// configured deadline disables shedding and is returned unchanged.
+func (g loadGate) effective(sig core.LoadSignal) time.Duration {
+	d := g.deadline
+	if d <= 0 {
+		return d
+	}
+	pressure := float64(sig.FlushLatency)/float64(g.flushLatencyRef) +
+		float64(sig.Backlog)/float64(g.backlogRef)
+	if pressure <= 0 {
+		return d
+	}
+	eff := time.Duration(float64(d) / (1 + pressure))
+	if floor := d / 16; eff < floor {
+		eff = floor
+	}
+	return eff
+}

@@ -1,0 +1,260 @@
+// The frame-serving engine and the shared listener plumbing. Three roles
+// are built on the Engine: the standalone Server (one session per client
+// connection), the Shard (a partition of the session ID space, sessions
+// resolved per envelope), and the Router (no engine of its own — it owns
+// client connections and forwards to shards). Extracting the engine from
+// the TCP listener is what lets one process serve any role with identical
+// frame semantics.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// Engine bundles what every frame-serving role shares: the platform, the
+// bounded frame scheduler, and the pooled response-encode buffers. It has
+// no listener — roles own their connections and call into the engine per
+// envelope.
+type Engine struct {
+	platform *core.Platform
+	sched    *FrameScheduler
+	// bufs pools frame-response encode buffers: a frame is encoded once
+	// into a pooled wire.Buffer handed to the framed writer, then the
+	// buffer returns to the pool — no per-response allocations.
+	bufs sync.Pool
+}
+
+// NewEngine builds an engine over the platform with the server's scheduler
+// defaults (250 ms shedding deadline unless overridden, lag-aware admission
+// from the platform's LoadSignal unless a Load source is given).
+func NewEngine(p *core.Platform, opts Options) *Engine {
+	switch {
+	case opts.Scheduler.Deadline < 0:
+		opts.Scheduler.Deadline = 0 // explicit: never shed
+	case opts.Scheduler.Deadline == 0:
+		opts.Scheduler.Deadline = defaultFrameDeadline
+	}
+	if opts.Scheduler.Load == nil {
+		// Lag-aware admission by default: frames shed earlier when the
+		// analytics plane falls behind the devices feeding it.
+		opts.Scheduler.Load = p.LoadSignal
+	}
+	e := &Engine{
+		platform: p,
+		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
+	}
+	e.bufs.New = func() any { return wire.NewBuffer(1024) }
+	return e
+}
+
+// Platform exposes the engine's platform.
+func (e *Engine) Platform() *core.Platform { return e.platform }
+
+// Scheduler exposes the engine's frame scheduler (for stats).
+func (e *Engine) Scheduler() *FrameScheduler { return e.sched }
+
+// Close stops the frame scheduler. Roles close their listeners first.
+func (e *Engine) Close() { e.sched.Close() }
+
+// handle applies one inbound envelope against sess. When hasReply is true,
+// reply has been filled in; pooled (when non-nil) backs reply.Payload and
+// must be released only after the reply has been written.
+func (e *Engine) handle(sess *core.Session, env, reply *wire.Envelope) (hasReply bool, pooled *wire.Buffer, err error) {
+	switch env.Type {
+	case wire.MsgSensorEvent:
+		return false, nil, applySensor(sess, env.Payload) // sensor stream is one-way
+	case wire.MsgFrameRequest:
+		f, err := e.sched.Frame(sess)
+		if err != nil {
+			return false, nil, err
+		}
+		pooled = e.encodeFrameReply(reply, sess.ID, env.Seq, f)
+		return true, pooled, nil
+	case wire.MsgControl:
+		*reply = wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}
+		return true, nil, nil
+	default:
+		return false, nil, fmt.Errorf("server: unsupported message %v", env.Type)
+	}
+}
+
+// encodeFrameReply encodes f into a pooled buffer and fills reply as the
+// annotations response for (session, seq). The returned buffer backs
+// reply.Payload; release it after the write.
+func (e *Engine) encodeFrameReply(reply *wire.Envelope, session, seq uint64, f *core.Frame) *wire.Buffer {
+	buf := e.bufs.Get().(*wire.Buffer)
+	buf.Reset()
+	core.EncodeFrameInto(buf, f)
+	*reply = wire.Envelope{
+		Type: wire.MsgAnnotations, Seq: seq, Session: session,
+		Payload: buf.Bytes(),
+	}
+	return buf
+}
+
+// release returns a pooled response buffer.
+func (e *Engine) release(buf *wire.Buffer) { e.bufs.Put(buf) }
+
+// lockedWriter serialises envelope writes to one connection shared by
+// several goroutines — scheduler callbacks, load pushers, and read loops
+// all reply on the same wire. Each write is framed and flushed atomically.
+type lockedWriter struct {
+	mu sync.Mutex
+	fw *wire.FrameWriter
+}
+
+func (w *lockedWriter) write(env *wire.Envelope) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.fw.WriteEnvelope(env); err != nil {
+		return err
+	}
+	return w.fw.Flush()
+}
+
+// connServer owns a role's accept loop and connection lifecycle; roles plug
+// in their per-connection handler. Close is idempotent: it stops accepting,
+// closes live connections, and waits for handlers to drain.
+type connServer struct {
+	ln     net.Listener
+	logger *log.Logger
+	serve  func(net.Conn)
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newConnServer(logger *log.Logger, serve func(net.Conn)) *connServer {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return &connServer{
+		logger: logger,
+		serve:  serve,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// listen binds addr and starts accepting connections, returning the bound
+// address (useful with ":0").
+func (cs *connServer) listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	cs.ln = ln
+	cs.wg.Add(1)
+	go cs.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (cs *connServer) acceptLoop() {
+	defer cs.wg.Done()
+	for {
+		conn, err := cs.ln.Accept()
+		if err != nil {
+			select {
+			case <-cs.done:
+				return
+			default:
+				cs.logger.Printf("server: accept: %v", err)
+				return
+			}
+		}
+		// Register before serving, then re-check shutdown: Close may have
+		// swept the conn map between Accept returning and this registration,
+		// in which case nobody else will ever close this conn and its
+		// handler would block forever.
+		cs.mu.Lock()
+		cs.conns[conn] = struct{}{}
+		cs.mu.Unlock()
+		select {
+		case <-cs.done:
+			_ = conn.Close()
+			continue
+		default:
+		}
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			defer func() {
+				cs.mu.Lock()
+				delete(cs.conns, conn)
+				cs.mu.Unlock()
+				_ = conn.Close()
+			}()
+			cs.serve(conn)
+		}()
+	}
+}
+
+// close stops accepting, closes live connections, and waits for handlers.
+func (cs *connServer) close() error {
+	var err error
+	cs.closeOnce.Do(func() {
+		close(cs.done)
+		if cs.ln != nil {
+			err = cs.ln.Close()
+		}
+		cs.mu.Lock()
+		for c := range cs.conns {
+			_ = c.Close()
+		}
+		cs.mu.Unlock()
+		cs.wg.Wait()
+	})
+	return err
+}
+
+func applySensor(sess *core.Session, payload []byte) error {
+	if len(payload) < 1 {
+		return errors.New("server: empty sensor payload")
+	}
+	r := wire.NewReader(payload[1:])
+	ns, err := r.Uvarint()
+	if err != nil {
+		return r.Err(err, "timestamp")
+	}
+	ts := time.Unix(0, int64(ns))
+	switch payload[0] {
+	case SensorGPS:
+		lat, err1 := r.Float64()
+		lon, err2 := r.Float64()
+		acc, err3 := r.Float64()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errors.New("server: truncated gps payload")
+		}
+		return sess.OnGPS(sensor.GPSFix{Time: ts, Position: corePoint(lat, lon), AccuracyM: acc})
+	case SensorIMU:
+		gyro, err1 := r.Float64()
+		accel, err2 := r.Float64()
+		compass, err3 := r.Float64()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return errors.New("server: truncated imu payload")
+		}
+		sess.OnIMU(sensor.IMUSample{Time: ts, GyroZRad: gyro, AccelMps2: accel, CompassDeg: compass})
+		return nil
+	case SensorGaze:
+		target, err1 := r.Uvarint()
+		dwell, err2 := r.Float64()
+		if err1 != nil || err2 != nil {
+			return errors.New("server: truncated gaze payload")
+		}
+		return sess.OnGaze(sensor.GazeSample{Time: ts, TargetID: target, DwellMS: dwell})
+	default:
+		return fmt.Errorf("server: unknown sensor kind %d", payload[0])
+	}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+)
+
+func ringMembers(n int) []Member {
+	ms := make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		ms = append(ms, Member{ID: uint64(i + 1), Addr: "x"})
+	}
+	return ms
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]Member{{ID: 1}, {ID: 1}}); err == nil {
+		t.Fatal("duplicate member IDs accepted")
+	}
+}
+
+// TestRingDeterministicAcrossOrder checks placement ignores config order:
+// two routers listing the same members differently must agree, or session
+// affinity breaks the moment a second router joins.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := NewRing([]Member{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]Member{{ID: 3}, {ID: 1}, {ID: 4}, {ID: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 1000; id++ {
+		if a.Pick(id).ID != b.Pick(id).ID {
+			t.Fatalf("session %d: order-dependent placement (%d vs %d)", id, a.Pick(id).ID, b.Pick(id).ID)
+		}
+	}
+}
+
+// TestRingBalance checks sequential session IDs spread over members rather
+// than marching through them in lockstep.
+func TestRingBalance(t *testing.T) {
+	const members = 4
+	const sessions = 8192
+	r, err := NewRing(ringMembers(members))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for id := uint64(1); id <= sessions; id++ {
+		counts[r.Pick(id).ID]++
+	}
+	want := sessions / members
+	for id, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("member %d owns %d of %d sessions (want ≈%d)", id, n, sessions, want)
+		}
+	}
+}
+
+// TestRingMinimalRemap checks the rendezvous property that motivates the
+// ring: removing one member only remaps the sessions that member owned.
+func TestRingMinimalRemap(t *testing.T) {
+	full, err := NewRing(ringMembers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing(ringMembers(3)) // member 4 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 4096; id++ {
+		before := full.Pick(id)
+		after := smaller.Pick(id)
+		if before.ID != 4 && after.ID != before.ID {
+			t.Fatalf("session %d moved %d→%d though its owner never left", id, before.ID, after.ID)
+		}
+	}
+}

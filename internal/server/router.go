@@ -1,0 +1,468 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/metrics"
+	"arbd/internal/wire"
+)
+
+// Router errors.
+var (
+	// ErrRouterShed is returned to clients when the router sheds a frame
+	// request before forwarding it: the target shard's reported load has
+	// tightened admission below the age of that shard's oldest outstanding
+	// frame, so forwarding would only render a stale overlay remotely.
+	// The text embeds ErrFrameShed's so clients classifying sheds by the
+	// exported error string treat local and remote sheds alike.
+	ErrRouterShed = fmt.Errorf("%w (router: shard overloaded)", ErrFrameShed)
+	// ErrShardDown is returned when the shard owning a session is not
+	// connected.
+	ErrShardDown = errors.New("server: shard connection down")
+)
+
+// RouterOptions tunes a router.
+type RouterOptions struct {
+	// Deadline is the base frame admission budget, tightened by each
+	// shard's reported LoadSignal exactly as the FrameScheduler tightens
+	// its own (see loadGate). Zero takes the 250 ms server default;
+	// negative disables router-side shedding.
+	Deadline time.Duration
+	// FlushLatencyRef and BacklogRef normalise remote pressure (defaults
+	// 5 ms and 4096 records, matching SchedulerConfig).
+	FlushLatencyRef time.Duration
+	BacklogRef      int64
+	// DialTimeout bounds each backend dial + hello handshake (default 5 s).
+	DialTimeout time.Duration
+}
+
+func (o *RouterOptions) defaults() {
+	switch {
+	case o.Deadline < 0:
+		o.Deadline = 0
+	case o.Deadline == 0:
+		o.Deadline = defaultFrameDeadline
+	}
+	if o.FlushLatencyRef <= 0 {
+		o.FlushLatencyRef = defaultFlushLatencyRef
+	}
+	if o.BacklogRef <= 0 {
+		o.BacklogRef = defaultBacklogRef
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// Router owns client connections for a multi-node frontend: it speaks the
+// same wire protocol as the standalone server, assigns each connection a
+// session ID, places the session on a shard via the rendezvous ring, and
+// forwards envelopes over persistent backend connections. Shards push
+// MsgLoad; the router runs the standalone server's lag-aware admission
+// against that remote pressure and sheds frame requests before wasting a
+// forward hop on an overlay that would arrive stale.
+type Router struct {
+	cs     *connServer
+	logger *log.Logger
+	ring   *Ring
+	opts   RouterOptions
+	gate   loadGate
+	reg    *metrics.Registry
+
+	shards map[uint64]*routerShard // by member ID; immutable after Connect
+
+	sessMu   sync.RWMutex
+	sessions map[uint64]*routerClient
+	nextSess atomic.Uint64
+
+	connected bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// routerShard is one persistent backend connection plus the state admission
+// needs: the shard's last reported load and the FIFO of outstanding frame
+// requests.
+type routerShard struct {
+	member Member
+	conn   net.Conn
+	w      lockedWriter
+	// frForReader hands the handshake's frame reader to the reader
+	// goroutine; only shardReader touches it after Connect.
+	frForReader *wire.FrameReader
+
+	loadMu sync.RWMutex
+	load   core.LoadSignal
+
+	pend pendingFrames
+
+	down atomic.Bool
+}
+
+func (ss *routerShard) setLoad(sig core.LoadSignal) {
+	ss.loadMu.Lock()
+	ss.load = sig
+	ss.loadMu.Unlock()
+}
+
+func (ss *routerShard) loadSignal() core.LoadSignal {
+	ss.loadMu.RLock()
+	defer ss.loadMu.RUnlock()
+	return ss.load
+}
+
+// forward writes one envelope to the shard.
+func (ss *routerShard) forward(env *wire.Envelope) error {
+	if ss.down.Load() {
+		return ErrShardDown
+	}
+	return ss.w.write(env)
+}
+
+// routerClient is one client connection's write side; replies arrive from
+// shard reader goroutines while local sheds come from the client's own
+// read loop, so writes are serialised.
+type routerClient struct {
+	lockedWriter
+}
+
+// NewRouter returns a router over the membership (not yet connected or
+// listening). reg may be nil.
+func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts RouterOptions) (*Router, error) {
+	ring, err := NewRing(members)
+	if err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = log.Default()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	opts.defaults()
+	r := &Router{
+		logger:   logger,
+		ring:     ring,
+		opts:     opts,
+		gate:     loadGate{deadline: opts.Deadline, flushLatencyRef: opts.FlushLatencyRef, backlogRef: opts.BacklogRef},
+		reg:      reg,
+		shards:   make(map[uint64]*routerShard),
+		sessions: make(map[uint64]*routerClient),
+	}
+	r.cs = newConnServer(logger, r.serveClient)
+	return r, nil
+}
+
+// Metrics returns the registry the router records into (router.frames.shed,
+// router.replies.orphaned, router.forward.errors).
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
+
+// Ring exposes the router's placement ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Connect dials every shard and completes the hello handshake, verifying
+// each peer announces the member ID the config claims. It must succeed
+// before Listen.
+func (r *Router) Connect() error {
+	for _, m := range r.ring.Members() {
+		ss, err := r.dialShard(m)
+		if err != nil {
+			// Close what already connected; Connect is all-or-nothing.
+			for _, c := range r.shards {
+				_ = c.conn.Close()
+			}
+			return err
+		}
+		r.shards[m.ID] = ss
+		go r.shardReader(ss)
+	}
+	r.connected = true
+	return nil
+}
+
+func (r *Router) dialShard(m Member) (*routerShard, error) {
+	conn, err := net.DialTimeout("tcp", m.Addr, r.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing shard %d at %s: %w", m.ID, m.Addr, err)
+	}
+	fr := wire.NewFrameReader(conn)
+	fw := wire.NewFrameWriter(conn)
+
+	_ = conn.SetDeadline(time.Now().Add(r.opts.DialTimeout))
+	var buf wire.Buffer
+	wire.EncodeHelloInto(&buf, wire.Hello{Name: "router"})
+	if err := fw.WriteEnvelope(&wire.Envelope{Type: wire.MsgHello, Payload: buf.Bytes()}); err == nil {
+		err = fw.Flush()
+	}
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: hello to shard %d: %w", m.ID, err)
+	}
+	env, err := fr.ReadEnvelope()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: hello from shard %d: %w", m.ID, err)
+	}
+	if env.Type != wire.MsgHello {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: shard %d answered hello with %v", m.ID, env.Type)
+	}
+	hello, err := wire.DecodeHello(env.Payload)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: shard %d hello: %w", m.ID, err)
+	}
+	if hello.ID != m.ID {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: shard at %s announced ID %d, config says %d — membership miswired",
+			m.Addr, hello.ID, m.ID)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	ss := &routerShard{member: m, conn: conn, w: lockedWriter{fw: fw}}
+	ss.pend.init()
+	// The reader owns fr from here; dialShard must not read again.
+	ss.frForReader = fr
+	return ss, nil
+}
+
+// shardReader drains one shard connection: load reports update admission,
+// everything else routes back to the owning client by session ID.
+func (r *Router) shardReader(ss *routerShard) {
+	fr := ss.frForReader
+	var env wire.Envelope
+	for {
+		if err := fr.ReadEnvelopeReuse(&env); err != nil {
+			ss.down.Store(true)
+			// Outstanding frames will never be answered: drop them so a
+			// stale head cannot keep admission shedding (the down flag
+			// routes new requests to ErrShardDown, which names the real
+			// failure, instead of a misleading overload shed).
+			ss.pend.reset()
+			select {
+			case <-r.cs.done:
+			default:
+				r.logger.Printf("router: shard %d connection lost: %v", ss.member.ID, err)
+			}
+			return
+		}
+		switch env.Type {
+		case wire.MsgLoad:
+			if sig, err := core.DecodeLoadSignal(env.Payload); err == nil {
+				ss.setLoad(sig)
+			}
+		case wire.MsgAnnotations, wire.MsgError:
+			ss.pend.done(env.Session, env.Seq)
+			r.deliver(&env)
+		default:
+			r.deliver(&env)
+		}
+	}
+}
+
+// deliver routes one shard reply to its client. The payload aliases the
+// shard reader's buffer, so the write happens before the next shard read —
+// which is exactly the calling sequence.
+func (r *Router) deliver(env *wire.Envelope) {
+	r.sessMu.RLock()
+	cl := r.sessions[env.Session]
+	r.sessMu.RUnlock()
+	if cl == nil {
+		// Client went away while the reply was in flight.
+		r.reg.Counter("router.replies.orphaned").Inc()
+		return
+	}
+	_ = cl.write(env)
+}
+
+// Listen binds addr and starts accepting client connections. Connect must
+// have succeeded first.
+func (r *Router) Listen(addr string) (string, error) {
+	if !r.connected {
+		return "", errors.New("server: router listening before Connect")
+	}
+	return r.cs.listen(addr)
+}
+
+// Close stops accepting clients, closes client and backend connections,
+// and waits for handlers. Idempotent.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		r.closeErr = r.cs.close()
+		for _, ss := range r.shards {
+			_ = ss.conn.Close()
+		}
+	})
+	return r.closeErr
+}
+
+// EffectiveDeadline reports the admission budget the router currently
+// applies to frame requests bound for the given shard member.
+func (r *Router) EffectiveDeadline(memberID uint64) time.Duration {
+	ss := r.shards[memberID]
+	if ss == nil {
+		return r.opts.Deadline
+	}
+	return r.gate.effective(ss.loadSignal())
+}
+
+// serveClient speaks the standalone server's client protocol, with the
+// frame work a forward hop away.
+func (r *Router) serveClient(conn net.Conn) {
+	id := r.nextSess.Add(1)
+	ss := r.shards[r.ring.Pick(id).ID]
+	cl := &routerClient{lockedWriter{fw: wire.NewFrameWriter(conn)}}
+	r.sessMu.Lock()
+	r.sessions[id] = cl
+	r.sessMu.Unlock()
+	defer func() {
+		r.sessMu.Lock()
+		delete(r.sessions, id)
+		r.sessMu.Unlock()
+		// Tell the shard the session is over so its registry doesn't grow
+		// for the life of the backend connection.
+		_ = ss.forward(&wire.Envelope{Type: wire.MsgControl, Session: id,
+			Payload: []byte{CtrlEndSession}})
+	}()
+
+	fr := wire.NewFrameReader(conn)
+	var env wire.Envelope
+	for {
+		if err := fr.ReadEnvelopeReuse(&env); err != nil {
+			return // EOF or broken pipe: session over
+		}
+		env.Session = id // the router owns placement; clients cannot choose
+		if env.Type == wire.MsgControl {
+			// Control payloads are router↔shard vocabulary (CtrlEndSession
+			// tears a session down, silently). The client-facing protocol
+			// treats any control as a ping, so strip the payload rather
+			// than let a client envelope collide with an internal verb.
+			env.Payload = nil
+		}
+		if env.Type == wire.MsgFrameRequest {
+			if r.shedNow(ss) {
+				r.reg.Counter("router.frames.shed").Inc()
+				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
+					Payload: []byte(ErrRouterShed.Error())}) != nil {
+					return
+				}
+				continue
+			}
+			ss.pend.add(id, env.Seq, time.Now())
+		}
+		if err := ss.forward(&env); err != nil {
+			r.reg.Counter("router.forward.errors").Inc()
+			if env.Type == wire.MsgFrameRequest {
+				ss.pend.done(id, env.Seq)
+			}
+			// Surface the failure on request/reply traffic; sensor streams
+			// are one-way so the client finds out on its next request.
+			if env.Type == wire.MsgFrameRequest || env.Type == wire.MsgControl {
+				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
+					Payload: []byte(ErrShardDown.Error())}) != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// shedNow applies lag-aware admission for one shard: the base deadline is
+// tightened by the shard's reported load, and compared against the age of
+// the shard's oldest outstanding frame request — if the shard hasn't kept
+// up with what it already has within the effective budget, a new frame
+// would wait at least as long, so shed it here instead of paying the hop.
+func (r *Router) shedNow(ss *routerShard) bool {
+	if ss.down.Load() {
+		return false // let forward() report ErrShardDown, not a fake shed
+	}
+	d := r.gate.effective(ss.loadSignal())
+	if d <= 0 {
+		return false // shedding disabled
+	}
+	return ss.pend.headAge(time.Now()) > d
+}
+
+// pendKey identifies one outstanding frame request.
+type pendKey struct {
+	session, seq uint64
+}
+
+// pendingFrames tracks a shard's outstanding (forwarded, unanswered) frame
+// requests so admission can measure how far behind the shard is: a FIFO of
+// enqueue times plus a liveness map, with answered entries popped lazily
+// from the head.
+type pendingFrames struct {
+	mu   sync.Mutex
+	fifo []pendEntry
+	live map[pendKey]struct{}
+}
+
+type pendEntry struct {
+	key pendKey
+	at  time.Time
+}
+
+func (p *pendingFrames) init() {
+	p.live = make(map[pendKey]struct{})
+}
+
+func (p *pendingFrames) add(session, seq uint64, at time.Time) {
+	k := pendKey{session, seq}
+	p.mu.Lock()
+	p.live[k] = struct{}{}
+	p.fifo = append(p.fifo, pendEntry{key: k, at: at})
+	p.mu.Unlock()
+}
+
+// done marks a reply received. Unknown keys (error replies to sensor
+// envelopes, duplicate replies) are ignored. Compaction happens here as
+// well as in headAge so the FIFO stays bounded by the outstanding count
+// even when admission never reads it (shedding disabled, shard down).
+func (p *pendingFrames) done(session, seq uint64) {
+	p.mu.Lock()
+	delete(p.live, pendKey{session, seq})
+	p.compactLocked()
+	p.mu.Unlock()
+}
+
+// reset discards all outstanding entries (the backing connection died; no
+// reply is coming).
+func (p *pendingFrames) reset() {
+	p.mu.Lock()
+	p.fifo = p.fifo[:0]
+	clear(p.live)
+	p.mu.Unlock()
+}
+
+// compactLocked pops answered entries off the FIFO head; callers hold mu.
+func (p *pendingFrames) compactLocked() {
+	i := 0
+	for ; i < len(p.fifo); i++ {
+		if _, ok := p.live[p.fifo[i].key]; ok {
+			break
+		}
+	}
+	if i > 0 {
+		n := copy(p.fifo, p.fifo[i:])
+		p.fifo = p.fifo[:n]
+	}
+}
+
+// headAge returns how long the oldest still-outstanding frame request has
+// waited (zero when nothing is outstanding).
+func (p *pendingFrames) headAge(now time.Time) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.compactLocked()
+	if len(p.fifo) == 0 {
+		return 0
+	}
+	return now.Sub(p.fifo[0].at)
+}

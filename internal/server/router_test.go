@@ -1,0 +1,584 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// testCluster is a router fronting in-process shard nodes over loopback.
+type testCluster struct {
+	router *Router
+	addr   string
+	shards []*Shard
+}
+
+// startCluster wires n shards behind a router. tune, when non-nil, adjusts
+// each shard's options before the shard starts.
+func startCluster(t *testing.T, n int, tune func(i int, o *ShardOptions), ropts RouterOptions) *testCluster {
+	t.Helper()
+	discard := log.New(io.Discard, "", 0)
+	tc := &testCluster{}
+	members := make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := core.NewPlatform(core.Config{
+			Seed: 1,
+			City: geo.CityConfig{Center: center, RadiusM: 1500, NumPOIs: 600},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := ShardOptions{
+			ID: uint64(i + 1),
+			// Shedding off by default, as in startServer: integrity tests
+			// must not flake on slow CI boxes.
+			Options:   Options{Scheduler: SchedulerConfig{Deadline: -1}},
+			LoadEvery: 5 * time.Millisecond,
+		}
+		if tune != nil {
+			tune(i, &opts)
+		}
+		sh := NewShard(p, discard, opts)
+		addr, err := sh.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.shards = append(tc.shards, sh)
+		members = append(members, Member{ID: opts.ID, Addr: addr})
+	}
+	rt, err := NewRouter(members, discard, nil, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router, tc.addr = rt, addr
+	t.Cleanup(func() {
+		_ = rt.Close()
+		for _, sh := range tc.shards {
+			_ = sh.Close()
+		}
+	})
+	return tc
+}
+
+// shardOwning returns the indexes of cluster shards whose registry holds
+// the session.
+func (tc *testCluster) shardsOwning(id uint64) []int {
+	var owners []int
+	for i, sh := range tc.shards {
+		if _, ok := sh.Engine().Platform().Session(id); ok {
+			owners = append(owners, i)
+		}
+	}
+	return owners
+}
+
+// TestRouterSessionAffinity drives many clients through a router over two
+// shards and asserts placement: every envelope stream for one session lands
+// on exactly one shard, the shard the ring names — and the sessions end on
+// the shard when the clients disconnect.
+func TestRouterSessionAffinity(t *testing.T) {
+	tc := startCluster(t, 2, nil, RouterOptions{Deadline: -1})
+	const clients = 12
+	const rounds = 6
+
+	conns := make([]*Client, clients)
+	for c := range conns {
+		cl, err := Dial(tc.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[c] = cl
+		if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rounds; r++ {
+			if _, _, err := cl.RequestFrame(); err != nil {
+				t.Fatalf("client %d round %d: %v", c, r, err)
+			}
+		}
+		// A control round trip (Ack through the forward hop) proves the
+		// non-frame request path routes too.
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recover each client's session via the shards: with all conns still
+	// open, the union of live sessions across shards must be exactly one
+	// per client, each on the shard the ring picked.
+	live := map[uint64]int{}
+	for i, sh := range tc.shards {
+		sh.Engine().Platform().ForEachSession(func(s *core.Session) bool {
+			if owner, dup := live[s.ID]; dup {
+				t.Errorf("session %d live on shards %d and %d", s.ID, owner, i)
+			}
+			live[s.ID] = i
+			return true
+		})
+	}
+	if len(live) != clients {
+		t.Fatalf("%d live sessions across shards, want %d", len(live), clients)
+	}
+	for id, shardIdx := range live {
+		want := tc.router.Ring().Pick(id).ID
+		if got := tc.shards[shardIdx].ID(); got != want {
+			t.Fatalf("session %d lives on shard %d, ring says %d", id, got, want)
+		}
+		if owners := tc.shardsOwning(id); len(owners) != 1 {
+			t.Fatalf("session %d owned by shards %v", id, owners)
+		}
+	}
+
+	// Every frame was answered, so the outstanding-frame FIFO must be
+	// fully compacted even though shedding is disabled here and admission
+	// never reads it — the leak case for a long-running router.
+	for id, ss := range tc.router.shards {
+		ss.pend.mu.Lock()
+		n := len(ss.pend.fifo)
+		ss.pend.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("shard %d: %d pending-frame entries left after all replies", id, n)
+		}
+	}
+
+	for _, cl := range conns {
+		_ = cl.Close()
+	}
+	// Disconnects propagate as CtrlEndSession; the registries must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, sh := range tc.shards {
+			total += sh.Engine().Platform().NumSessions()
+		}
+		if total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d sessions still live after all clients disconnected", total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterSeqIntegrity reuses the standalone server's strict wire-level
+// client against a router: every frame request answered with its own Seq in
+// order, sessions pinned per connection and distinct across connections —
+// the reply stream must be indistinguishable through a forward hop.
+func TestRouterSeqIntegrity(t *testing.T) {
+	tc := startCluster(t, 2, nil, RouterOptions{Deadline: -1})
+	const clients = 12
+	const rounds = 20
+
+	sessionCh := make(chan uint64, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := runSeqClient(tc.addr, c, rounds, sessionCh); err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	close(sessionCh)
+	seen := make(map[uint64]bool)
+	for id := range sessionCh {
+		if seen[id] {
+			t.Fatalf("session %d served two connections", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != clients {
+		t.Fatalf("saw %d distinct sessions, want %d", len(seen), clients)
+	}
+}
+
+// TestRouterShedsOnRemoteLoad is the multi-node admission check: with the
+// target shard's only worker deterministically stalled and a frame request
+// outstanding, a healthy load report leaves the follow-up request inside
+// the base deadline (forwarded), while an inflated shard backlog — reported
+// over the wire via MsgLoad — collapses the effective deadline to its floor
+// and the router sheds the follow-up before the forward hop.
+func TestRouterShedsOnRemoteLoad(t *testing.T) {
+	const base = 4 * time.Second // floor = base/16 = 250ms
+	const stall = 600 * time.Millisecond
+
+	run := func(lagged bool) (shed int64, err error) {
+		var loadFn func() core.LoadSignal
+		if lagged {
+			loadFn = func() core.LoadSignal { return core.LoadSignal{Backlog: 1 << 40} }
+		}
+		tc := startCluster(t, 1, func(i int, o *ShardOptions) {
+			o.Scheduler.Workers = 1
+			o.Load = loadFn
+		}, RouterOptions{Deadline: base})
+
+		// Stall the shard's only worker from inside the process: callbacks
+		// run on the worker goroutine, so the scheduler renders nothing
+		// until release — every forwarded frame request stays outstanding.
+		sh := tc.shards[0]
+		blocker := sh.Engine().Platform().SessionOrNew(1 << 60)
+		if err := blocker.OnGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+			t.Fatal(err)
+		}
+		release := make(chan struct{})
+		var releaseOnce sync.Once
+		rel := func() { releaseOnce.Do(func() { close(release) }) }
+		var blocked sync.WaitGroup
+		blocked.Add(1)
+		if err := sh.Engine().Scheduler().Submit(blocker, func(_ *core.Frame, err error) {
+			defer blocked.Done()
+			<-release
+		}); err != nil {
+			t.Fatal(err)
+		}
+		defer blocked.Wait()
+		defer rel()
+
+		cl, err := Dial(tc.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+			t.Fatal(err)
+		}
+		// Let the shard's load pusher reach the router before admission
+		// decisions matter.
+		time.Sleep(50 * time.Millisecond)
+
+		// First request: always forwarded (nothing outstanding yet), then
+		// held behind the stalled worker.
+		first := make(chan error, 1)
+		go func() {
+			_, _, err := cl.RequestFrame()
+			first <- err
+		}()
+		time.Sleep(stall)
+
+		// Follow-up on a second connection (the first client is blocked in
+		// its synchronous reply read). The router decides admission the
+		// moment the request arrives, so sample the shed counter after a
+		// short settle, then release the worker and collect the reply —
+		// in the healthy case it only arrives once the queue drains.
+		cl2, err := Dial(tc.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl2.Close()
+		if err := cl2.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+			t.Fatal(err)
+		}
+		second := make(chan error, 1)
+		go func() {
+			_, _, err := cl2.RequestFrame()
+			second <- err
+		}()
+		time.Sleep(150 * time.Millisecond)
+		shed = tc.router.Metrics().Counter("router.frames.shed").Value()
+		rel()
+		return shed, <-second
+	}
+
+	shed, err := run(false)
+	if err != nil {
+		t.Fatalf("healthy shard: follow-up request failed: %v", err)
+	}
+	if shed != 0 {
+		t.Fatalf("healthy shard: router shed %d frames inside the base deadline", shed)
+	}
+
+	shed, err = run(true)
+	if err == nil {
+		t.Fatal("lagged shard: follow-up request succeeded, want router shed")
+	}
+	if !strings.Contains(err.Error(), ErrFrameShed.Error()) {
+		t.Fatalf("lagged shard: error %q does not classify as a shed", err)
+	}
+	if shed == 0 {
+		t.Fatal("lagged shard: router.frames.shed not incremented")
+	}
+}
+
+// TestRouterEndToEndBurst is the short router-mode end-to-end test CI runs
+// under -race: a burst of loadgen-style clients against a router over two
+// shards, sheds tolerated, errors not.
+func TestRouterEndToEndBurst(t *testing.T) {
+	tc := startCluster(t, 2, nil, RouterOptions{})
+	const clients = 8
+	const rounds = 10
+	var wg sync.WaitGroup
+	var frames, sheds int64
+	var mu sync.Mutex
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(tc.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			pos := geo.Destination(center, float64(c*30), float64(c)*50)
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 3}); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				_, _, err := cl.RequestFrame()
+				switch {
+				case err == nil:
+					mu.Lock()
+					frames++
+					mu.Unlock()
+				case strings.Contains(err.Error(), ErrFrameShed.Error()):
+					mu.Lock()
+					sheds++
+					mu.Unlock()
+				default:
+					errs <- fmt.Errorf("client %d round %d: %w", c, r, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if frames == 0 {
+		t.Fatalf("burst completed no frames (%d sheds)", sheds)
+	}
+}
+
+// TestRouterRejectsMiswiredShard checks the hello handshake catches a
+// membership config pointing at the wrong shard.
+func TestRouterRejectsMiswiredShard(t *testing.T) {
+	discard := log.New(io.Discard, "", 0)
+	p, err := core.NewPlatform(core.Config{
+		Seed: 1,
+		City: geo.CityConfig{Center: center, RadiusM: 1500, NumPOIs: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShard(p, discard, ShardOptions{ID: 7})
+	addr, err := sh.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sh.Close() })
+
+	rt, err := NewRouter([]Member{{ID: 1, Addr: addr}}, discard, nil, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Connect(); err == nil {
+		t.Fatal("router connected to a shard announcing the wrong ID")
+	} else if !strings.Contains(err.Error(), "miswired") {
+		t.Fatalf("unexpected connect error: %v", err)
+	}
+}
+
+// TestShardPipelinedFrameRequestsSameSession pins the scratch-aliasing fix:
+// a client that pipelines frame requests without awaiting replies re-enters
+// Session.Frame while an earlier reply could still be encoding. The reply
+// is encoded under the session lock (FrameVisit), so under -race with
+// several workers every pipelined request must come back a valid frame.
+func TestShardPipelinedFrameRequestsSameSession(t *testing.T) {
+	discard := log.New(io.Discard, "", 0)
+	p, err := core.NewPlatform(core.Config{
+		Seed: 1,
+		City: geo.CityConfig{Center: center, RadiusM: 1500, NumPOIs: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShard(p, discard, ShardOptions{
+		ID:      1,
+		Options: Options{Scheduler: SchedulerConfig{Workers: 4, Deadline: -1}},
+	})
+	addr, err := sh.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sh.Close() })
+
+	// Speak the backend protocol directly: hello, then pipeline.
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hb wire.Buffer
+	wire.EncodeHelloInto(&hb, wire.Hello{Name: "test-router"})
+	if err := conn.fw.WriteEnvelope(&wire.Envelope{Type: wire.MsgHello, Payload: hb.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env, err := conn.fr.ReadEnvelope()
+	if err != nil || env.Type != wire.MsgHello {
+		t.Fatalf("handshake: %v %v", env, err)
+	}
+
+	const session = 42
+	const burst = 32
+	send := func(typ wire.MsgType, seq uint64, payload []byte) {
+		t.Helper()
+		if err := conn.fw.WriteEnvelope(&wire.Envelope{Type: typ, Seq: seq, Session: session, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gps wire.Buffer
+	gps.Byte(SensorGPS)
+	gps.Uvarint(uint64(time.Now().UnixNano()))
+	gps.Float64(center.Lat)
+	gps.Float64(center.Lon)
+	gps.Float64(3)
+	send(wire.MsgSensorEvent, 1, gps.Bytes())
+	for i := 0; i < burst; i++ {
+		send(wire.MsgFrameRequest, uint64(2+i), nil)
+	}
+	seqs := make(map[uint64]bool)
+	for i := 0; i < burst; i++ {
+		env, err := conn.fr.ReadEnvelope()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if env.Type == wire.MsgLoad {
+			i-- // load pushes interleave with replies; not a frame reply
+			continue
+		}
+		if env.Type != wire.MsgAnnotations {
+			t.Fatalf("reply %d: type %v payload %q", i, env.Type, env.Payload)
+		}
+		if env.Session != session {
+			t.Fatalf("reply %d: session %d", i, env.Session)
+		}
+		if _, err := core.DecodeFrame(env.Payload); err != nil {
+			t.Fatalf("reply %d: corrupt frame payload: %v", i, err)
+		}
+		seqs[env.Seq] = true
+	}
+	if len(seqs) != burst {
+		t.Fatalf("got %d distinct reply seqs, want %d", len(seqs), burst)
+	}
+}
+
+// TestRouterReportsShardDownNotShed pins the failure diagnosis: once a
+// shard's backend connection dies, frame requests must surface
+// ErrShardDown — not be absorbed as benign overload sheds by a stale
+// outstanding-frame head.
+func TestRouterReportsShardDownNotShed(t *testing.T) {
+	tc := startCluster(t, 1, nil, RouterOptions{})
+	cl, err := Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.RequestFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.shards[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the router's shard reader has observed the dead backend —
+	// a request racing the detection would be forwarded into the void and
+	// never answered, which is the pre-existing reconnect gap (ROADMAP),
+	// not what this test pins.
+	ss := tc.router.shards[tc.shards[0].ID()]
+	deadline := time.Now().Add(5 * time.Second)
+	for !ss.down.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("router never observed the dead shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, _, err = cl.RequestFrame()
+	if err == nil {
+		t.Fatal("frame request succeeded against a dead shard")
+	}
+	if strings.Contains(err.Error(), ErrFrameShed.Error()) {
+		t.Fatalf("dead shard reported as overload shed: %v", err)
+	}
+	if !strings.Contains(err.Error(), ErrShardDown.Error()) {
+		t.Fatalf("dead shard surfaced %v, want ErrShardDown", err)
+	}
+	if shed := tc.router.Metrics().Counter("router.frames.shed").Value(); shed != 0 {
+		t.Fatalf("dead shard produced %d fake overload sheds", shed)
+	}
+}
+
+// TestRouterStripsControlPayloads pins the discriminator isolation: a
+// client control envelope whose payload collides with the router↔shard
+// CtrlEndSession verb must still behave as a ping (Ack) and must not tear
+// the session down.
+func TestRouterStripsControlPayloads(t *testing.T) {
+	tc := startCluster(t, 1, nil, RouterOptions{Deadline: -1})
+	cl, err := Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.RequestFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.shards[0].Engine().Platform().NumSessions(); got != 1 {
+		t.Fatalf("live sessions = %d, want 1", got)
+	}
+	// A control with the internal end-session discriminator, sent by the
+	// client: must round-trip as an Ack like any other control.
+	if err := cl.send(wire.MsgControl, []byte{CtrlEndSession}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := cl.fr.ReadEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != wire.MsgAck {
+		t.Fatalf("control reply = %v, want ack", env.Type)
+	}
+	if got := tc.shards[0].Engine().Platform().NumSessions(); got != 1 {
+		t.Fatalf("client control payload ended the session (live = %d)", got)
+	}
+	// The session still frames.
+	if _, _, err := cl.RequestFrame(); err != nil {
+		t.Fatal(err)
+	}
+}

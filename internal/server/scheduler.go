@@ -63,10 +63,10 @@ func (c *SchedulerConfig) defaults() {
 		c.LoadPollEvery = 10 * time.Millisecond
 	}
 	if c.FlushLatencyRef <= 0 {
-		c.FlushLatencyRef = 5 * time.Millisecond
+		c.FlushLatencyRef = defaultFlushLatencyRef
 	}
 	if c.BacklogRef <= 0 {
-		c.BacklogRef = 4096
+		c.BacklogRef = defaultBacklogRef
 	}
 }
 
@@ -76,6 +76,7 @@ func (c *SchedulerConfig) defaults() {
 // instead of each connection burning a core whenever it pleases.
 type FrameScheduler struct {
 	cfg  SchedulerConfig
+	gate loadGate
 	reg  *metrics.Registry
 	jobs chan frameJob
 
@@ -97,7 +98,12 @@ type FrameScheduler struct {
 type frameJob struct {
 	sess *core.Session
 	enq  time.Time
-	done func(*core.Frame, error)
+	// visit, when set, runs under the session lock with the rendered frame
+	// (Session.FrameVisit) before done; async reply paths encode there so
+	// a concurrent frame for the same session cannot clobber the scratch
+	// the encoder is reading. done then receives a nil *Frame.
+	visit func(*core.Frame)
+	done  func(*core.Frame, error)
 }
 
 type frameResult struct {
@@ -113,6 +119,7 @@ func NewFrameScheduler(cfg SchedulerConfig, reg *metrics.Registry) *FrameSchedul
 	}
 	fs := &FrameScheduler{
 		cfg:  cfg,
+		gate: loadGate{deadline: cfg.Deadline, flushLatencyRef: cfg.FlushLatencyRef, backlogRef: cfg.BacklogRef},
 		reg:  reg,
 		jobs: make(chan frameJob, cfg.QueueDepth),
 		quit: make(chan struct{}),
@@ -154,24 +161,13 @@ func (fs *FrameScheduler) currentLoad() core.LoadSignal {
 
 // EffectiveDeadline returns the queue-wait budget currently applied to
 // frame jobs: the configured deadline, tightened by backend pressure when a
-// Load source is configured. Pressure 1 (flush latency at FlushLatencyRef,
-// or backlog at BacklogRef) halves the deadline; the floor is Deadline/16.
+// Load source is configured (see loadGate for the rule, which the Router
+// shares for remote shards).
 func (fs *FrameScheduler) EffectiveDeadline() time.Duration {
-	d := fs.cfg.Deadline
-	if d <= 0 || fs.cfg.Load == nil {
-		return d
+	if fs.cfg.Deadline <= 0 || fs.cfg.Load == nil {
+		return fs.cfg.Deadline
 	}
-	sig := fs.currentLoad()
-	pressure := float64(sig.FlushLatency)/float64(fs.cfg.FlushLatencyRef) +
-		float64(sig.Backlog)/float64(fs.cfg.BacklogRef)
-	if pressure <= 0 {
-		return d
-	}
-	eff := time.Duration(float64(d) / (1 + pressure))
-	if floor := d / 16; eff < floor {
-		eff = floor
-	}
-	return eff
+	return fs.gate.effective(fs.currentLoad())
 }
 
 func (fs *FrameScheduler) run(job frameJob) {
@@ -188,7 +184,13 @@ func (fs *FrameScheduler) run(job frameJob) {
 		return
 	}
 	start := time.Now()
-	f, err := job.sess.Frame(start)
+	var f *core.Frame
+	var err error
+	if job.visit != nil {
+		err = job.sess.FrameVisit(start, job.visit)
+	} else {
+		f, err = job.sess.Frame(start)
+	}
 	fs.reg.Histogram("server.frame.latency").Observe(time.Since(start))
 	fs.reg.Counter("server.frames.done").Inc()
 	job.done(f, err)
@@ -199,7 +201,24 @@ func (fs *FrameScheduler) run(job frameJob) {
 // blocks while the queue is full and fails with ErrSchedulerClosed after
 // Close.
 func (fs *FrameScheduler) Submit(sess *core.Session, done func(*core.Frame, error)) error {
-	job := frameJob{sess: sess, enq: time.Now(), done: done}
+	return fs.submit(frameJob{sess: sess, enq: time.Now(), done: done})
+}
+
+// SubmitVisit enqueues a frame job whose visit callback runs under the
+// session lock with the rendered frame (see Session.FrameVisit); done then
+// fires with the render error only. Shed and closed-scheduler outcomes
+// skip visit and surface through done. Both callbacks run on the worker
+// goroutine, visit strictly before done.
+func (fs *FrameScheduler) SubmitVisit(sess *core.Session, visit func(*core.Frame), done func(error)) error {
+	return fs.submit(frameJob{
+		sess:  sess,
+		enq:   time.Now(),
+		visit: visit,
+		done:  func(_ *core.Frame, err error) { done(err) },
+	})
+}
+
+func (fs *FrameScheduler) submit(job frameJob) error {
 	fs.closeMu.RLock()
 	defer fs.closeMu.RUnlock()
 	if fs.closed {

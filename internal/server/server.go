@@ -1,19 +1,18 @@
 // Package server exposes the platform over TCP using the wire protocol:
-// clients stream sensor envelopes and request frames; the server runs one
-// core.Session per connection. This is the deployable backend binary's
-// engine (cmd/arbd-server) and the load generator's target.
+// clients stream sensor envelopes and request frames. The frame-serving
+// Engine (platform + scheduler + pooled response encoding) is shared by
+// three roles: the standalone Server here (one core.Session per client
+// connection), the Shard (owns a partition of the session ID space behind
+// a Router), and the Router (owns client connections and forwards to
+// shards over a consistent-hash ring). cmd/arbd-server selects the role;
+// cmd/arbd-loadgen drives a standalone server or a router identically.
 package server
 
 import (
-	"errors"
-	"fmt"
 	"log"
 	"net"
-	"sync"
-	"time"
 
 	"arbd/internal/core"
-	"arbd/internal/sensor"
 	"arbd/internal/wire"
 )
 
@@ -24,25 +23,15 @@ const (
 	SensorGaze
 )
 
-// Server serves the platform over TCP. Sensor envelopes are applied inline
-// on the connection goroutine (cheap state updates); frame requests are
-// executed by a shared FrameScheduler so render work is bounded by the
-// worker pool, not by the connection count.
+// Server serves the platform over TCP, one session per client connection.
+// Sensor envelopes are applied inline on the connection goroutine (cheap
+// state updates); frame requests are executed by the engine's shared
+// FrameScheduler so render work is bounded by the worker pool, not by the
+// connection count.
 type Server struct {
-	platform *core.Platform
-	ln       net.Listener
-	logger   *log.Logger
-	sched    *FrameScheduler
-	// bufs pools frame-response encode buffers: a frame is encoded once
-	// into a pooled wire.Buffer handed to the framed writer, then the
-	// buffer returns to the pool — no per-response allocations.
-	bufs sync.Pool
-
-	mu        sync.Mutex
-	conns     map[net.Conn]struct{}
-	done      chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	eng    *Engine
+	cs     *connServer
+	logger *log.Logger
 }
 
 // Options tunes the server beyond its defaults.
@@ -65,108 +54,35 @@ func NewWithOptions(p *core.Platform, logger *log.Logger, opts Options) *Server 
 	if logger == nil {
 		logger = log.Default()
 	}
-	switch {
-	case opts.Scheduler.Deadline < 0:
-		opts.Scheduler.Deadline = 0 // explicit: never shed
-	case opts.Scheduler.Deadline == 0:
-		// Generous by default: shedding should only trip under overload,
-		// not on a transient queue blip.
-		opts.Scheduler.Deadline = 250 * time.Millisecond
-	}
-	if opts.Scheduler.Load == nil {
-		// Lag-aware admission by default: frames shed earlier when the
-		// analytics plane falls behind the devices feeding it.
-		opts.Scheduler.Load = p.LoadSignal
-	}
-	s := &Server{
-		platform: p,
-		logger:   logger,
-		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
-		conns:    make(map[net.Conn]struct{}),
-		done:     make(chan struct{}),
-	}
-	s.bufs.New = func() any { return wire.NewBuffer(1024) }
+	s := &Server{eng: NewEngine(p, opts), logger: logger}
+	s.cs = newConnServer(logger, s.serveConn)
 	return s
 }
 
+// Engine exposes the server's frame-serving engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
 // Scheduler exposes the server's frame scheduler (for stats).
-func (s *Server) Scheduler() *FrameScheduler { return s.sched }
+func (s *Server) Scheduler() *FrameScheduler { return s.eng.sched }
 
 // Listen binds addr and starts accepting connections. It returns the bound
 // address (useful with ":0").
 func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("server: listen: %w", err)
-	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return ln.Addr().String(), nil
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.done:
-				return
-			default:
-				s.logger.Printf("server: accept: %v", err)
-				return
-			}
-		}
-		// Register before serving, then re-check shutdown: Close may have
-		// swept the conn map between Accept returning and this registration,
-		// in which case nobody else will ever close this conn and its
-		// handler would block forever.
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		select {
-		case <-s.done:
-			_ = conn.Close()
-			continue
-		default:
-		}
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
+	return s.cs.listen(addr)
 }
 
 // Close stops accepting, closes live connections, and waits for handlers.
 // It is idempotent.
 func (s *Server) Close() error {
-	var err error
-	s.closeOnce.Do(func() {
-		close(s.done)
-		if s.ln != nil {
-			err = s.ln.Close()
-		}
-		s.mu.Lock()
-		for c := range s.conns {
-			_ = c.Close()
-		}
-		s.mu.Unlock()
-		s.wg.Wait()
-		s.sched.Close()
-	})
+	err := s.cs.close()
+	s.eng.Close()
 	return err
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
+	sess := s.eng.platform.NewSession()
 	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		_ = conn.Close()
-	}()
-	sess := s.platform.NewSession()
-	defer func() {
-		if err := s.platform.EndSession(sess.ID); err != nil {
+		if err := s.eng.platform.EndSession(sess.ID); err != nil {
 			s.logger.Printf("server: ending session %d: %v", sess.ID, err)
 		}
 	}()
@@ -182,7 +98,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := fr.ReadEnvelopeReuse(&env); err != nil {
 			return // EOF or broken pipe: session over
 		}
-		hasReply, pooled, err := s.handle(sess, &env, &reply)
+		hasReply, pooled, err := s.eng.handle(sess, &env, &reply)
 		if err != nil {
 			reply = wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())}
 			hasReply = true
@@ -191,79 +107,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			werr := fw.WriteEnvelope(&reply)
 			ferr := fw.Flush()
 			if pooled != nil {
-				s.bufs.Put(pooled)
+				s.eng.release(pooled)
 			}
 			if werr != nil || ferr != nil {
 				return
 			}
 		}
-	}
-}
-
-// handle applies one inbound envelope. When hasReply is true, reply has been
-// filled in; pooled (when non-nil) backs reply.Payload and must be returned
-// to s.bufs only after the reply has been written.
-func (s *Server) handle(sess *core.Session, env, reply *wire.Envelope) (hasReply bool, pooled *wire.Buffer, err error) {
-	switch env.Type {
-	case wire.MsgSensorEvent:
-		return false, nil, applySensor(sess, env.Payload) // sensor stream is one-way
-	case wire.MsgFrameRequest:
-		f, err := s.sched.Frame(sess)
-		if err != nil {
-			return false, nil, err
-		}
-		buf := s.bufs.Get().(*wire.Buffer)
-		buf.Reset()
-		core.EncodeFrameInto(buf, f)
-		*reply = wire.Envelope{
-			Type: wire.MsgAnnotations, Seq: env.Seq, Session: sess.ID,
-			Payload: buf.Bytes(),
-		}
-		return true, buf, nil
-	case wire.MsgControl:
-		*reply = wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}
-		return true, nil, nil
-	default:
-		return false, nil, fmt.Errorf("server: unsupported message %v", env.Type)
-	}
-}
-
-func applySensor(sess *core.Session, payload []byte) error {
-	if len(payload) < 1 {
-		return errors.New("server: empty sensor payload")
-	}
-	r := wire.NewReader(payload[1:])
-	ns, err := r.Uvarint()
-	if err != nil {
-		return r.Err(err, "timestamp")
-	}
-	ts := time.Unix(0, int64(ns))
-	switch payload[0] {
-	case SensorGPS:
-		lat, err1 := r.Float64()
-		lon, err2 := r.Float64()
-		acc, err3 := r.Float64()
-		if err1 != nil || err2 != nil || err3 != nil {
-			return errors.New("server: truncated gps payload")
-		}
-		return sess.OnGPS(sensor.GPSFix{Time: ts, Position: corePoint(lat, lon), AccuracyM: acc})
-	case SensorIMU:
-		gyro, err1 := r.Float64()
-		accel, err2 := r.Float64()
-		compass, err3 := r.Float64()
-		if err1 != nil || err2 != nil || err3 != nil {
-			return errors.New("server: truncated imu payload")
-		}
-		sess.OnIMU(sensor.IMUSample{Time: ts, GyroZRad: gyro, AccelMps2: accel, CompassDeg: compass})
-		return nil
-	case SensorGaze:
-		target, err1 := r.Uvarint()
-		dwell, err2 := r.Float64()
-		if err1 != nil || err2 != nil {
-			return errors.New("server: truncated gaze payload")
-		}
-		return sess.OnGaze(sensor.GazeSample{Time: ts, TargetID: target, DwellMS: dwell})
-	default:
-		return fmt.Errorf("server: unknown sensor kind %d", payload[0])
 	}
 }

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/wire"
+)
+
+// Control payload discriminators inside MsgControl envelopes. An empty
+// control payload is a ping (replied to with MsgAck); routers use
+// CtrlEndSession to tell a shard a client disconnected.
+const (
+	// CtrlEndSession ends the envelope's session on the receiving shard:
+	// buffered telemetry is flushed and the session leaves the registry.
+	// One-way — no reply, since the client it belonged to is gone.
+	CtrlEndSession uint8 = 1
+)
+
+// ShardOptions tunes a shard node.
+type ShardOptions struct {
+	// Options carries the engine/scheduler tuning (same knobs as the
+	// standalone server).
+	Options
+	// ID is the shard's ring member identity, announced in the hello
+	// handshake so a router can detect a miswired address.
+	ID uint64
+	// Name labels the shard in handshakes and logs (default "shard-<ID>").
+	Name string
+	// LoadEvery is how often the shard pushes a MsgLoad envelope on every
+	// backend connection (default 25 ms). Zero takes the default; negative
+	// disables pushing (tests drive load reports by hand).
+	LoadEvery time.Duration
+	// Load overrides the reported load signal (default: the platform's
+	// LoadSignal). Tests inject synthetic pressure here.
+	Load func() core.LoadSignal
+}
+
+// Shard serves a partition of the session ID space to routers: one backend
+// connection multiplexes many sessions, each envelope resolved to its
+// session by ID (the router assigns IDs and owns placement). Frame requests
+// run on the engine's scheduler and reply asynchronously, so one slow frame
+// does not head-of-line-block the other sessions on the connection; the
+// shard also pushes its LoadSignal periodically so routers shed for this
+// shard's pressure before spending a forward hop.
+type Shard struct {
+	eng       *Engine
+	cs        *connServer
+	logger    *log.Logger
+	id        uint64
+	name      string
+	loadEvery time.Duration
+	load      func() core.LoadSignal
+}
+
+// NewShard returns a shard node over the platform (not yet listening).
+func NewShard(p *core.Platform, logger *log.Logger, opts ShardOptions) *Shard {
+	if logger == nil {
+		logger = log.Default()
+	}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("shard-%d", opts.ID)
+	}
+	if opts.LoadEvery == 0 {
+		opts.LoadEvery = 25 * time.Millisecond
+	}
+	if opts.Load == nil {
+		opts.Load = p.LoadSignal
+	}
+	sh := &Shard{
+		eng:       NewEngine(p, opts.Options),
+		logger:    logger,
+		id:        opts.ID,
+		name:      opts.Name,
+		loadEvery: opts.LoadEvery,
+		load:      opts.Load,
+	}
+	sh.cs = newConnServer(logger, sh.serveConn)
+	return sh
+}
+
+// Engine exposes the shard's frame-serving engine.
+func (sh *Shard) Engine() *Engine { return sh.eng }
+
+// ID returns the shard's ring member identity.
+func (sh *Shard) ID() uint64 { return sh.id }
+
+// Listen binds addr and starts accepting backend connections, returning
+// the bound address.
+func (sh *Shard) Listen(addr string) (string, error) { return sh.cs.listen(addr) }
+
+// Close stops accepting, closes backend connections, and waits for
+// handlers. Idempotent.
+func (sh *Shard) Close() error {
+	err := sh.cs.close()
+	sh.eng.Close()
+	return err
+}
+
+func (sh *Shard) serveConn(conn net.Conn) {
+	fr := wire.NewFrameReader(conn)
+	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
+
+	// Handshake: the dialer (a router) speaks first; we answer with our
+	// identity. A deadline bounds how long a silent dialer can hold the
+	// handler.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	env, err := fr.ReadEnvelope()
+	if err != nil || env.Type != wire.MsgHello {
+		sh.logger.Printf("shard %d: backend handshake failed from %v: %v", sh.id, conn.RemoteAddr(), err)
+		return
+	}
+	peer, err := wire.DecodeHello(env.Payload)
+	if err != nil {
+		sh.logger.Printf("shard %d: bad hello from %v: %v", sh.id, conn.RemoteAddr(), err)
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	var hello wire.Buffer
+	wire.EncodeHelloInto(&hello, wire.Hello{ID: sh.id, Name: sh.name})
+	if err := w.write(&wire.Envelope{Type: wire.MsgHello, Payload: hello.Bytes()}); err != nil {
+		return
+	}
+
+	// Push the load signal for the life of the connection so the router's
+	// view of this shard's pressure stays fresh.
+	stopLoad := make(chan struct{})
+	defer close(stopLoad)
+	if sh.loadEvery > 0 {
+		go sh.loadLoop(w, stopLoad)
+	}
+
+	// owned tracks sessions created via this connection so a router crash
+	// ends them instead of stranding them in the registry.
+	owned := make(map[uint64]struct{})
+	defer func() {
+		for id := range owned {
+			if err := sh.eng.platform.EndSession(id); err != nil {
+				sh.logger.Printf("shard %d: ending session %d: %v", sh.id, id, err)
+			}
+		}
+	}()
+	_ = peer // identity is informational; any router may connect
+
+	// inflight lets Close wait for outstanding frame callbacks before the
+	// deferred session teardown runs.
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+
+	var in wire.Envelope
+	for {
+		if err := fr.ReadEnvelopeReuse(&in); err != nil {
+			return // router gone: deferred cleanup ends owned sessions
+		}
+		if in.Session == 0 {
+			_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq,
+				Payload: []byte("server: shard envelope without session")})
+			continue
+		}
+		// Envelope types that need no session are handled before the
+		// registry is touched: an end-session for a session that never
+		// sent traffic (client connected and left) must not build one
+		// just to tear it down, and junk types must not leak registrations.
+		if in.Type == wire.MsgControl && len(in.Payload) > 0 && in.Payload[0] == CtrlEndSession {
+			if _, live := owned[in.Session]; live {
+				delete(owned, in.Session)
+				if err := sh.eng.platform.EndSession(in.Session); err != nil {
+					sh.logger.Printf("shard %d: ending session %d: %v", sh.id, in.Session, err)
+				}
+			}
+			continue // one-way: the client is already gone
+		}
+		switch in.Type {
+		case wire.MsgSensorEvent, wire.MsgFrameRequest, wire.MsgControl:
+		default:
+			_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq, Session: in.Session,
+				Payload: []byte(fmt.Sprintf("server: unsupported message %v", in.Type))})
+			continue
+		}
+		sess := sh.eng.platform.SessionOrNew(in.Session)
+		owned[in.Session] = struct{}{}
+		switch in.Type {
+		case wire.MsgSensorEvent:
+			if err := applySensor(sess, in.Payload); err != nil {
+				_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq, Session: in.Session,
+					Payload: []byte(err.Error())})
+			}
+		case wire.MsgFrameRequest:
+			sh.submitFrame(w, &inflight, sess, in.Seq)
+		case wire.MsgControl:
+			_ = w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session})
+		}
+	}
+}
+
+// submitFrame schedules one frame and replies from the worker callback —
+// the connection read loop keeps draining other sessions' envelopes while
+// the frame renders. The reply is encoded inside the visit callback, under
+// the session lock: a client pipelining a second frame request for the
+// same session re-enters Session.Frame on another worker, and without the
+// lock that would overwrite the scratch buffers the encoder is reading.
+// visit and done run sequentially on one worker goroutine, so the captured
+// reply/buffer need no further synchronisation.
+func (sh *Shard) submitFrame(w *lockedWriter, inflight *sync.WaitGroup, sess *core.Session, seq uint64) {
+	id := sess.ID
+	inflight.Add(1)
+	var reply wire.Envelope
+	var pooled *wire.Buffer
+	err := sh.eng.sched.SubmitVisit(sess, func(f *core.Frame) {
+		pooled = sh.eng.encodeFrameReply(&reply, id, seq, f)
+	}, func(err error) {
+		defer inflight.Done()
+		if err != nil {
+			_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: seq, Session: id, Payload: []byte(err.Error())})
+			return
+		}
+		_ = w.write(&reply)
+		sh.eng.release(pooled)
+	})
+	if err != nil {
+		inflight.Done()
+		_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: seq, Session: id, Payload: []byte(err.Error())})
+	}
+}
+
+// loadLoop pushes the shard's LoadSignal on the connection until it closes.
+func (sh *Shard) loadLoop(w *lockedWriter, stop <-chan struct{}) {
+	ticker := time.NewTicker(sh.loadEvery)
+	defer ticker.Stop()
+	var buf wire.Buffer
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			buf.Reset()
+			core.EncodeLoadSignalInto(&buf, sh.load())
+			if err := w.write(&wire.Envelope{Type: wire.MsgLoad, Payload: buf.Bytes()}); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -139,7 +139,7 @@ func TestEnvelopeInvalidType(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for m := MsgSensorEvent; m <= MsgError; m++ {
+	for m := MsgSensorEvent; m <= MsgHello; m++ {
 		if !m.Valid() {
 			t.Errorf("type %d should be valid", m)
 		}
@@ -150,8 +150,60 @@ func TestMsgTypeStrings(t *testing.T) {
 	if MsgType(0).Valid() {
 		t.Error("zero type is valid")
 	}
+	if MsgType(MsgHello + 1).Valid() {
+		t.Error("type one past the last is valid")
+	}
 	if MsgType(99).String() != "msgtype(99)" {
 		t.Error("unknown type String format")
+	}
+	// The multi-node protocol additions are part of the wire format now:
+	// pin their names and values so a reorder breaks loudly.
+	if MsgLoad != 9 || MsgHello != 10 {
+		t.Fatalf("MsgLoad/MsgHello = %d/%d, want 9/10 — wire values must not move", MsgLoad, MsgHello)
+	}
+	if MsgLoad.String() != "load" || MsgHello.String() != "hello" {
+		t.Fatalf("load/hello names = %q/%q", MsgLoad.String(), MsgHello.String())
+	}
+}
+
+// TestLoadAndHelloEnvelopesRoundTrip runs the new backend message types
+// through the same framed encode/decode path every other envelope uses.
+func TestLoadAndHelloEnvelopesRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{MsgLoad, MsgHello} {
+		env := &Envelope{Type: typ, Seq: 3, Session: 42, Payload: []byte{1, 2, 3}}
+		got, err := DecodeEnvelope(EncodeEnvelope(nil, env))
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got.Type != typ || got.Seq != 3 || got.Session != 42 || !bytes.Equal(got.Payload, env.Payload) {
+			t.Fatalf("%v round trip mismatch: %+v", typ, got)
+		}
+	}
+}
+
+// TestHelloRoundTrip checks the hello payload codec, including the empty
+// name a router announces with.
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{
+		{ID: 0, Name: "router"},
+		{ID: 7, Name: "shard-7"},
+		{ID: 1<<64 - 1, Name: ""},
+	} {
+		var b Buffer
+		EncodeHelloInto(&b, h)
+		got, err := DecodeHello(b.Bytes())
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("hello round trip: got %+v, want %+v", got, h)
+		}
+	}
+	if _, err := DecodeHello([]byte{0x80}); err == nil {
+		t.Fatal("truncated hello decoded")
+	}
+	if _, err := DecodeHello([]byte{1, 5, 'a'}); err == nil {
+		t.Fatal("hello with short name decoded")
 	}
 }
 

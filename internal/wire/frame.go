@@ -27,6 +27,14 @@ const (
 	MsgControl
 	MsgAck
 	MsgError
+	// MsgLoad carries a node's backend-pressure signal (core.LoadSignal):
+	// shard nodes push it periodically over backend connections so routers
+	// can run lag-aware admission against remote pressure.
+	MsgLoad
+	// MsgHello opens a backend connection: each side identifies itself
+	// (see Hello) before envelopes flow, so a router can detect a miswired
+	// shard address instead of silently routing sessions to it.
+	MsgHello
 )
 
 // String returns the message type's symbolic name.
@@ -48,13 +56,17 @@ func (m MsgType) String() string {
 		return "ack"
 	case MsgError:
 		return "error"
+	case MsgLoad:
+		return "load"
+	case MsgHello:
+		return "hello"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(m))
 	}
 }
 
 // Valid reports whether m is a known message type.
-func (m MsgType) Valid() bool { return m >= MsgSensorEvent && m <= MsgError }
+func (m MsgType) Valid() bool { return m >= MsgSensorEvent && m <= MsgHello }
 
 // Envelope is a typed message with routing metadata.
 type Envelope struct {

@@ -1,0 +1,33 @@
+package wire
+
+// Hello is the payload of a MsgHello envelope: each side of a backend
+// connection announces who it is before envelopes flow. A router dialing a
+// shard sends its own hello and checks the shard's reply against the
+// membership config, so a miswired address fails the handshake instead of
+// silently owning a slice of the session ID space.
+type Hello struct {
+	// ID identifies the node (a shard's ring member ID; 0 for a router).
+	ID uint64
+	// Name is a human-readable role label for logs ("router", "shard-2").
+	Name string
+}
+
+// EncodeHelloInto appends h's wire form to buf.
+func EncodeHelloInto(buf *Buffer, h Hello) {
+	buf.Uvarint(h.ID)
+	buf.String(h.Name)
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	r := NewReader(p)
+	var h Hello
+	var err error
+	if h.ID, err = r.Uvarint(); err != nil {
+		return h, r.Err(err, "hello id")
+	}
+	if h.Name, err = r.String(); err != nil {
+		return h, r.Err(err, "hello name")
+	}
+	return h, nil
+}
