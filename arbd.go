@@ -20,11 +20,15 @@
 package arbd
 
 import (
+	"context"
+
 	"arbd/internal/core"
 	"arbd/internal/geo"
 	"arbd/internal/recommend"
 	"arbd/internal/render"
 	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/wire"
 )
 
 // Core platform types.
@@ -88,6 +92,40 @@ type (
 	// Interaction is one implicit-feedback event.
 	Interaction = recommend.Interaction
 )
+
+// Network client types: the wire-protocol client for talking to an
+// arbd-server (standalone or router) over TCP.
+type (
+	// Client is the concurrency-safe protocol client: seq-matched
+	// request/reply plus server-pushed frame subscriptions (protocol v2).
+	Client = server.Client
+	// DialOptions tunes the protocol handshake.
+	DialOptions = server.DialOptions
+	// SubscribeOptions tunes a frame subscription (cadence, push budget).
+	SubscribeOptions = server.SubscribeOptions
+	// DecodedFrame is a frame received over the wire.
+	DecodedFrame = core.DecodedFrame
+	// VersionError is the typed protocol-handshake failure: the two sides
+	// share no usable protocol version. Detect with errors.As.
+	VersionError = wire.VersionError
+)
+
+// Wire protocol versions (see PROTOCOL.md). Pass ProtoV2 as
+// DialOptions.MinProto to require streaming support at dial time.
+const (
+	ProtoV1 = wire.ProtoV1
+	ProtoV2 = wire.ProtoV2
+)
+
+// Dial connects to an arbd server at the default options and runs the
+// protocol handshake.
+func Dial(addr string) (*Client, error) { return server.Dial(addr) }
+
+// DialContext connects with explicit handshake options, the context
+// bounding the dial and handshake.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	return server.DialContext(ctx, addr, opts)
+}
 
 // New builds a platform over a generated synthetic city. Call Start to run
 // the analytics plane and Stop to drain it.

@@ -1,5 +1,5 @@
 // Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
-// one testing.B benchmark per derived experiment E1-E16, so
+// one testing.B benchmark per derived experiment E1-E17, so
 // `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
 // The rendered tables themselves come from `go run ./cmd/arbd-bench`.
 // TestExperimentsSmoke additionally runs every experiment at tiny scale in
@@ -56,6 +56,11 @@ func BenchmarkE15GCPressure(b *testing.B) { runExperiment(b, "E15") }
 // nodes over loopback TCP) — the multi-node frontend's aggregate frames/s
 // against the E14 single-process baseline.
 func BenchmarkE16ScaleOut(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkE17StreamVsPoll compares subscription streaming (protocol v2,
+// server-pushed frames) against request/reply polling at 1/64/512
+// sessions: frames/s, p99 inter-frame jitter, and wire cost per frame.
+func BenchmarkE17StreamVsPoll(b *testing.B) { runExperiment(b, "E17") }
 
 // TestExperimentsSmoke runs every registered experiment once at smoke scale:
 // a broken experiment fails plain `go test` instead of hiding until the next

@@ -1,4 +1,4 @@
-// Command arbd-bench runs the derived experiment suite E1-E16 (DESIGN.md §3)
+// Command arbd-bench runs the derived experiment suite E1-E17 (DESIGN.md §3)
 // and prints each experiment's result table — the source of the numbers in
 // EXPERIMENTS.md.
 //
@@ -9,6 +9,7 @@
 //	arbd-bench -exp E14    # the multi-session throughput sweep
 //	arbd-bench -exp E15    # frame hot path GC pressure (pooled vs alloc)
 //	arbd-bench -exp E16    # multi-node scale-out (router × 1/2/4 shards)
+//	arbd-bench -exp E17    # stream vs poll frame delivery (protocol v2)
 //	arbd-bench -smoke      # tiny-parameter pass over every experiment
 //	arbd-bench -list       # list experiments
 package main
@@ -32,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E16)")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E17)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		smoke = flag.Bool("smoke", false, "run tiny-parameter smoke variants")
 	)

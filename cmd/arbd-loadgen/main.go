@@ -1,22 +1,27 @@
 // Command arbd-loadgen drives an arbd-server with simulated devices:
-// each client walks the city, streams GPS/IMU at device rates, requests
-// frames at the target FPS, and reports end-to-end frame latency. The
-// target may be a standalone server or a router fronting shard nodes —
-// the client protocol is identical, so pointing -addr at a router
-// exercises the full multi-node forward path (router sheds count as shed,
-// not as errors).
+// each client walks the city, streams GPS/IMU at device rates, and pulls
+// overlay frames either by polling (request/reply, the default) or by a
+// protocol-v2 subscription (-stream: the server owns the frame clock and
+// pushes at the target FPS). The target may be a standalone server or a
+// router fronting shard nodes — the client protocol is identical, so
+// pointing -addr at a router exercises the full multi-node forward path
+// (router sheds count as shed, not as errors).
 //
 // Usage:
 //
 //	arbd-loadgen -addr 127.0.0.1:7600 -clients 16 -duration 10s -fps 10
+//	arbd-loadgen -addr 127.0.0.1:7600 -clients 16 -stream
 //	arbd-loadgen -addr 127.0.0.1:7600 -sweep 1,8,64,512 -duration 5s
 //
 // With -sweep, the E14 multi-session scenario runs against a live server:
 // each listed client count runs for -duration and the end-to-end frame
-// throughput and latency percentiles are reported per count.
+// throughput and latency percentiles are reported per count. In -stream
+// mode the latency columns report inter-frame gaps (the cadence the
+// device actually experienced) instead of request round-trips.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,16 +52,21 @@ func run() error {
 		lat      = flag.Float64("lat", 22.3364, "city center latitude")
 		lon      = flag.Float64("lon", 114.2655, "city center longitude")
 		sweep    = flag.String("sweep", "", "comma-separated client counts to sweep (e.g. 1,8,64,512)")
+		stream   = flag.Bool("stream", false, "subscribe to pushed frames (protocol v2) instead of polling")
 	)
 	flag.Parse()
 
 	center := geo.Point{Lat: *lat, Lon: *lon}
+	metric := "frame rtt"
+	if *stream {
+		metric = "frame gap"
+	}
 	if *sweep == "" {
-		res := runLoad(*addr, *clients, *duration, *fps, center)
+		res := runLoad(*addr, *clients, *duration, *fps, center, *stream)
 		s := res.hist.Snapshot()
-		fmt.Printf("clients=%d duration=%v fps=%d\n", *clients, *duration, *fps)
+		fmt.Printf("clients=%d duration=%v fps=%d stream=%v\n", *clients, *duration, *fps, *stream)
 		fmt.Printf("frames=%d shed=%d errors=%d\n", res.frames, res.shed, res.errors)
-		fmt.Printf("frame rtt: p50=%v p95=%v p99=%v max=%v\n", s.P50, s.P95, s.P99, s.Max)
+		fmt.Printf("%s: p50=%v p95=%v p99=%v max=%v\n", metric, s.P50, s.P95, s.P99, s.Max)
 		if res.errors > 0 {
 			return fmt.Errorf("%d client errors", res.errors)
 		}
@@ -68,11 +78,11 @@ func run() error {
 		return err
 	}
 	t := metrics.NewTable(
-		fmt.Sprintf("multi-session sweep against %s (%v per point, %d fps/client)", *addr, *duration, *fps),
+		fmt.Sprintf("multi-session sweep against %s (%v per point, %d fps/client, %s)", *addr, *duration, *fps, metric),
 		"clients", "frames", "frames/s", "p50", "p95", "p99", "shed", "errors")
 	var totalErrs int64
 	for _, n := range counts {
-		res := runLoad(*addr, n, *duration, *fps, center)
+		res := runLoad(*addr, n, *duration, *fps, center, *stream)
 		s := res.hist.Snapshot()
 		// Divide by measured wall time, not the nominal -duration: at high
 		// client counts connection setup eats into the window.
@@ -108,8 +118,11 @@ type loadResult struct {
 }
 
 // runLoad drives n concurrent device clients against the server for the
-// given duration and aggregates end-to-end frame stats.
-func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Point) loadResult {
+// given duration and aggregates end-to-end frame stats. In streaming mode
+// each client subscribes once at the target FPS and consumes pushed
+// frames while its sensor loop keeps feeding the walk; the histogram then
+// holds inter-frame gaps rather than request round-trips.
+func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Point, streaming bool) loadResult {
 	var (
 		hist    metrics.Histogram
 		frames  metrics.Counter
@@ -133,6 +146,12 @@ func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Poi
 			gps := sensor.NewGPS(int64(c), 5)
 			imu := sensor.NewIMU(int64(c))
 			tick := time.Second / time.Duration(fps)
+			if streaming {
+				if streamClient(cl, walker, gps, imu, tick, fps, deadline, &hist, &frames) != nil {
+					errsCtr.Inc()
+				}
+				return
+			}
 			i := 0
 			for time.Now().Before(deadline) {
 				now := time.Now()
@@ -176,5 +195,61 @@ func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Poi
 		errors:  errsCtr.Value(),
 		elapsed: time.Since(start),
 		hist:    &hist,
+	}
+}
+
+// streamClient is one device in -stream mode: subscribe once, then consume
+// pushes while the sensor loop ticks. Server-side shedding and cadence
+// degradation show up as stretched gaps, not errors.
+func streamClient(cl *server.Client, walker *sensor.Walker, gps *sensor.GPS, imu *sensor.IMU,
+	tick time.Duration, fps int, deadline time.Time, hist *metrics.Histogram, frames *metrics.Counter) error {
+	truth := walker.Step(tick)
+	if err := cl.SendGPS(gps.Fix(time.Now(), truth.Position)); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	ch, err := cl.Subscribe(ctx, server.SubscribeOptions{Interval: tick})
+	if err != nil {
+		return err
+	}
+	sensors := time.NewTicker(tick)
+	defer sensors.Stop()
+	last := time.Time{}
+	i := 0
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				// Channel closed: clean when the deadline cancelled the
+				// context, an error otherwise.
+				if time.Now().Before(deadline) {
+					if serr := cl.StreamErr(); serr != nil {
+						return serr
+					}
+				}
+				return nil
+			}
+			now := time.Now()
+			if !last.IsZero() {
+				hist.Observe(now.Sub(last))
+			}
+			last = now
+			frames.Inc()
+		case now := <-sensors.C:
+			if !now.Before(deadline) {
+				return nil
+			}
+			truth = walker.Step(tick)
+			if i%fps == 0 {
+				if err := cl.SendGPS(gps.Fix(now, truth.Position)); err != nil {
+					return err
+				}
+			}
+			if err := cl.SendIMU(imu.Sample(now, truth, tick)); err != nil {
+				return err
+			}
+			i++
+		}
 	}
 }

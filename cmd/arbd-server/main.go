@@ -1,6 +1,8 @@
 // Command arbd-server runs the ARBD platform behind a TCP endpoint speaking
-// the wire protocol: clients stream sensor envelopes and request AR overlay
-// frames. See cmd/arbd-loadgen for a matching client.
+// the wire protocol (PROTOCOL.md): clients stream sensor envelopes and pull
+// overlay frames by request/reply (v1) or by server-pushed subscription
+// streams (v2, negotiated in the hello handshake). See cmd/arbd-loadgen for
+// a matching client (-stream drives the v2 path).
 //
 // Three roles share one frame-serving engine (internal/server.Engine):
 //

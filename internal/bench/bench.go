@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per derived
-// experiment E1-E16 (see DESIGN.md §3 — the paper is a vision paper with no
+// experiment E1-E17 (see DESIGN.md §3 — the paper is a vision paper with no
 // measured evaluation, so each experiment quantifies one of its qualitative
 // claims). Each function returns a rendered table; cmd/arbd-bench prints
 // them and the root bench_test.go wraps them in testing.B benchmarks.
@@ -53,6 +53,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "multi-session throughput", Run: E14MultiSession, Smoke: e14MultiSessionSmoke},
 		{ID: "E15", Title: "frame hot path GC pressure", Run: E15GCPressure, Smoke: e15GCPressureSmoke},
 		{ID: "E16", Title: "multi-node scale-out", Run: E16ScaleOut, Smoke: e16ScaleOutSmoke},
+		{ID: "E17", Title: "stream vs poll frame delivery", Run: E17StreamVsPoll, Smoke: e17StreamVsPollSmoke},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps

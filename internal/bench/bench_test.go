@@ -8,17 +8,54 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 16 {
-		t.Fatalf("registered %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registered %d experiments, want 17", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E16.
-	if exps[0].ID != "E1" || exps[15].ID != "E16" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[15].ID)
+	// Sorted E1..E17.
+	if exps[0].ID != "E1" || exps[16].ID != "E17" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[16].ID)
+	}
+}
+
+// TestE17SmokeShape runs the stream-vs-poll harness end to end at smoke
+// scale (a real server and v2 clients over loopback) and checks the table:
+// one poll row and one stream row per session count, zero client errors,
+// and streaming achieving at least one pushed frame per subscription.
+func TestE17SmokeShape(t *testing.T) {
+	tbl := e17StreamVsPollSmoke()
+	if tbl.NumRows() != 4 { // {1,8} sessions × {poll,stream}
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"mode", "poll", "stream", "p99 jitter", "B/frame", "reads/frame"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	rows := 0
+	for _, l := range strings.Split(out, "\n") {
+		fields := strings.Fields(l)
+		if len(fields) < 9 || (fields[1] != "poll" && fields[1] != "stream") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			continue // the title line mentions the modes too
+		}
+		rows++
+		if frames, err := strconv.Atoi(fields[2]); err != nil || frames == 0 {
+			t.Fatalf("%s row reports no frames:\n%s", fields[1], out)
+		}
+		if fields[8] != "0" {
+			t.Fatalf("%s row reports %s client errors:\n%s", fields[1], fields[8], out)
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("parsed %d data rows, want 4:\n%s", rows, out)
 	}
 }
 

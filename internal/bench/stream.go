@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/sim"
+)
+
+// E17StreamVsPoll compares the two frame-delivery protocols end to end on
+// one standalone server over loopback TCP: request/reply polling (v1, one
+// round-trip per frame) against subscription streaming (v2, the server
+// owns the frame clock and pushes). Both run at the same target cadence
+// per session; the table reports achieved frames/s, the p50 inter-frame
+// gap, the p99 inter-frame jitter (absolute deviation from each mode's
+// median gap), and wire cost per frame — total bytes moved and read
+// syscalls, counted at the client socket. The streaming rows are the
+// paper's continuous-overlay loop made concrete: no request leg, so fewer
+// bytes and steadier arrival.
+func E17StreamVsPoll() *metrics.Table {
+	return e17StreamVsPoll([]int{1, 64, 512}, 2000, 2*time.Second, 15*time.Millisecond)
+}
+
+// e17StreamVsPollSmoke is the tiny-parameter variant for plain `go test`
+// and arbd-bench -smoke.
+func e17StreamVsPollSmoke() *metrics.Table {
+	return e17StreamVsPoll([]int{1, 8}, 300, 300*time.Millisecond, 5*time.Millisecond)
+}
+
+// pointInterval scales the per-session cadence so the sweep's aggregate
+// frame demand stays inside a single node's render ceiling: E17 compares
+// delivery protocols, so both modes must be load-feasible — saturation
+// behaviour is E14/E16's story. The aggregate target is ~2000 frames/s
+// (conservative for one worker core at bench POI density).
+func pointInterval(sessions int, base time.Duration) time.Duration {
+	const aggregateSpacing = 500 * time.Microsecond // 1/2000 s per frame
+	if iv := time.Duration(sessions) * aggregateSpacing; iv > base {
+		return iv
+	}
+	return base
+}
+
+func e17StreamVsPoll(sessionCounts []int, numPOIs int, duration, interval time.Duration) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E17: stream vs poll (standalone over loopback, %d POIs, %v base cadence, %v/point)",
+			numPOIs, interval, duration),
+		"sessions", "mode", "frames", "frames/s", "p50 gap", "p99 jitter", "B/frame", "reads/frame", "errors")
+	for _, n := range sessionCounts {
+		iv := pointInterval(n, interval)
+		for _, streaming := range []bool{false, true} {
+			row := runStreamVsPoll(n, numPOIs, duration, iv, streaming)
+			mode := "poll"
+			if streaming {
+				mode = "stream"
+			}
+			t.AddRow(n, mode, row.frames, fmt.Sprintf("%.0f", row.rate),
+				ms(row.p50Gap), ms(row.p99Jitter),
+				fmt.Sprintf("%.0f", row.bytesPerFrame), fmt.Sprintf("%.2f", row.readsPerFrame),
+				row.errors)
+		}
+	}
+	return t
+}
+
+type streamVsPollResult struct {
+	frames        int64
+	rate          float64
+	p50Gap        time.Duration
+	p99Jitter     time.Duration
+	bytesPerFrame float64
+	readsPerFrame float64
+	errors        int64
+}
+
+// countingConn counts bytes and Read calls crossing a client socket — the
+// per-frame wire cost both modes are judged on. Reads go through bufio
+// inside the frame reader, so each counted Read is one would-be syscall.
+type countingConn struct {
+	net.Conn
+	bytes *atomic.Int64
+	reads *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.bytes.Add(int64(n))
+	c.reads.Add(1)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.bytes.Add(int64(n))
+	return n, err
+}
+
+func runStreamVsPoll(sessions, numPOIs int, duration, interval time.Duration, streaming bool) streamVsPollResult {
+	discard := log.New(io.Discard, "", 0)
+	p, err := core.NewPlatform(core.Config{
+		Seed: 17,
+		City: geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A generous deadline keeps shedding an overload signal, as in E16.
+	srv := server.NewWithOptions(p, discard,
+		server.Options{Scheduler: server.SchedulerConfig{Deadline: 2 * time.Second}})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var (
+		frames  metrics.Counter
+		errsCtr metrics.Counter
+		bytes   atomic.Int64
+		reads   atomic.Int64
+		gapMu   sync.Mutex
+		gaps    []time.Duration
+		wg      sync.WaitGroup
+	)
+	rng := sim.NewRand(17)
+	positions := make([]geo.Point, sessions)
+	for i := range positions {
+		positions[i] = geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1500)
+	}
+	record := func(local []time.Duration) {
+		gapMu.Lock()
+		gaps = append(gaps, local...)
+		gapMu.Unlock()
+	}
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			cl, err := server.NewClient(context.Background(),
+				&countingConn{Conn: raw, bytes: &bytes, reads: &reads}, server.DialOptions{})
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			defer cl.Close()
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: positions[c], AccuracyM: 5}); err != nil {
+				errsCtr.Inc()
+				return
+			}
+			var local []time.Duration
+			defer func() { record(local) }()
+			if streaming {
+				ch, err := cl.Subscribe(context.Background(),
+					server.SubscribeOptions{Interval: interval, Budget: 16})
+				if err != nil {
+					errsCtr.Inc()
+					return
+				}
+				// One timer for the whole run: a per-receive time.After
+				// would pin thousands of timers and GC-skew the very
+				// jitter column this experiment reports.
+				stop := time.NewTimer(time.Until(deadline))
+				defer stop.Stop()
+				last := time.Time{}
+				for {
+					select {
+					case _, ok := <-ch:
+						if !ok {
+							errsCtr.Inc()
+							return
+						}
+						now := time.Now()
+						if !last.IsZero() {
+							local = append(local, now.Sub(last))
+						}
+						last = now
+						frames.Inc()
+					case <-stop.C:
+						_ = cl.Unsubscribe()
+						return
+					}
+				}
+			}
+			// Poll mode: the classic loop — request, block for the reply,
+			// sleep out the cadence remainder.
+			last := time.Time{}
+			for time.Now().Before(deadline) {
+				tickStart := time.Now()
+				_, _, err := cl.RequestFrame()
+				switch {
+				case err == nil:
+					now := time.Now()
+					if !last.IsZero() {
+						local = append(local, now.Sub(last))
+					}
+					last = now
+					frames.Inc()
+				case strings.Contains(err.Error(), server.ErrFrameShed.Error()):
+					// Overload shedding: keep driving.
+				default:
+					errsCtr.Inc()
+					return
+				}
+				if rem := interval - time.Since(tickStart); rem > 0 {
+					time.Sleep(rem)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	p50, p99j := gapStats(gaps)
+	res := streamVsPollResult{
+		frames:    frames.Value(),
+		rate:      float64(frames.Value()) / wall.Seconds(),
+		p50Gap:    p50,
+		p99Jitter: p99j,
+		errors:    errsCtr.Value(),
+	}
+	if n := frames.Value(); n > 0 {
+		res.bytesPerFrame = float64(bytes.Load()) / float64(n)
+		res.readsPerFrame = float64(reads.Load()) / float64(n)
+	}
+	return res
+}
+
+// gapStats reduces inter-frame gaps to the median gap and the p99 of the
+// absolute deviation from that median — the jitter number a head-mounted
+// display cares about: not how long frames take, but how unevenly they
+// arrive.
+func gapStats(gaps []time.Duration) (p50 time.Duration, p99Jitter time.Duration) {
+	if len(gaps) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), gaps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p50 = sorted[len(sorted)/2]
+	devs := make([]time.Duration, len(gaps))
+	for i, g := range gaps {
+		d := g - p50
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	idx := len(devs) * 99 / 100
+	if idx >= len(devs) {
+		idx = len(devs) - 1
+	}
+	return p50, devs[idx]
+}

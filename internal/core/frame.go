@@ -73,6 +73,14 @@ type DecodedFrame struct {
 	Annotations []render.Annotation
 	Level       DegradeLevel
 	ElapsedNs   uint64
+	// Seq is the stream's push counter for frames that arrived over a
+	// subscription (MsgFramePush): strictly increasing per stream, with
+	// gaps where the server skipped ticks or dropped queued pushes under
+	// backpressure. The client rebases across server-side stream restarts
+	// (a router replaying the subscription onto a reconnected shard), so
+	// the property holds for the life of the Subscribe channel. Zero for
+	// frames fetched by request/reply.
+	Seq uint64
 }
 
 // DecodeFrame parses EncodeFrame output.

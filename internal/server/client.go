@@ -1,8 +1,12 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"arbd/internal/core"
@@ -11,103 +15,487 @@ import (
 	"arbd/internal/wire"
 )
 
+// Client errors.
+var (
+	// ErrClientClosed is returned for calls made after Close, and is the
+	// terminal error all in-flight waiters observe when the connection
+	// dies without a more specific cause.
+	ErrClientClosed = errors.New("client: closed")
+	// ErrAlreadySubscribed is returned by Subscribe while a frame
+	// subscription is active: a connection carries one session, and one
+	// session has one frame clock. Re-tune cadence by unsubscribing first.
+	ErrAlreadySubscribed = errors.New("client: already subscribed")
+)
+
 // corePoint builds a geo.Point (helper shared with the server side).
 func corePoint(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }
 
-// Client is a minimal protocol client used by the load generator, examples,
-// and tests. Not safe for concurrent use; run one per goroutine.
+// DialOptions tunes the connection handshake.
+type DialOptions struct {
+	// MinProto is the lowest protocol version the client accepts (default
+	// wire.ProtoV1). A streaming-only caller passes wire.ProtoV2: dialing
+	// a v1 server then fails the handshake with a *wire.VersionError
+	// instead of failing later, mid-session, on the first Subscribe.
+	MinProto uint32
+	// Name labels the client in the server's logs (default "client").
+	Name string
+}
+
+// SubscribeOptions tunes a frame subscription.
+type SubscribeOptions struct {
+	// Interval is the target push cadence (default 33 ms ≈ 30 Hz; floor
+	// 1 ms). The server treats it as a ceiling and degrades under load.
+	Interval time.Duration
+	// Budget bounds the server-side push queue for this connection; when
+	// it is full the server drops the oldest frame (default 8).
+	Budget int
+	// Buffer is the local channel capacity (default Budget). When the
+	// consumer falls behind, the oldest buffered frame is evicted to make
+	// room and counted (PushesDropped) — the same drop-oldest policy as
+	// the server's outbox, so a stalled consumer resumes on the freshest
+	// frames and a slow reader costs itself, never anyone else.
+	Buffer int
+}
+
+// Client is a concurrency-safe protocol client: the load generator,
+// examples, benchmarks, and the public arbd package all speak through it.
+// One goroutine owns the read side of the connection and demultiplexes —
+// request/reply traffic is matched to callers by sequence number, pushed
+// frames flow to the subscription channel — so any number of goroutines
+// may send sensors, request frames, and consume a stream concurrently.
 type Client struct {
 	conn net.Conn
 	fr   *wire.FrameReader
-	fw   *wire.FrameWriter
-	seq  uint64
-	buf  wire.Buffer // reusable payload encode buffer
+
+	wmu sync.Mutex // guards fw and buf
+	fw  *wire.FrameWriter
+	buf wire.Buffer // reusable payload encode buffer
+
+	seq atomic.Uint64
+
+	proto      uint32 // negotiated protocol version
+	serverVer  uint32 // version the server announced
+	sessionID  uint64 // session the server assigned (0 on legacy servers)
+	pushesDrop atomic.Int64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Envelope
+	sub     *clientSub
+	lastSub error // why the last subscription ended, if abnormally
+	err     error // terminal connection error
+	done    chan struct{}
+
+	// subLifecycle serialises unsubscribe round-trips against each other
+	// and against new Subscribes: without it, a straggling unsubscribe
+	// (a ctx watcher racing an explicit Unsubscribe) could hit the wire
+	// after a newer Subscribe and silently stop the new stream.
+	subLifecycle sync.Mutex
 }
 
-// Dial connects to an arbd server.
+// clientSub is one active frame subscription. Its mutex orders the demux
+// goroutine's sends against the channel close — the close may come from
+// Unsubscribe on any goroutine.
+type clientSub struct {
+	mu     sync.Mutex
+	ch     chan *core.DecodedFrame
+	closed bool
+	// stop closes when the subscription ends, releasing its ctx watcher.
+	stop chan struct{}
+	// lastRaw/base/lastOut rebase server push counters: a router that
+	// replays the subscription onto a reconnected shard starts a fresh
+	// server-side stream whose counter restarts at 1, but the channel's
+	// DecodedFrame.Seq contract is strictly increasing — so a counter
+	// that moves backwards shifts base up to where the old epoch ended.
+	// Touched only by the demux goroutine.
+	lastRaw, base, lastOut uint64
+}
+
+// rebase maps a raw wire push counter onto the channel's monotonic Seq.
+func (s *clientSub) rebase(raw uint64) uint64 {
+	if raw <= s.lastRaw {
+		s.base = s.lastOut // new server-side epoch (shard bounce + replay)
+	}
+	s.lastRaw = raw
+	s.lastOut = s.base + raw
+	return s.lastOut
+}
+
+func (s *clientSub) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+		close(s.stop)
+	}
+}
+
+// deliver hands a frame to the consumer without blocking; it reports false
+// when an older frame was evicted to make room (the consumer is behind).
+// Eviction is drop-oldest, matching the server's outbox policy: a stalled
+// consumer that wakes up reads the freshest frames, not second-old ones.
+// Frames arriving after the close are discarded silently (stream over).
+func (s *clientSub) deliver(f *core.DecodedFrame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return true
+	}
+	select {
+	case s.ch <- f:
+		return true
+	default:
+	}
+	// Buffer full: evict the oldest queued frame, then retry — the retry
+	// can only fail if the consumer raced in and drained the channel, in
+	// which case the send below succeeds instead.
+	select {
+	case <-s.ch:
+	default:
+	}
+	select {
+	case s.ch <- f:
+	default:
+	}
+	return false
+}
+
+// Dial connects to an arbd server (standalone or router) and runs the
+// protocol handshake at the default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, DialOptions{})
+}
+
+// DialContext connects with a context governing the dial and handshake.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial: %w", err)
 	}
-	return &Client{conn: conn, fr: wire.NewFrameReader(conn), fw: wire.NewFrameWriter(conn)}, nil
+	return NewClient(ctx, conn, opts)
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// NewClient wraps an established connection (tests and benchmarks inject
+// byte-counting conns here), runs the hello handshake, and starts the
+// reader. The client owns conn from this point, success or failure.
+func NewClient(ctx context.Context, conn net.Conn, opts DialOptions) (*Client, error) {
+	if opts.MinProto == 0 {
+		opts.MinProto = wire.ProtoV1
+	}
+	if opts.Name == "" {
+		opts.Name = "client"
+	}
+	c := &Client{
+		conn:    conn,
+		fr:      wire.NewFrameReader(conn),
+		fw:      wire.NewFrameWriter(conn),
+		pending: make(map[uint64]chan *wire.Envelope),
+		done:    make(chan struct{}),
+	}
+	if err := c.handshake(ctx, opts); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
 
-func (c *Client) send(t wire.MsgType, payload []byte) error {
-	c.seq++
-	if err := c.fw.WriteEnvelope(&wire.Envelope{Type: t, Seq: c.seq, Payload: payload}); err != nil {
+// handshake sends the client hello and settles the protocol version with
+// the server's reply. It runs before the reader goroutine exists, so it
+// reads the connection directly.
+func (c *Client) handshake(ctx context.Context, opts DialOptions) error {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	var hello wire.Buffer
+	wire.EncodeHelloInto(&hello, wire.Hello{Name: opts.Name, Version: wire.ProtoMax})
+	seq := c.seq.Add(1)
+	if err := c.writeEnvelope(&wire.Envelope{Type: wire.MsgHello, Seq: seq, Payload: hello.Bytes()}); err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	env, err := c.fr.ReadEnvelope()
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	switch env.Type {
+	case wire.MsgHello:
+	case wire.MsgError:
+		return fmt.Errorf("client: handshake rejected: %s", env.Payload)
+	default:
+		return fmt.Errorf("client: handshake: server answered hello with %v", env.Type)
+	}
+	peer, err := wire.DecodeHello(env.Payload)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	proto, err := wire.Negotiate(wire.ProtoMax, peer.Version, opts.MinProto)
+	if err != nil {
+		return err // *wire.VersionError: typed, fails closed
+	}
+	c.proto = proto
+	c.serverVer = peer.Version
+	c.sessionID = peer.ID
+	return nil
+}
+
+// Proto returns the negotiated protocol version.
+func (c *Client) Proto() uint32 { return c.proto }
+
+// SessionID returns the session the server assigned this connection.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// PushesDropped counts frames discarded locally because the subscription
+// consumer fell behind its channel buffer.
+func (c *Client) PushesDropped() int64 { return c.pushesDrop.Load() }
+
+// Close tears down the connection and unblocks every waiter: in-flight
+// round-trips fail with the terminal error and an active subscription's
+// channel closes.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done // reader observed the close and failed all waiters
+	return err
+}
+
+// fail records the terminal error and unblocks everything exactly once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pend := c.pending
+	c.pending = nil
+	sub := c.sub
+	c.sub = nil
+	if sub != nil && c.lastSub == nil {
+		c.lastSub = c.err
+	}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch) // a closed reply channel means "terminal error, see c.err"
+	}
+	if sub != nil {
+		sub.finish()
+	}
+	close(c.done)
+}
+
+// readLoop owns the connection's read side: pushes to the subscription,
+// everything else matched to its caller by sequence number.
+func (c *Client) readLoop() {
+	for {
+		env, err := c.fr.ReadEnvelope() // payload copied: handed across goroutines
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			return
+		}
+		switch {
+		case env.Type == wire.MsgFramePush:
+			c.deliverPush(env)
+		case env.Type == wire.MsgError && env.Seq == 0:
+			// Seq 0 is never a reply: it is the server's stream obituary
+			// (a shard died past its reconnect budget, say). The stream
+			// ends; request/reply keeps working.
+			c.endSub(fmt.Errorf("client: stream ended by server: %s", env.Payload))
+		default:
+			c.mu.Lock()
+			ch := c.pending[env.Seq]
+			delete(c.pending, env.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- env // buffered; never blocks
+			}
+			// Unmatched envelopes (acks for router-replayed subscribes,
+			// replies that lost their waiter to a context) are dropped.
+		}
+	}
+}
+
+func (c *Client) deliverPush(env *wire.Envelope) {
+	c.mu.Lock()
+	sub := c.sub
+	c.mu.Unlock()
+	if sub == nil {
+		return // push raced an unsubscribe: drop
+	}
+	f, err := core.DecodeFrame(env.Payload)
+	if err != nil {
+		return // corrupt push: drop rather than kill the stream
+	}
+	f.Seq = sub.rebase(env.Seq)
+	if !sub.deliver(f) {
+		c.pushesDrop.Add(1)
+	}
+}
+
+// endSub closes the active subscription, recording why. Without an active
+// subscription it is a no-op, so a late obituary cannot clobber the cause
+// an earlier teardown recorded.
+func (c *Client) endSub(cause error) {
+	c.mu.Lock()
+	sub := c.sub
+	if sub != nil {
+		c.sub = nil
+		c.lastSub = cause
+	}
+	c.mu.Unlock()
+	if sub != nil {
+		sub.finish()
+	}
+}
+
+// endSubIf is endSub scoped to one specific subscription: a stale caller
+// (an old context watcher, a late Unsubscribe) cannot tear down a newer
+// stream that replaced the one it knew about.
+func (c *Client) endSubIf(cs *clientSub, cause error) {
+	c.mu.Lock()
+	if c.sub != cs {
+		c.mu.Unlock()
+		return
+	}
+	c.sub = nil
+	c.lastSub = cause
+	c.mu.Unlock()
+	cs.finish()
+}
+
+// StreamErr reports why the last subscription ended: nil after a clean
+// Unsubscribe, the server's reason otherwise. Valid once the subscription
+// channel has closed.
+func (c *Client) StreamErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSub
+}
+
+// writeEnvelope frames, writes and flushes one envelope (any goroutine).
+func (c *Client) writeEnvelope(env *wire.Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.fw.WriteEnvelope(env); err != nil {
 		return err
 	}
 	return c.fw.Flush()
 }
 
+// send writes a fire-and-forget envelope built by fill (which encodes the
+// payload into the client's reusable buffer under the write lock).
+func (c *Client) send(t wire.MsgType, fill func(b *wire.Buffer)) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.buf.Reset()
+	if fill != nil {
+		fill(&c.buf)
+	}
+	env := wire.Envelope{Type: t, Seq: c.seq.Add(1), Payload: c.buf.Bytes()}
+	if err := c.fw.WriteEnvelope(&env); err != nil {
+		return err
+	}
+	return c.fw.Flush()
+}
+
+// roundTrip sends one request and blocks for the reply carrying its exact
+// sequence number — an interleaved reply to some other request can never
+// be mistaken for this one. It unblocks on reply, context cancellation,
+// or connection death, whichever first.
+func (c *Client) roundTrip(ctx context.Context, t wire.MsgType, payload []byte) (*wire.Envelope, error) {
+	seq := c.seq.Add(1)
+	ch := make(chan *wire.Envelope, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.writeEnvelope(&wire.Envelope{Type: t, Seq: seq, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if env.Type == wire.MsgError {
+			return nil, fmt.Errorf("client: server error: %s", env.Payload)
+		}
+		return env, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
 // SendGPS streams a GPS fix (no reply expected).
 func (c *Client) SendGPS(fix sensor.GPSFix) error {
-	b := &c.buf
-	b.Reset()
-	b.Byte(SensorGPS)
-	b.Uvarint(uint64(fix.Time.UnixNano()))
-	b.Float64(fix.Position.Lat)
-	b.Float64(fix.Position.Lon)
-	b.Float64(fix.AccuracyM)
-	return c.send(wire.MsgSensorEvent, b.Bytes())
+	return c.send(wire.MsgSensorEvent, func(b *wire.Buffer) {
+		b.Byte(SensorGPS)
+		b.Uvarint(uint64(fix.Time.UnixNano()))
+		b.Float64(fix.Position.Lat)
+		b.Float64(fix.Position.Lon)
+		b.Float64(fix.AccuracyM)
+	})
 }
 
 // SendIMU streams an inertial sample.
 func (c *Client) SendIMU(s sensor.IMUSample) error {
-	b := &c.buf
-	b.Reset()
-	b.Byte(SensorIMU)
-	b.Uvarint(uint64(s.Time.UnixNano()))
-	b.Float64(s.GyroZRad)
-	b.Float64(s.AccelMps2)
-	b.Float64(s.CompassDeg)
-	return c.send(wire.MsgSensorEvent, b.Bytes())
+	return c.send(wire.MsgSensorEvent, func(b *wire.Buffer) {
+		b.Byte(SensorIMU)
+		b.Uvarint(uint64(s.Time.UnixNano()))
+		b.Float64(s.GyroZRad)
+		b.Float64(s.AccelMps2)
+		b.Float64(s.CompassDeg)
+	})
 }
 
 // SendGaze streams a gaze sample.
 func (c *Client) SendGaze(s sensor.GazeSample) error {
-	b := &c.buf
-	b.Reset()
-	b.Byte(SensorGaze)
-	b.Uvarint(uint64(s.Time.UnixNano()))
-	b.Uvarint(s.TargetID)
-	b.Float64(s.DwellMS)
-	return c.send(wire.MsgSensorEvent, b.Bytes())
+	return c.send(wire.MsgSensorEvent, func(b *wire.Buffer) {
+		b.Byte(SensorGaze)
+		b.Uvarint(uint64(s.Time.UnixNano()))
+		b.Uvarint(s.TargetID)
+		b.Float64(s.DwellMS)
+	})
 }
 
-// RequestFrame asks for the current overlay and blocks for the reply.
+// RequestFrame asks for the current overlay and blocks for the reply —
+// the legacy polling path, kept for v1 servers and one-shot uses.
 func (c *Client) RequestFrame() (*core.DecodedFrame, time.Duration, error) {
+	return c.RequestFrameContext(context.Background())
+}
+
+// RequestFrameContext is RequestFrame bounded by a context.
+func (c *Client) RequestFrameContext(ctx context.Context) (*core.DecodedFrame, time.Duration, error) {
 	start := time.Now()
-	if err := c.send(wire.MsgFrameRequest, nil); err != nil {
+	env, err := c.roundTrip(ctx, wire.MsgFrameRequest, nil)
+	if err != nil {
 		return nil, 0, err
 	}
-	for {
-		env, err := c.fr.ReadEnvelope()
-		if err != nil {
-			return nil, 0, err
-		}
-		switch env.Type {
-		case wire.MsgAnnotations:
-			f, err := core.DecodeFrame(env.Payload)
-			return f, time.Since(start), err
-		case wire.MsgError:
-			return nil, 0, fmt.Errorf("client: server error: %s", env.Payload)
-		default:
-			// Skip unrelated replies (none in the current protocol).
-		}
+	if env.Type != wire.MsgAnnotations {
+		return nil, 0, fmt.Errorf("client: expected annotations, got %v", env.Type)
 	}
+	f, err := core.DecodeFrame(env.Payload)
+	return f, time.Since(start), err
 }
 
 // Ping round-trips a control message (connectivity check).
-func (c *Client) Ping() error {
-	if err := c.send(wire.MsgControl, nil); err != nil {
-		return err
-	}
-	env, err := c.fr.ReadEnvelope()
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext is Ping bounded by a context.
+func (c *Client) PingContext(ctx context.Context) error {
+	env, err := c.roundTrip(ctx, wire.MsgControl, nil)
 	if err != nil {
 		return err
 	}
@@ -115,4 +503,119 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("client: expected ack, got %v", env.Type)
 	}
 	return nil
+}
+
+// Subscribe switches the session to server-pushed frames (protocol v2):
+// the server owns the frame clock from here and the returned channel
+// yields decoded frames until Unsubscribe, context cancellation, or
+// connection close — after which StreamErr reports why. Requires a
+// v2-negotiated connection; against a v1 server it fails closed with a
+// *wire.VersionError without touching the wire.
+func (c *Client) Subscribe(ctx context.Context, opts SubscribeOptions) (<-chan *core.DecodedFrame, error) {
+	if c.proto < wire.ProtoV2 {
+		return nil, &wire.VersionError{Local: wire.ProtoMax, Remote: c.serverVer, Need: wire.ProtoV2}
+	}
+	// Reject out-of-range options instead of truncating them into a
+	// different cadence — the codec enforces the same rule on decode.
+	const maxU32 = 1<<32 - 1
+	sub := wire.Subscribe{}
+	if opts.Interval > 0 {
+		ms := opts.Interval.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > maxU32 {
+			return nil, fmt.Errorf("client: subscribe interval %v overflows the wire field", opts.Interval)
+		}
+		sub.IntervalMS = uint32(ms)
+	}
+	if opts.Budget > 0 {
+		if int64(opts.Budget) > maxU32 {
+			return nil, fmt.Errorf("client: subscribe budget %d overflows the wire field", opts.Budget)
+		}
+		sub.Budget = uint32(opts.Budget)
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = pushBudget(sub)
+	}
+
+	cs := &clientSub{ch: make(chan *core.DecodedFrame, buffer), stop: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.sub != nil {
+		c.mu.Unlock()
+		return nil, ErrAlreadySubscribed
+	}
+	// Register before the ack round-trip: the first push may beat the ack
+	// through the demux and must not be dropped.
+	c.sub = cs
+	c.lastSub = nil
+	c.mu.Unlock()
+
+	var payload wire.Buffer
+	wire.EncodeSubscribeInto(&payload, sub)
+	env, err := c.roundTrip(ctx, wire.MsgSubscribe, payload.Bytes())
+	if err == nil && env.Type != wire.MsgAck {
+		err = fmt.Errorf("client: expected subscribe ack, got %v", env.Type)
+	}
+	if err != nil {
+		// The subscribe may already be on the wire with the server
+		// streaming toward us (the wait gave up, not the server): send a
+		// best-effort unsubscribe so an unobserved stream doesn't burn
+		// scheduler slots for the life of the connection. Its ack is
+		// unmatched and dropped by the demux.
+		_ = c.writeEnvelope(&wire.Envelope{Type: wire.MsgUnsubscribe, Seq: c.seq.Add(1)})
+		c.endSubIf(cs, err)
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = c.unsubscribe(cs)
+			case <-cs.stop: // subscription already over: watcher retires
+			case <-c.done:
+			}
+		}()
+	}
+	return cs.ch, nil
+}
+
+// Unsubscribe ends the active subscription cleanly: the server stops the
+// stream, and once the server acks, the subscription channel closes. A
+// second Unsubscribe is a no-op.
+func (c *Client) Unsubscribe() error {
+	c.mu.Lock()
+	sub := c.sub
+	c.mu.Unlock()
+	if sub == nil {
+		return nil
+	}
+	return c.unsubscribe(sub)
+}
+
+// unsubscribe ends one specific subscription. A caller holding a stale
+// handle (replaced by a newer Subscribe) is a no-op — it must not send an
+// unsubscribe that would kill the newer server-side stream. subLifecycle
+// makes the active-check and the wire round-trip atomic against other
+// unsubscribers and against Subscribe, so two racing teardowns of the
+// same stream collapse into one wire message.
+func (c *Client) unsubscribe(cs *clientSub) error {
+	c.subLifecycle.Lock()
+	defer c.subLifecycle.Unlock()
+	c.mu.Lock()
+	active := c.sub == cs
+	c.mu.Unlock()
+	if !active {
+		return nil
+	}
+	_, err := c.roundTrip(context.Background(), wire.MsgUnsubscribe, nil)
+	// Clean or not, the stream is over locally: late pushes are dropped.
+	c.endSubIf(cs, nil)
+	return err
 }

@@ -104,9 +104,35 @@ func (e *Engine) encodeFrameReply(reply *wire.Envelope, session, seq uint64, f *
 // release returns a pooled response buffer.
 func (e *Engine) release(buf *wire.Buffer) { e.bufs.Put(buf) }
 
+// answerHello handles an inbound MsgHello on a listener-side connection:
+// it decodes the peer's announced version, writes this node's hello reply
+// (identity chosen by the role; localMax is the highest protocol version
+// the role speaks, normally wire.ProtoMax), and returns the version both
+// sides settled on. Mismatches fail closed: a MsgError carrying the typed
+// error's text goes back and the connection should be dropped.
+func answerHello(w *lockedWriter, env *wire.Envelope, id uint64, name string, localMax uint32) (peer wire.Hello, proto uint32, err error) {
+	peer, err = wire.DecodeHello(env.Payload)
+	if err != nil {
+		_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())})
+		return peer, 0, err
+	}
+	proto, err = wire.Negotiate(localMax, peer.Version, wire.ProtoMin)
+	if err != nil {
+		_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Payload: []byte(err.Error())})
+		return peer, 0, err
+	}
+	var buf wire.Buffer
+	wire.EncodeHelloInto(&buf, wire.Hello{ID: id, Name: name, Version: localMax})
+	if err := w.write(&wire.Envelope{Type: wire.MsgHello, Seq: env.Seq, Session: id, Payload: buf.Bytes()}); err != nil {
+		return peer, 0, err
+	}
+	return peer, proto, nil
+}
+
 // lockedWriter serialises envelope writes to one connection shared by
-// several goroutines — scheduler callbacks, load pushers, and read loops
-// all reply on the same wire. Each write is framed and flushed atomically.
+// several goroutines — scheduler callbacks, load pushers, stream outboxes,
+// and read loops all reply on the same wire. Each write is framed and
+// flushed atomically.
 type lockedWriter struct {
 	mu sync.Mutex
 	fw *wire.FrameWriter

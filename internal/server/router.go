@@ -24,9 +24,62 @@ var (
 	// exported error string treat local and remote sheds alike.
 	ErrRouterShed = fmt.Errorf("%w (router: shard overloaded)", ErrFrameShed)
 	// ErrShardDown is returned when the shard owning a session is not
-	// connected.
+	// connected. With retry enabled it is surfaced to an in-flight stream
+	// only after the reconnect budget is spent.
 	ErrShardDown = errors.New("server: shard connection down")
 )
+
+// routerPushQueue is the drop-oldest bound on each client connection's push
+// outbox: a client that stops reading loses its oldest frames, never stalls
+// the shard reader that delivers everyone else's.
+const routerPushQueue = 32
+
+// RetryPolicy is the router's backend-reconnect budget: when a shard
+// connection drops, the router redials with exponentially growing delays
+// (Base, 2·Base, … capped at Max) until the connection is back or Attempts
+// are spent — only then do that shard's in-flight streams fail with
+// ErrShardDown.
+type RetryPolicy struct {
+	// Base is the delay before the first attempt (default 50 ms).
+	Base time.Duration
+	// Max caps the per-attempt delay (default 1 s).
+	Max time.Duration
+	// Attempts is the retry budget (default 6). Negative disables
+	// reconnecting entirely: the first disconnect is final.
+	Attempts int
+}
+
+func (p *RetryPolicy) defaults() {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Attempts == 0 {
+		p.Attempts = 6
+	}
+}
+
+// delay returns the backoff before the given 1-based attempt:
+// Base·2^(attempt-1), capped at Max. Doubling step by step (bailing at the
+// cap) keeps a huge attempt count from overflowing the shift.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.Max {
+			return p.Max
+		}
+	}
+	if d > p.Max {
+		return p.Max
+	}
+	return d
+}
 
 // RouterOptions tunes a router.
 type RouterOptions struct {
@@ -41,6 +94,12 @@ type RouterOptions struct {
 	BacklogRef      int64
 	// DialTimeout bounds each backend dial + hello handshake (default 5 s).
 	DialTimeout time.Duration
+	// Retry is the backend reconnect budget (see RetryPolicy).
+	Retry RetryPolicy
+	// MaxProto caps the protocol version negotiated with clients (default
+	// wire.ProtoMax). Shard connections always negotiate the router's full
+	// range — capping the client side is what turns streaming off.
+	MaxProto uint32
 }
 
 func (o *RouterOptions) defaults() {
@@ -59,6 +118,10 @@ func (o *RouterOptions) defaults() {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	if o.MaxProto == 0 {
+		o.MaxProto = wire.ProtoMax
+	}
+	o.Retry.defaults()
 }
 
 // Router owns client connections for a multi-node frontend: it speaks the
@@ -67,7 +130,11 @@ func (o *RouterOptions) defaults() {
 // forwards envelopes over persistent backend connections. Shards push
 // MsgLoad; the router runs the standalone server's lag-aware admission
 // against that remote pressure and sheds frame requests before wasting a
-// forward hop on an overlay that would arrive stale.
+// forward hop on an overlay that would arrive stale. Protocol-v2 frame
+// subscriptions forward with session affinity, the shard's MsgFramePush
+// replies traverse the hop back, and each client connection buffers pushes
+// on a drop-oldest outbox so one stalled reader cannot stall a shard
+// reader serving every other client.
 type Router struct {
 	cs     *connServer
 	logger *log.Logger
@@ -82,28 +149,47 @@ type Router struct {
 	sessions map[uint64]*routerClient
 	nextSess atomic.Uint64
 
+	// subs tracks live subscriptions (session → subscribe payload copy) so
+	// a reconnected shard can have its streams replayed and a permanently
+	// dead one can fail them with a typed error.
+	subsMu sync.Mutex
+	subs   map[uint64][]byte
+
+	// bufs stages forwarded push payloads while they sit in client
+	// outboxes (the shard reader's frame buffer cannot outlive one read).
+	bufs sync.Pool
+
 	connected bool
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// routerShard is one persistent backend connection plus the state admission
-// needs: the shard's last reported load and the FIFO of outstanding frame
-// requests.
+// backendConn is one dialled-and-handshaken shard connection.
+type backendConn struct {
+	conn  net.Conn
+	w     *lockedWriter
+	fr    *wire.FrameReader
+	proto uint32
+}
+
+// routerShard is one shard's slot: the current backend connection (swapped
+// on reconnect) plus the state admission needs — the shard's last reported
+// load and the FIFO of outstanding frame requests.
 type routerShard struct {
 	member Member
-	conn   net.Conn
-	w      lockedWriter
-	// frForReader hands the handshake's frame reader to the reader
-	// goroutine; only shardReader touches it after Connect.
-	frForReader *wire.FrameReader
+
+	connMu sync.RWMutex
+	bc     *backendConn
 
 	loadMu sync.RWMutex
 	load   core.LoadSignal
 
 	pend pendingFrames
 
+	// down flips while the backend connection is lost; dead flips once the
+	// retry budget is spent and the shard's streams have been failed.
 	down atomic.Bool
+	dead atomic.Bool
 }
 
 func (ss *routerShard) setLoad(sig core.LoadSignal) {
@@ -118,19 +204,40 @@ func (ss *routerShard) loadSignal() core.LoadSignal {
 	return ss.load
 }
 
+// backend returns the current connection slot.
+func (ss *routerShard) backend() *backendConn {
+	ss.connMu.RLock()
+	defer ss.connMu.RUnlock()
+	return ss.bc
+}
+
+// proto returns the protocol version negotiated with the shard.
+func (ss *routerShard) proto() uint32 {
+	if bc := ss.backend(); bc != nil {
+		return bc.proto
+	}
+	return 0
+}
+
 // forward writes one envelope to the shard.
 func (ss *routerShard) forward(env *wire.Envelope) error {
 	if ss.down.Load() {
 		return ErrShardDown
 	}
-	return ss.w.write(env)
+	bc := ss.backend()
+	if bc == nil {
+		return ErrShardDown
+	}
+	return bc.w.write(env)
 }
 
 // routerClient is one client connection's write side; replies arrive from
 // shard reader goroutines while local sheds come from the client's own
-// read loop, so writes are serialised.
+// read loop, so synchronous writes are serialised — and pushed frames go
+// through the drop-oldest outbox sharing the same lock.
 type routerClient struct {
 	lockedWriter
+	out *outbox
 }
 
 // NewRouter returns a router over the membership (not yet connected or
@@ -155,39 +262,49 @@ func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts
 		reg:      reg,
 		shards:   make(map[uint64]*routerShard),
 		sessions: make(map[uint64]*routerClient),
+		subs:     make(map[uint64][]byte),
 	}
+	r.bufs.New = func() any { return wire.NewBuffer(1024) }
 	r.cs = newConnServer(logger, r.serveClient)
 	return r, nil
 }
 
 // Metrics returns the registry the router records into (router.frames.shed,
-// router.replies.orphaned, router.forward.errors).
+// router.replies.orphaned, router.forward.errors, router.pushes.dropped,
+// router.shard.reconnects).
 func (r *Router) Metrics() *metrics.Registry { return r.reg }
 
 // Ring exposes the router's placement ring.
 func (r *Router) Ring() *Ring { return r.ring }
 
 // Connect dials every shard and completes the hello handshake, verifying
-// each peer announces the member ID the config claims. It must succeed
-// before Listen.
+// each peer announces the member ID the config claims and negotiating the
+// protocol version. It must succeed before Listen.
 func (r *Router) Connect() error {
 	for _, m := range r.ring.Members() {
-		ss, err := r.dialShard(m)
+		bc, err := r.dialBackend(m)
 		if err != nil {
 			// Close what already connected; Connect is all-or-nothing.
-			for _, c := range r.shards {
-				_ = c.conn.Close()
+			for _, ss := range r.shards {
+				if prev := ss.backend(); prev != nil {
+					_ = prev.conn.Close()
+				}
 			}
 			return err
 		}
+		ss := &routerShard{member: m, bc: bc}
+		ss.pend.init()
 		r.shards[m.ID] = ss
-		go r.shardReader(ss)
+		go r.shardReader(ss, bc)
 	}
 	r.connected = true
 	return nil
 }
 
-func (r *Router) dialShard(m Member) (*routerShard, error) {
+// dialBackend dials one shard and runs the hello handshake: announce
+// ourselves, verify the peer announces the member ID the config claims,
+// and settle the protocol version.
+func (r *Router) dialBackend(m Member) (*backendConn, error) {
 	conn, err := net.DialTimeout("tcp", m.Addr, r.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("server: dialing shard %d at %s: %w", m.ID, m.Addr, err)
@@ -197,7 +314,7 @@ func (r *Router) dialShard(m Member) (*routerShard, error) {
 
 	_ = conn.SetDeadline(time.Now().Add(r.opts.DialTimeout))
 	var buf wire.Buffer
-	wire.EncodeHelloInto(&buf, wire.Hello{Name: "router"})
+	wire.EncodeHelloInto(&buf, wire.Hello{Name: "router", Version: wire.ProtoMax})
 	if err := fw.WriteEnvelope(&wire.Envelope{Type: wire.MsgHello, Payload: buf.Bytes()}); err == nil {
 		err = fw.Flush()
 	}
@@ -212,7 +329,7 @@ func (r *Router) dialShard(m Member) (*routerShard, error) {
 	}
 	if env.Type != wire.MsgHello {
 		_ = conn.Close()
-		return nil, fmt.Errorf("server: shard %d answered hello with %v", m.ID, env.Type)
+		return nil, fmt.Errorf("server: shard %d answered hello with %v: %s", m.ID, env.Type, env.Payload)
 	}
 	hello, err := wire.DecodeHello(env.Payload)
 	if err != nil {
@@ -224,18 +341,20 @@ func (r *Router) dialShard(m Member) (*routerShard, error) {
 		return nil, fmt.Errorf("server: shard at %s announced ID %d, config says %d — membership miswired",
 			m.Addr, hello.ID, m.ID)
 	}
+	proto, err := wire.Negotiate(wire.ProtoMax, hello.Version, wire.ProtoMin)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("server: shard %d handshake: %w", m.ID, err)
+	}
 	_ = conn.SetDeadline(time.Time{})
-	ss := &routerShard{member: m, conn: conn, w: lockedWriter{fw: fw}}
-	ss.pend.init()
-	// The reader owns fr from here; dialShard must not read again.
-	ss.frForReader = fr
-	return ss, nil
+	return &backendConn{conn: conn, w: &lockedWriter{fw: fw}, fr: fr, proto: proto}, nil
 }
 
-// shardReader drains one shard connection: load reports update admission,
-// everything else routes back to the owning client by session ID.
-func (r *Router) shardReader(ss *routerShard) {
-	fr := ss.frForReader
+// shardReader drains one backend connection: load reports update admission,
+// everything else routes back to the owning client by session ID. When the
+// connection dies the reader kicks off the reconnect loop.
+func (r *Router) shardReader(ss *routerShard, bc *backendConn) {
+	fr := bc.fr
 	var env wire.Envelope
 	for {
 		if err := fr.ReadEnvelopeReuse(&env); err != nil {
@@ -249,6 +368,7 @@ func (r *Router) shardReader(ss *routerShard) {
 			case <-r.cs.done:
 			default:
 				r.logger.Printf("router: shard %d connection lost: %v", ss.member.ID, err)
+				go r.reconnectShard(ss)
 			}
 			return
 		}
@@ -266,9 +386,131 @@ func (r *Router) shardReader(ss *routerShard) {
 	}
 }
 
-// deliver routes one shard reply to its client. The payload aliases the
-// shard reader's buffer, so the write happens before the next shard read —
-// which is exactly the calling sequence.
+// reconnectShard redials a lost backend with capped exponential backoff.
+// While it runs, requests for the shard fail fast with ErrShardDown but
+// subscriptions stay tracked; on success the streams are replayed on the
+// new connection, and only once the budget is spent are they failed.
+func (r *Router) reconnectShard(ss *routerShard) {
+	for attempt := 1; attempt <= r.opts.Retry.Attempts; attempt++ {
+		select {
+		case <-r.cs.done:
+			return
+		case <-time.After(r.opts.Retry.delay(attempt)):
+		}
+		bc, err := r.dialBackend(ss.member)
+		if err != nil {
+			r.logger.Printf("router: shard %d reconnect attempt %d/%d: %v",
+				ss.member.ID, attempt, r.opts.Retry.Attempts, err)
+			continue
+		}
+		// Install under the conn lock with a shutdown re-check: if Close
+		// already swept the shard slots, the fresh conn must be torn down
+		// here — Close will not come back for it.
+		ss.connMu.Lock()
+		select {
+		case <-r.cs.done:
+			ss.connMu.Unlock()
+			_ = bc.conn.Close()
+			return
+		default:
+		}
+		ss.bc = bc
+		ss.connMu.Unlock()
+		ss.down.Store(false)
+		r.reg.Counter("router.shard.reconnects").Inc()
+		go r.shardReader(ss, bc)
+		r.replaySubscriptions(ss)
+		r.logger.Printf("router: shard %d reconnected (attempt %d)", ss.member.ID, attempt)
+		return
+	}
+	// Budget spent: the shard is gone as far as this router is concerned.
+	// In-flight streams placed there now — and only now — surface
+	// ErrShardDown.
+	ss.dead.Store(true)
+	r.failStreams(ss)
+	r.logger.Printf("router: shard %d reconnect budget (%d attempts) spent; failing its streams",
+		ss.member.ID, r.opts.Retry.Attempts)
+}
+
+// replaySubscriptions re-forwards MsgSubscribe for every tracked stream
+// the ring places on the shard, rebuilding server-side streams a backend
+// bounce destroyed. Replayed subscribes carry Seq 0: the shard's acks are
+// delivered to clients, which ignore acks for requests they never made.
+func (r *Router) replaySubscriptions(ss *routerShard) {
+	r.subsMu.Lock()
+	replay := make(map[uint64][]byte, len(r.subs))
+	for id, payload := range r.subs {
+		if r.ring.Pick(id).ID == ss.member.ID {
+			replay[id] = payload
+		}
+	}
+	r.subsMu.Unlock()
+	for id, payload := range replay {
+		if err := ss.forward(&wire.Envelope{Type: wire.MsgSubscribe, Session: id, Payload: payload}); err != nil {
+			r.logger.Printf("router: replaying subscription for session %d: %v", id, err)
+		}
+	}
+	// Sweep for subscriptions that ended between the snapshot and the
+	// forward: their unsubscribe or CtrlEndSession raced the replay (a
+	// no-op on the new connection, which didn't know the session yet), so
+	// the subscribe above would otherwise resurrect a zombie stream
+	// nobody ends. The shard knows the session now via the replayed
+	// subscribe, so the corrective message lands — an unsubscribe for a
+	// still-connected client (only its stream ended), a full end-session
+	// for a client that is gone.
+	r.subsMu.Lock()
+	var stale []uint64
+	for id := range replay {
+		if _, ok := r.subs[id]; !ok {
+			stale = append(stale, id)
+		}
+	}
+	r.subsMu.Unlock()
+	for _, id := range stale {
+		r.sessMu.RLock()
+		connected := r.sessions[id] != nil
+		r.sessMu.RUnlock()
+		if connected {
+			_ = ss.forward(&wire.Envelope{Type: wire.MsgUnsubscribe, Session: id})
+		} else {
+			_ = ss.forward(&wire.Envelope{Type: wire.MsgControl, Session: id,
+				Payload: []byte{CtrlEndSession}})
+		}
+	}
+}
+
+// failStreams delivers the stream-fatal ErrShardDown to every subscribed
+// client placed on the shard. The error rides the push outbox with Seq 0 —
+// the slot request/reply traffic never uses — so clients recognise it as
+// the stream's obituary rather than a reply.
+func (r *Router) failStreams(ss *routerShard) {
+	r.subsMu.Lock()
+	var ids []uint64
+	for id := range r.subs {
+		if r.ring.Pick(id).ID == ss.member.ID {
+			ids = append(ids, id)
+			delete(r.subs, id)
+		}
+	}
+	r.subsMu.Unlock()
+	for _, id := range ids {
+		r.sessMu.RLock()
+		cl := r.sessions[id]
+		r.sessMu.RUnlock()
+		if cl == nil {
+			continue
+		}
+		cl.out.enqueue(outMsg{env: wire.Envelope{Type: wire.MsgError, Seq: 0, Session: id,
+			Payload: []byte(ErrShardDown.Error())}})
+	}
+}
+
+// deliver routes one shard reply to its client. Request/reply traffic is
+// written synchronously (the payload aliases the shard reader's buffer, so
+// the write happens before the next shard read — exactly the calling
+// sequence); pushed frames are copied into a pooled buffer and queued on
+// the client's drop-oldest outbox, because a slow client must cost itself
+// frames, not stall the shard reader.
 func (r *Router) deliver(env *wire.Envelope) {
 	r.sessMu.RLock()
 	cl := r.sessions[env.Session]
@@ -276,6 +518,16 @@ func (r *Router) deliver(env *wire.Envelope) {
 	if cl == nil {
 		// Client went away while the reply was in flight.
 		r.reg.Counter("router.replies.orphaned").Inc()
+		return
+	}
+	if env.Type == wire.MsgFramePush {
+		buf := r.bufs.Get().(*wire.Buffer)
+		buf.Reset()
+		buf.Append(env.Payload)
+		cl.out.enqueue(outMsg{
+			env:     wire.Envelope{Type: env.Type, Seq: env.Seq, Session: env.Session, Payload: buf.Bytes()},
+			release: func() { r.bufs.Put(buf) },
+		})
 		return
 	}
 	_ = cl.write(env)
@@ -296,7 +548,9 @@ func (r *Router) Close() error {
 	r.closeOnce.Do(func() {
 		r.closeErr = r.cs.close()
 		for _, ss := range r.shards {
-			_ = ss.conn.Close()
+			if bc := ss.backend(); bc != nil {
+				_ = bc.conn.Close()
+			}
 		}
 	})
 	return r.closeErr
@@ -312,12 +566,26 @@ func (r *Router) EffectiveDeadline(memberID uint64) time.Duration {
 	return r.gate.effective(ss.loadSignal())
 }
 
+// trackSub records a live subscription for replay; untrackSub forgets it.
+func (r *Router) trackSub(session uint64, payload []byte) {
+	r.subsMu.Lock()
+	r.subs[session] = append([]byte(nil), payload...)
+	r.subsMu.Unlock()
+}
+
+func (r *Router) untrackSub(session uint64) {
+	r.subsMu.Lock()
+	delete(r.subs, session)
+	r.subsMu.Unlock()
+}
+
 // serveClient speaks the standalone server's client protocol, with the
 // frame work a forward hop away.
 func (r *Router) serveClient(conn net.Conn) {
 	id := r.nextSess.Add(1)
 	ss := r.shards[r.ring.Pick(id).ID]
-	cl := &routerClient{lockedWriter{fw: wire.NewFrameWriter(conn)}}
+	cl := &routerClient{lockedWriter: lockedWriter{fw: wire.NewFrameWriter(conn)}}
+	cl.out = newOutbox(&cl.lockedWriter, routerPushQueue, r.reg.Counter("router.pushes.dropped"))
 	r.sessMu.Lock()
 	r.sessions[id] = cl
 	r.sessMu.Unlock()
@@ -325,25 +593,78 @@ func (r *Router) serveClient(conn net.Conn) {
 		r.sessMu.Lock()
 		delete(r.sessions, id)
 		r.sessMu.Unlock()
+		r.untrackSub(id)
+		// Close the conn before waiting out the outbox writer, which may
+		// be mid-write to a stalled client.
+		_ = conn.Close()
+		cl.out.close()
 		// Tell the shard the session is over so its registry doesn't grow
 		// for the life of the backend connection.
 		_ = ss.forward(&wire.Envelope{Type: wire.MsgControl, Session: id,
 			Payload: []byte{CtrlEndSession}})
 	}()
 
+	proto := wire.ProtoV1
 	fr := wire.NewFrameReader(conn)
 	var env wire.Envelope
+	first := true
 	for {
 		if err := fr.ReadEnvelopeReuse(&env); err != nil {
 			return // EOF or broken pipe: session over
 		}
 		env.Session = id // the router owns placement; clients cannot choose
+		// Handshake: a v2 client's first envelope is a hello the router
+		// answers itself — never forwarded. A legacy first envelope pins v1.
+		if env.Type == wire.MsgHello {
+			if !first {
+				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
+					Payload: []byte("server: hello after traffic")}) != nil {
+					return
+				}
+				continue
+			}
+			first = false
+			_, p, err := answerHello(&cl.lockedWriter, &env, id, "router", r.opts.MaxProto)
+			if err != nil {
+				return
+			}
+			proto = p
+			continue
+		}
+		first = false
 		if env.Type == wire.MsgControl {
 			// Control payloads are router↔shard vocabulary (CtrlEndSession
 			// tears a session down, silently). The client-facing protocol
 			// treats any control as a ping, so strip the payload rather
 			// than let a client envelope collide with an internal verb.
 			env.Payload = nil
+		}
+		if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
+			// Version gate on both hops: the client must have negotiated
+			// v2, and so must the shard the stream would live on.
+			if need := wire.ProtoV2; proto < need || ss.proto() < need {
+				verr := &wire.VersionError{Local: proto, Remote: ss.proto(), Need: need}
+				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
+					Payload: []byte(verr.Error())}) != nil {
+					return
+				}
+				continue
+			}
+		}
+		if env.Type == wire.MsgSubscribe {
+			// Track before the forward: a shard bounce in the gap would
+			// otherwise snapshot r.subs without this stream — never
+			// replayed, never given an obituary, a silently dead channel.
+			// The forward-failure path below and the reconnect sweep both
+			// clean up if the subscribe never actually took.
+			r.trackSub(id, env.Payload)
+			if sub, err := wire.DecodeSubscribe(env.Payload); err == nil {
+				// Honour the subscription's queue budget on this hop too —
+				// the shard grows its outbox per subscription, and capping
+				// here would silently undercut the knob in exactly the
+				// topology streaming was built for.
+				cl.out.grow(pushBudget(sub))
+			}
 		}
 		if env.Type == wire.MsgFrameRequest {
 			if r.shedNow(ss) {
@@ -361,14 +682,26 @@ func (r *Router) serveClient(conn net.Conn) {
 			if env.Type == wire.MsgFrameRequest {
 				ss.pend.done(id, env.Seq)
 			}
+			// The stream intent didn't reach the shard: an unsent
+			// subscribe must not be replayed onto a reconnected shard,
+			// and a failed unsubscribe still records the client's intent
+			// so the reconnect replay can't resurrect the stream.
+			if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
+				r.untrackSub(id)
+			}
 			// Surface the failure on request/reply traffic; sensor streams
 			// are one-way so the client finds out on its next request.
-			if env.Type == wire.MsgFrameRequest || env.Type == wire.MsgControl {
+			switch env.Type {
+			case wire.MsgFrameRequest, wire.MsgControl, wire.MsgSubscribe, wire.MsgUnsubscribe:
 				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
 					Payload: []byte(ErrShardDown.Error())}) != nil {
 					return
 				}
 			}
+			continue
+		}
+		if env.Type == wire.MsgUnsubscribe {
+			r.untrackSub(id)
 		}
 	}
 }

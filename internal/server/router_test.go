@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +16,78 @@ import (
 	"arbd/internal/sensor"
 	"arbd/internal/wire"
 )
+
+// rawConn speaks the wire protocol directly for tests that need to craft
+// or observe envelopes the Client API hides (raw control payloads, backend
+// handshakes, pipelining without reply matching).
+type rawConn struct {
+	c   net.Conn
+	fr  *wire.FrameReader
+	fw  *wire.FrameWriter
+	seq uint64
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return &rawConn{c: c, fr: wire.NewFrameReader(c), fw: wire.NewFrameWriter(c)}
+}
+
+// send writes one envelope with the next sequence number and returns it.
+func (rc *rawConn) send(t *testing.T, typ wire.MsgType, session uint64, payload []byte) uint64 {
+	t.Helper()
+	rc.seq++
+	if err := rc.fw.WriteEnvelope(&wire.Envelope{Type: typ, Seq: rc.seq, Session: session, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return rc.seq
+}
+
+func (rc *rawConn) read(t *testing.T) *wire.Envelope {
+	t.Helper()
+	env, err := rc.fr.ReadEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// hello performs the dialer side of the handshake, announcing version and
+// returning the peer's hello.
+func (rc *rawConn) hello(t *testing.T, name string, version uint32) wire.Hello {
+	t.Helper()
+	var hb wire.Buffer
+	wire.EncodeHelloInto(&hb, wire.Hello{Name: name, Version: version})
+	rc.send(t, wire.MsgHello, 0, hb.Bytes())
+	env := rc.read(t)
+	if env.Type != wire.MsgHello {
+		t.Fatalf("handshake reply = %v payload %q", env.Type, env.Payload)
+	}
+	peer, err := wire.DecodeHello(env.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return peer
+}
+
+// sendGPS writes a raw GPS sensor envelope at the given position.
+func (rc *rawConn) sendGPS(t *testing.T, session uint64, pos geo.Point) {
+	t.Helper()
+	var b wire.Buffer
+	b.Byte(SensorGPS)
+	b.Uvarint(uint64(time.Now().UnixNano()))
+	b.Float64(pos.Lat)
+	b.Float64(pos.Lon)
+	b.Float64(3)
+	rc.send(t, wire.MsgSensorEvent, session, b.Bytes())
+}
 
 // testCluster is a router fronting in-process shard nodes over loopback.
 type testCluster struct {
@@ -376,6 +450,251 @@ func TestRouterEndToEndBurst(t *testing.T) {
 	}
 }
 
+// TestRouterStreamE2E is the subscribe path through the full topology:
+// v2 clients against a router over two shards, each subscribing once and
+// then receiving seq-ordered pushed frames with zero request round-trips,
+// the pushes anchored near the client's own reported position (session
+// affinity through the forward hop), ending with a clean unsubscribe.
+func TestRouterStreamE2E(t *testing.T) {
+	tc := startCluster(t, 2, nil, RouterOptions{Deadline: -1})
+	const clients = 8
+	const wantFrames = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(tc.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if cl.Proto() != wire.ProtoV2 {
+				errs <- fmt.Errorf("client %d negotiated v%d", c, cl.Proto())
+				return
+			}
+			pos := geo.Destination(center, float64(c*360/clients), 300+float64(c%4)*120)
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 3}); err != nil {
+				errs <- err
+				return
+			}
+			frames, err := cl.Subscribe(context.Background(), SubscribeOptions{Interval: 3 * time.Millisecond})
+			if err != nil {
+				errs <- fmt.Errorf("client %d subscribe: %w", c, err)
+				return
+			}
+			var lastSeq uint64
+			deadline := time.After(15 * time.Second)
+			for got := 0; got < wantFrames; got++ {
+				select {
+				case f, ok := <-frames:
+					if !ok {
+						errs <- fmt.Errorf("client %d: stream closed after %d frames: %v", c, got, cl.StreamErr())
+						return
+					}
+					if f.Seq <= lastSeq {
+						errs <- fmt.Errorf("client %d: push seq %d after %d", c, f.Seq, lastSeq)
+						return
+					}
+					lastSeq = f.Seq
+					for _, a := range f.Annotations {
+						if d := geo.DistanceMeters(pos, a.Anchor); d > 400 {
+							errs <- fmt.Errorf("client %d: annotation anchored %.0fm away — foreign session's frame", c, d)
+							return
+						}
+					}
+				case <-deadline:
+					errs <- fmt.Errorf("client %d: stream stalled", c)
+					return
+				}
+			}
+			if err := cl.Unsubscribe(); err != nil {
+				errs <- fmt.Errorf("client %d unsubscribe: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every subscription ended cleanly: nothing left to replay.
+	tc.router.subsMu.Lock()
+	left := len(tc.router.subs)
+	tc.router.subsMu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d subscriptions still tracked after clean unsubscribes", left)
+	}
+}
+
+// TestRetryPolicyDeterministicDelays pins the reconnect backoff clock:
+// doubling from Base, capped at Max, budgeted by Attempts — checked as
+// pure math, no time elapses.
+func TestRetryPolicyDeterministicDelays(t *testing.T) {
+	p := RetryPolicy{Base: 50 * time.Millisecond, Max: time.Second, Attempts: 6}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, time.Second,
+		time.Second, time.Second, // past the cap it stays flat
+	}
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.delay(0); got != p.Base {
+		t.Fatalf("delay(0) = %v, want clamped to Base", got)
+	}
+	var d RetryPolicy
+	d.defaults()
+	if d.Base != 50*time.Millisecond || d.Max != time.Second || d.Attempts != 6 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	neg := RetryPolicy{Attempts: -1}
+	neg.defaults()
+	if neg.Attempts != -1 {
+		t.Fatalf("negative Attempts (retry disabled) clobbered to %d", neg.Attempts)
+	}
+}
+
+// TestRouterReconnectsShardAndReplaysStreams bounces a shard under a live
+// subscription: the router redials with backoff, replays the subscribe on
+// the new connection, and — after the client refreshes its sensor state —
+// pushes resume on the same client channel, no ErrShardDown in sight.
+func TestRouterReconnectsShardAndReplaysStreams(t *testing.T) {
+	tc := startCluster(t, 1, nil, RouterOptions{
+		Deadline: -1,
+		Retry:    RetryPolicy{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond, Attempts: 50},
+	})
+	cl, err := Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := cl.Subscribe(context.Background(), SubscribeOptions{Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq uint64
+	select {
+	case f := <-frames:
+		lastSeq = f.Seq
+	case <-time.After(10 * time.Second):
+		t.Fatal("no frame before the bounce")
+	}
+
+	// Bounce: close the shard, then bring a fresh one up on the same
+	// address with the same member ID.
+	addr := tc.shards[0].cs.ln.Addr().String()
+	if err := tc.shards[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlatform(t)
+	var sh2 *Shard
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sh2 = NewShard(p, discardLogger(), ShardOptions{
+			ID:        1,
+			Options:   Options{Scheduler: SchedulerConfig{Deadline: -1}},
+			LoadEvery: 5 * time.Millisecond,
+		})
+		if _, err := sh2.Listen(addr); err == nil {
+			break
+		}
+		_ = sh2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("could not rebind the shard address")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Cleanup(func() { _ = sh2.Close() })
+
+	// The shard bounce razed server-side sensor state; refresh it while
+	// the router reconnects and replays the subscription.
+	refresh := time.NewTicker(20 * time.Millisecond)
+	defer refresh.Stop()
+	resumed := time.After(30 * time.Second)
+	for {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				t.Fatalf("stream died across the bounce: %v", cl.StreamErr())
+			}
+			// The replayed server-side stream restarts its wire counter,
+			// but the channel's Seq contract survives the bounce: the
+			// client rebases, so it stays strictly increasing.
+			if f.Seq <= lastSeq {
+				t.Fatalf("push seq went %d -> %d across the bounce", lastSeq, f.Seq)
+			}
+			lastSeq = f.Seq
+			if len(f.Annotations) > 0 {
+				if tc.router.Metrics().Counter("router.shard.reconnects").Value() == 0 {
+					t.Fatal("frames resumed without a recorded reconnect")
+				}
+				return // stream resumed on the new shard
+			}
+		case <-refresh.C:
+			_ = cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3})
+		case <-resumed:
+			t.Fatal("stream never resumed after the shard came back")
+		}
+	}
+}
+
+// TestRouterStreamFailsAfterRetryBudget kills a shard for good under a
+// live subscription with a tiny retry budget: once the budget is spent —
+// and only then — the stream ends with the typed ErrShardDown obituary.
+func TestRouterStreamFailsAfterRetryBudget(t *testing.T) {
+	tc := startCluster(t, 1, nil, RouterOptions{
+		Deadline: -1,
+		Retry:    RetryPolicy{Base: 10 * time.Millisecond, Max: 20 * time.Millisecond, Attempts: 3},
+	})
+	cl, err := Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := cl.Subscribe(context.Background(), SubscribeOptions{Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-frames:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no frame before the shard died")
+	}
+	if err := tc.shards[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-frames:
+			if ok {
+				continue // in-flight frames drain first
+			}
+			serr := cl.StreamErr()
+			if serr == nil || !strings.Contains(serr.Error(), ErrShardDown.Error()) {
+				t.Fatalf("stream ended with %v, want ErrShardDown", serr)
+			}
+			if got := tc.router.Metrics().Counter("router.shard.reconnects").Value(); got != 0 {
+				t.Fatalf("reconnect recorded against a dead listener: %d", got)
+			}
+			return
+		case <-deadline:
+			t.Fatal("stream never surfaced ErrShardDown after the retry budget")
+		}
+	}
+}
+
 // TestRouterRejectsMiswiredShard checks the hello handshake catches a
 // membership config pointing at the wrong shard.
 func TestRouterRejectsMiswiredShard(t *testing.T) {
@@ -430,51 +749,18 @@ func TestShardPipelinedFrameRequestsSameSession(t *testing.T) {
 	t.Cleanup(func() { _ = sh.Close() })
 
 	// Speak the backend protocol directly: hello, then pipeline.
-	conn, err := Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	var hb wire.Buffer
-	wire.EncodeHelloInto(&hb, wire.Hello{Name: "test-router"})
-	if err := conn.fw.WriteEnvelope(&wire.Envelope{Type: wire.MsgHello, Payload: hb.Bytes()}); err != nil {
-		t.Fatal(err)
-	}
-	if err := conn.fw.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	env, err := conn.fr.ReadEnvelope()
-	if err != nil || env.Type != wire.MsgHello {
-		t.Fatalf("handshake: %v %v", env, err)
-	}
+	conn := dialRaw(t, addr)
+	conn.hello(t, "test-router", wire.ProtoMax)
 
 	const session = 42
 	const burst = 32
-	send := func(typ wire.MsgType, seq uint64, payload []byte) {
-		t.Helper()
-		if err := conn.fw.WriteEnvelope(&wire.Envelope{Type: typ, Seq: seq, Session: session, Payload: payload}); err != nil {
-			t.Fatal(err)
-		}
-		if err := conn.fw.Flush(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	var gps wire.Buffer
-	gps.Byte(SensorGPS)
-	gps.Uvarint(uint64(time.Now().UnixNano()))
-	gps.Float64(center.Lat)
-	gps.Float64(center.Lon)
-	gps.Float64(3)
-	send(wire.MsgSensorEvent, 1, gps.Bytes())
+	conn.sendGPS(t, session, center)
 	for i := 0; i < burst; i++ {
-		send(wire.MsgFrameRequest, uint64(2+i), nil)
+		conn.send(t, wire.MsgFrameRequest, session, nil)
 	}
 	seqs := make(map[uint64]bool)
 	for i := 0; i < burst; i++ {
-		env, err := conn.fr.ReadEnvelope()
-		if err != nil {
-			t.Fatalf("reply %d: %v", i, err)
-		}
+		env := conn.read(t)
 		if env.Type == wire.MsgLoad {
 			i-- // load pushes interleave with replies; not a frame reply
 			continue
@@ -545,40 +831,33 @@ func TestRouterReportsShardDownNotShed(t *testing.T) {
 // TestRouterStripsControlPayloads pins the discriminator isolation: a
 // client control envelope whose payload collides with the router↔shard
 // CtrlEndSession verb must still behave as a ping (Ack) and must not tear
-// the session down.
+// the session down. Spoken raw, since the Client API never sends control
+// payloads.
 func TestRouterStripsControlPayloads(t *testing.T) {
 	tc := startCluster(t, 1, nil, RouterOptions{Deadline: -1})
-	cl, err := Dial(tc.addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := cl.RequestFrame(); err != nil {
-		t.Fatal(err)
+	rc := dialRaw(t, tc.addr)
+	rc.sendGPS(t, 0, center)
+	frameSeq := rc.send(t, wire.MsgFrameRequest, 0, nil)
+	env := rc.read(t)
+	if env.Type != wire.MsgAnnotations || env.Seq != frameSeq {
+		t.Fatalf("frame reply = %v seq %d", env.Type, env.Seq)
 	}
 	if got := tc.shards[0].Engine().Platform().NumSessions(); got != 1 {
 		t.Fatalf("live sessions = %d, want 1", got)
 	}
 	// A control with the internal end-session discriminator, sent by the
 	// client: must round-trip as an Ack like any other control.
-	if err := cl.send(wire.MsgControl, []byte{CtrlEndSession}); err != nil {
-		t.Fatal(err)
-	}
-	env, err := cl.fr.ReadEnvelope()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if env.Type != wire.MsgAck {
-		t.Fatalf("control reply = %v, want ack", env.Type)
+	ctlSeq := rc.send(t, wire.MsgControl, 0, []byte{CtrlEndSession})
+	env = rc.read(t)
+	if env.Type != wire.MsgAck || env.Seq != ctlSeq {
+		t.Fatalf("control reply = %v seq %d, want ack seq %d", env.Type, env.Seq, ctlSeq)
 	}
 	if got := tc.shards[0].Engine().Platform().NumSessions(); got != 1 {
 		t.Fatalf("client control payload ended the session (live = %d)", got)
 	}
 	// The session still frames.
-	if _, _, err := cl.RequestFrame(); err != nil {
-		t.Fatal(err)
+	rc.send(t, wire.MsgFrameRequest, 0, nil)
+	if env = rc.read(t); env.Type != wire.MsgAnnotations {
+		t.Fatalf("post-control frame reply = %v", env.Type)
 	}
 }

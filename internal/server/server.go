@@ -29,9 +29,10 @@ const (
 // FrameScheduler so render work is bounded by the worker pool, not by the
 // connection count.
 type Server struct {
-	eng    *Engine
-	cs     *connServer
-	logger *log.Logger
+	eng      *Engine
+	cs       *connServer
+	maxProto uint32
+	logger   *log.Logger
 }
 
 // Options tunes the server beyond its defaults.
@@ -41,6 +42,10 @@ type Options struct {
 	// its own 250 ms default — pass a negative Deadline to disable
 	// shedding entirely (render late frames rather than drop them).
 	Scheduler SchedulerConfig
+	// MaxProto caps the protocol version this server negotiates (default
+	// wire.ProtoMax). Tests pin wire.ProtoV1 here to exercise the
+	// version-mismatch path against v2 clients.
+	MaxProto uint32
 }
 
 // New returns a server for the platform (not yet listening) with default
@@ -54,7 +59,10 @@ func NewWithOptions(p *core.Platform, logger *log.Logger, opts Options) *Server 
 	if logger == nil {
 		logger = log.Default()
 	}
-	s := &Server{eng: NewEngine(p, opts), logger: logger}
+	if opts.MaxProto == 0 {
+		opts.MaxProto = wire.ProtoMax
+	}
+	s := &Server{eng: NewEngine(p, opts), maxProto: opts.MaxProto, logger: logger}
 	s.cs = newConnServer(logger, s.serveConn)
 	return s
 }
@@ -81,22 +89,96 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	sess := s.eng.platform.NewSession()
+	fr := wire.NewFrameReader(conn)
+	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
+
+	// Streaming state (protocol v2): at most one subscription for the
+	// connection's single session, its pushes queued on a drop-oldest
+	// outbox so a slow reader costs itself frames, not a scheduler worker.
+	proto := wire.ProtoV1
+	var streams streamSet
+	var ob *outbox
 	defer func() {
+		// Close the conn first so an outbox writer blocked on a stalled
+		// peer fails out instead of wedging this teardown; then stop the
+		// ticker and wait out in-flight frames before the session ends.
+		_ = conn.Close()
+		streams.stopAll()
+		if ob != nil {
+			ob.close()
+		}
 		if err := s.eng.platform.EndSession(sess.ID); err != nil {
 			s.logger.Printf("server: ending session %d: %v", sess.ID, err)
 		}
 	}()
-	fr := wire.NewFrameReader(conn)
-	fw := wire.NewFrameWriter(conn)
+
 	// One envelope pair per connection, reused across messages: inbound
 	// payloads alias the frame reader's buffer and are fully applied before
 	// the next read; outbound payloads alias pooled encode buffers released
 	// after the write. The steady-state request/response loop allocates
 	// nothing.
 	var env, reply wire.Envelope
+	first := true
 	for {
 		if err := fr.ReadEnvelopeReuse(&env); err != nil {
 			return // EOF or broken pipe: session over
+		}
+		// The protocol handshake: a v2 client's first envelope is a hello;
+		// a legacy client's first envelope is ordinary traffic, which pins
+		// the connection at v1. Late hellos are a protocol error.
+		if env.Type == wire.MsgHello {
+			if !first {
+				if w.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: sess.ID,
+					Payload: []byte("server: hello after traffic")}) != nil {
+					return
+				}
+				continue
+			}
+			first = false
+			_, p, err := answerHello(w, &env, sess.ID, "server", s.maxProto)
+			if err != nil {
+				return // mismatch fails closed; the typed error went back
+			}
+			proto = p
+			continue
+		}
+		first = false
+		// v2-only messages on a v1-pinned connection fail identically on
+		// every role (the shard applies the same gate).
+		if (env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe) && proto < wire.ProtoV2 {
+			verr := &wire.VersionError{Local: proto, Remote: proto, Need: wire.ProtoV2}
+			if w.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: sess.ID,
+				Payload: []byte(verr.Error())}) != nil {
+				return
+			}
+			continue
+		}
+		switch env.Type {
+		case wire.MsgSubscribe:
+			sub, err := wire.DecodeSubscribe(env.Payload)
+			if err != nil {
+				if w.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: sess.ID,
+					Payload: []byte(err.Error())}) != nil {
+					return
+				}
+				continue
+			}
+			if ob == nil {
+				ob = newOutbox(w, pushBudget(sub), s.eng.sched.Metrics().Counter("server.stream.dropped"))
+			}
+			// Ack before the first push so the subscribe round-trip
+			// completes ahead of the stream on the wire.
+			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}) != nil {
+				return
+			}
+			streams.add(sess.ID, s.eng.startStream(sess, sub, ob))
+			continue
+		case wire.MsgUnsubscribe:
+			streams.remove(sess.ID) // idempotent: unsubscribing twice acks twice
+			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}) != nil {
+				return
+			}
+			continue
 		}
 		hasReply, pooled, err := s.eng.handle(sess, &env, &reply)
 		if err != nil {
@@ -104,12 +186,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			hasReply = true
 		}
 		if hasReply {
-			werr := fw.WriteEnvelope(&reply)
-			ferr := fw.Flush()
+			werr := w.write(&reply)
 			if pooled != nil {
 				s.eng.release(pooled)
 			}
-			if werr != nil || ferr != nil {
+			if werr != nil {
 				return
 			}
 		}

@@ -21,6 +21,10 @@ const (
 	CtrlEndSession uint8 = 1
 )
 
+// backendPushQueue is the minimum outbox capacity on a shard's backend
+// connection, which multiplexes many sessions' streams toward one router.
+const backendPushQueue = 64
+
 // ShardOptions tunes a shard node.
 type ShardOptions struct {
 	// Options carries the engine/scheduler tuning (same knobs as the
@@ -53,6 +57,7 @@ type Shard struct {
 	logger    *log.Logger
 	id        uint64
 	name      string
+	maxProto  uint32
 	loadEvery time.Duration
 	load      func() core.LoadSignal
 }
@@ -71,11 +76,15 @@ func NewShard(p *core.Platform, logger *log.Logger, opts ShardOptions) *Shard {
 	if opts.Load == nil {
 		opts.Load = p.LoadSignal
 	}
+	if opts.MaxProto == 0 {
+		opts.MaxProto = wire.ProtoMax
+	}
 	sh := &Shard{
 		eng:       NewEngine(p, opts.Options),
 		logger:    logger,
 		id:        opts.ID,
 		name:      opts.Name,
+		maxProto:  opts.MaxProto,
 		loadEvery: opts.LoadEvery,
 		load:      opts.Load,
 	}
@@ -106,23 +115,18 @@ func (sh *Shard) serveConn(conn net.Conn) {
 	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
 
 	// Handshake: the dialer (a router) speaks first; we answer with our
-	// identity. A deadline bounds how long a silent dialer can hold the
-	// handler.
+	// identity and protocol version. A deadline bounds how long a silent
+	// dialer can hold the handler.
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	env, err := fr.ReadEnvelope()
 	if err != nil || env.Type != wire.MsgHello {
 		sh.logger.Printf("shard %d: backend handshake failed from %v: %v", sh.id, conn.RemoteAddr(), err)
 		return
 	}
-	peer, err := wire.DecodeHello(env.Payload)
-	if err != nil {
-		sh.logger.Printf("shard %d: bad hello from %v: %v", sh.id, conn.RemoteAddr(), err)
-		return
-	}
 	_ = conn.SetReadDeadline(time.Time{})
-	var hello wire.Buffer
-	wire.EncodeHelloInto(&hello, wire.Hello{ID: sh.id, Name: sh.name})
-	if err := w.write(&wire.Envelope{Type: wire.MsgHello, Payload: hello.Bytes()}); err != nil {
+	peer, proto, err := answerHello(w, env, sh.id, sh.name, sh.maxProto)
+	if err != nil {
+		sh.logger.Printf("shard %d: handshake with %v: %v", sh.id, conn.RemoteAddr(), err)
 		return
 	}
 
@@ -151,6 +155,21 @@ func (sh *Shard) serveConn(conn net.Conn) {
 	var inflight sync.WaitGroup
 	defer inflight.Wait()
 
+	// Streaming state: one stream per subscribed session, all multiplexed
+	// onto this connection's drop-oldest outbox. Torn down (and waited for)
+	// before the owned sessions end. The conn closes first so an outbox
+	// writer blocked on a stalled router fails out instead of wedging the
+	// teardown.
+	var streams streamSet
+	var ob *outbox
+	defer func() {
+		_ = conn.Close()
+		streams.stopAll()
+		if ob != nil {
+			ob.close()
+		}
+	}()
+
 	var in wire.Envelope
 	for {
 		if err := fr.ReadEnvelopeReuse(&in); err != nil {
@@ -168,6 +187,7 @@ func (sh *Shard) serveConn(conn net.Conn) {
 		if in.Type == wire.MsgControl && len(in.Payload) > 0 && in.Payload[0] == CtrlEndSession {
 			if _, live := owned[in.Session]; live {
 				delete(owned, in.Session)
+				streams.remove(in.Session) // the stream must not outlive its session
 				if err := sh.eng.platform.EndSession(in.Session); err != nil {
 					sh.logger.Printf("shard %d: ending session %d: %v", sh.id, in.Session, err)
 				}
@@ -176,9 +196,23 @@ func (sh *Shard) serveConn(conn net.Conn) {
 		}
 		switch in.Type {
 		case wire.MsgSensorEvent, wire.MsgFrameRequest, wire.MsgControl:
+		case wire.MsgSubscribe, wire.MsgUnsubscribe:
+			if proto < wire.ProtoV2 {
+				verr := &wire.VersionError{Local: proto, Remote: proto, Need: wire.ProtoV2}
+				_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq, Session: in.Session,
+					Payload: []byte(verr.Error())})
+				continue
+			}
 		default:
 			_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq, Session: in.Session,
 				Payload: []byte(fmt.Sprintf("server: unsupported message %v", in.Type))})
+			continue
+		}
+		if in.Type == wire.MsgUnsubscribe {
+			// Resolved before SessionOrNew: unsubscribing a session that
+			// never subscribed must not materialise one.
+			streams.remove(in.Session)
+			_ = w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session})
 			continue
 		}
 		sess := sh.eng.platform.SessionOrNew(in.Session)
@@ -191,6 +225,27 @@ func (sh *Shard) serveConn(conn net.Conn) {
 			}
 		case wire.MsgFrameRequest:
 			sh.submitFrame(w, &inflight, sess, in.Seq)
+		case wire.MsgSubscribe:
+			sub, err := wire.DecodeSubscribe(in.Payload)
+			if err != nil {
+				_ = w.write(&wire.Envelope{Type: wire.MsgError, Seq: in.Seq, Session: in.Session,
+					Payload: []byte(err.Error())})
+				continue
+			}
+			if ob == nil {
+				// A backend connection multiplexes many sessions' streams:
+				// the floor keeps one session's tiny budget from bounding
+				// everyone; per-subscription budgets only ever raise it.
+				capacity := pushBudget(sub)
+				if capacity < backendPushQueue {
+					capacity = backendPushQueue
+				}
+				ob = newOutbox(w, capacity, sh.eng.sched.Metrics().Counter("server.stream.dropped"))
+			}
+			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session}) != nil {
+				return
+			}
+			streams.add(in.Session, sh.eng.startStream(sess, sub, ob))
 		case wire.MsgControl:
 			_ = w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session})
 		}

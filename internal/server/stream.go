@@ -1,0 +1,407 @@
+// Subscription streaming: the protocol-v2 push path. A client subscribes
+// once with a target cadence and the server owns the frame clock — a
+// per-session ticker drives frames through the shared FrameScheduler, the
+// reply is encoded under the session lock via the pooled encode path, and
+// finished pushes queue on a per-connection drop-oldest outbox so a slow
+// reader loses stale frames instead of stalling a scheduler worker. Load
+// degrades cadence before it sheds: a tick that fires while the previous
+// frame is still in flight is skipped outright.
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/metrics"
+	"arbd/internal/wire"
+)
+
+// Streaming defaults. A zero Subscribe field takes these; hard bounds keep
+// a hostile subscription from ticking at MHz rates or queueing gigabytes.
+const (
+	defaultPushInterval = 33 * time.Millisecond // ≈30 Hz
+	minPushInterval     = time.Millisecond
+	defaultPushBudget   = 8
+	maxPushBudget       = 1024
+)
+
+// pushInterval clamps a wire-requested cadence to the server's bounds.
+func pushInterval(s wire.Subscribe) time.Duration {
+	if s.IntervalMS == 0 {
+		return defaultPushInterval
+	}
+	iv := time.Duration(s.IntervalMS) * time.Millisecond
+	if iv < minPushInterval {
+		iv = minPushInterval
+	}
+	return iv
+}
+
+// pushBudget clamps a wire-requested outbox budget.
+func pushBudget(s wire.Subscribe) int {
+	if s.Budget == 0 {
+		return defaultPushBudget
+	}
+	if s.Budget > maxPushBudget {
+		return maxPushBudget
+	}
+	return int(s.Budget)
+}
+
+// outMsg is one queued push: an envelope whose payload may alias a pooled
+// encode buffer, released after the write (or on drop).
+type outMsg struct {
+	env     wire.Envelope
+	release func()
+}
+
+// outbox is the per-connection push queue: enqueue never blocks, a writer
+// goroutine drains to the connection through the shared lockedWriter (so
+// pushes and request/reply traffic interleave at envelope granularity),
+// and when the queue is full the oldest push is dropped. It exists so that
+// scheduler workers — which enqueue from frame callbacks — are never
+// coupled to a client's read speed.
+type outbox struct {
+	w       *lockedWriter
+	dropped *metrics.Counter
+
+	mu     sync.Mutex
+	q      []outMsg // FIFO; live entries are q[head:]
+	head   int      // index of the oldest entry: pops are O(1), not a memmove
+	cap    int
+	closed bool
+	wake   chan struct{} // 1-buffered: writer nudge
+
+	done chan struct{} // closed when the writer goroutine exits
+}
+
+// queueLenLocked returns the number of queued pushes; callers hold mu.
+func (ob *outbox) queueLenLocked() int { return len(ob.q) - ob.head }
+
+// popLocked removes and returns the oldest push; callers hold mu and have
+// checked the queue is non-empty. The vacated slot is zeroed so the
+// release closure isn't retained.
+func (ob *outbox) popLocked() outMsg {
+	msg := ob.q[ob.head]
+	ob.q[ob.head] = outMsg{}
+	ob.head++
+	if ob.head == len(ob.q) {
+		ob.q = ob.q[:0]
+		ob.head = 0
+	}
+	return msg
+}
+
+// pushLocked appends one push, compacting the consumed prefix only when
+// append would otherwise grow the array — amortised O(1).
+func (ob *outbox) pushLocked(msg outMsg) {
+	if ob.head > 0 && len(ob.q) == cap(ob.q) {
+		n := copy(ob.q, ob.q[ob.head:])
+		for i := n; i < len(ob.q); i++ {
+			ob.q[i] = outMsg{}
+		}
+		ob.q = ob.q[:n]
+		ob.head = 0
+	}
+	ob.q = append(ob.q, msg)
+}
+
+// newOutbox starts the writer goroutine. capacity is the drop-oldest bound.
+func newOutbox(w *lockedWriter, capacity int, dropped *metrics.Counter) *outbox {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ob := &outbox{
+		w:       w,
+		dropped: dropped,
+		cap:     capacity,
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go ob.writeLoop()
+	return ob
+}
+
+// grow raises the outbox capacity (never shrinks below an earlier
+// subscription's budget — connections multiplexing several streams keep
+// the largest requested bound).
+func (ob *outbox) grow(capacity int) {
+	ob.mu.Lock()
+	if capacity > ob.cap {
+		ob.cap = capacity
+	}
+	ob.mu.Unlock()
+}
+
+// enqueue queues one push, dropping the oldest queued push when full.
+// Safe from any goroutine; never blocks. After close it releases msg
+// immediately and reports false.
+func (ob *outbox) enqueue(msg outMsg) bool {
+	ob.mu.Lock()
+	if ob.closed {
+		ob.mu.Unlock()
+		if msg.release != nil {
+			msg.release()
+		}
+		return false
+	}
+	if ob.queueLenLocked() >= ob.cap {
+		old := ob.popLocked()
+		if ob.dropped != nil {
+			ob.dropped.Inc()
+		}
+		if old.release != nil {
+			old.release()
+		}
+	}
+	ob.pushLocked(msg)
+	ob.mu.Unlock()
+	select {
+	case ob.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (ob *outbox) writeLoop() {
+	defer close(ob.done)
+	for {
+		ob.mu.Lock()
+		if ob.queueLenLocked() == 0 {
+			closed := ob.closed
+			ob.mu.Unlock()
+			if closed {
+				return
+			}
+			<-ob.wake
+			continue
+		}
+		msg := ob.popLocked()
+		ob.mu.Unlock()
+		err := ob.w.write(&msg.env)
+		if msg.release != nil {
+			msg.release()
+		}
+		if err != nil {
+			// Connection dead: the conn's read loop will tear everything
+			// down. Keep draining so enqueuers can release buffers.
+			ob.drain()
+			return
+		}
+	}
+}
+
+// drain marks the outbox closed and releases everything queued.
+func (ob *outbox) drain() {
+	ob.mu.Lock()
+	ob.closed = true
+	q := ob.q[ob.head:]
+	ob.q = nil
+	ob.head = 0
+	ob.mu.Unlock()
+	for _, m := range q {
+		if m.release != nil {
+			m.release()
+		}
+	}
+	select {
+	case ob.wake <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the writer after the queue empties naturally (or immediately
+// when the writer already died) and releases anything still queued.
+func (ob *outbox) close() {
+	ob.drain()
+	<-ob.done
+}
+
+// frameStream is one active subscription: a ticker goroutine that submits
+// frame jobs at the subscribed cadence. At most one frame is in flight per
+// stream — a tick that fires while the previous frame is still rendering
+// (or queued) is skipped, which is the cadence-degradation half of the
+// timeliness loop: under load the client's frame rate drops smoothly
+// before the scheduler starts shedding outright.
+type frameStream struct {
+	eng      *Engine
+	sess     *core.Session
+	session  uint64 // wire session ID (equals sess.ID today; kept explicit)
+	interval time.Duration
+	out      *outbox
+
+	// slot is a 1-buffered channel holding the stream's single submission
+	// token: a tick must take the token to submit and the done callback
+	// returns it, so "at most one frame in flight" is token conservation,
+	// not a flag/signal pair that could drift apart under preemption.
+	slot    chan struct{}
+	pushSeq uint64 // written only inside visit callbacks, ordered by the token
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	ticking  sync.WaitGroup
+	jobs     sync.WaitGroup // outstanding scheduler submissions
+}
+
+// startStream begins pushing frames for sess on out at the subscription's
+// cadence. The caller owns the stream and must stopStream it when the
+// subscription ends or the connection dies.
+func (e *Engine) startStream(sess *core.Session, sub wire.Subscribe, out *outbox) *frameStream {
+	st := &frameStream{
+		eng:      e,
+		sess:     sess,
+		session:  sess.ID,
+		interval: pushInterval(sub),
+		out:      out,
+		slot:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	st.slot <- struct{}{} // the one submission token
+	out.grow(pushBudget(sub))
+	st.ticking.Add(1)
+	go st.run()
+	return st
+}
+
+// stopStream halts the ticker and waits for it and for any frame still in
+// the scheduler, so the caller may safely end the session afterwards. The
+// last frame's push lands in the outbox (or is released if the outbox has
+// closed).
+func (st *frameStream) stopStream() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	st.ticking.Wait()
+	st.jobs.Wait()
+}
+
+func (st *frameStream) run() {
+	defer st.ticking.Done()
+	reg := st.eng.sched.Metrics()
+	pushes := reg.Counter("server.stream.pushes")
+	skipped := reg.Counter("server.stream.skipped")
+	sheds := reg.Counter("server.stream.shed")
+	renderErrs := reg.Counter("server.stream.render_errors")
+
+	// Relative pacing, not time.Ticker: a ticker keeps an absolute schedule
+	// and compensates a late fire with a short next interval, which shows
+	// up at the client as paired over/under gaps (measured ~1-3 ms p99
+	// jitter against ~0.2 ms for relative pacing). An AR overlay cares
+	// about even spacing, not long-run tick count, so each tick schedules
+	// the next one relative to when it actually ran.
+	timer := time.NewTimer(st.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-timer.C:
+		}
+		tickAt := time.Now()
+		next := func() {
+			d := st.interval - time.Since(tickAt)
+			if d < minPushInterval {
+				d = minPushInterval
+			}
+			timer.Reset(d)
+		}
+		select {
+		case <-st.slot: // token free: the previous frame completed in time
+		default:
+			// Previous frame still queued or rendering: degrade cadence
+			// rather than pile up jobs the scheduler would shed anyway.
+			// Waiting for the token (instead of dropping to the next tick
+			// boundary) keeps the degraded stream completion-paced — gaps
+			// stretch smoothly with load rather than snapping to
+			// multiples of the interval.
+			skipped.Inc()
+			select {
+			case <-st.stop:
+				return
+			case <-st.slot:
+			}
+		}
+		st.jobs.Add(1)
+		var reply wire.Envelope
+		var pooled *wire.Buffer
+		err := st.eng.sched.SubmitVisit(st.sess, func(f *core.Frame) {
+			// Under the session lock: the scratch-backed frame cannot be
+			// clobbered by a concurrent Frame call mid-encode.
+			st.pushSeq++
+			pooled = st.eng.encodeFrameReply(&reply, st.session, st.pushSeq, f)
+			reply.Type = wire.MsgFramePush
+		}, func(err error) {
+			defer st.jobs.Done()
+			defer func() { st.slot <- struct{}{} }() // return the token
+			switch {
+			case err == nil:
+				pushes.Inc()
+				buf := pooled
+				st.out.enqueue(outMsg{env: reply, release: func() { st.eng.release(buf) }})
+			case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
+				sheds.Inc()
+			default:
+				// Render errors (no pose yet, session ended) are not
+				// pushed: an AR stream with nothing to show stays silent
+				// until the device's sensors give it something. Counted so
+				// a persistently failing stream is visible in metrics.
+				renderErrs.Inc()
+			}
+		})
+		if err != nil {
+			// Scheduler closed: the server is going down; stop ticking.
+			st.jobs.Done()
+			st.slot <- struct{}{}
+			return
+		}
+		next()
+	}
+}
+
+// streamSet tracks the live subscriptions on one connection, keyed by wire
+// session ID (the standalone server has exactly one; a shard's backend
+// connection multiplexes many).
+type streamSet struct {
+	mu      sync.Mutex
+	streams map[uint64]*frameStream
+}
+
+// add registers a stream for the session, replacing (and stopping) any
+// existing one — a re-subscribe is "change my cadence", not an error.
+func (ss *streamSet) add(session uint64, st *frameStream) {
+	ss.mu.Lock()
+	if ss.streams == nil {
+		ss.streams = make(map[uint64]*frameStream)
+	}
+	prev := ss.streams[session]
+	ss.streams[session] = st
+	ss.mu.Unlock()
+	if prev != nil {
+		prev.stopStream()
+	}
+}
+
+// remove stops and forgets the session's stream, reporting whether one
+// existed.
+func (ss *streamSet) remove(session uint64) bool {
+	ss.mu.Lock()
+	st := ss.streams[session]
+	delete(ss.streams, session)
+	ss.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	st.stopStream()
+	return true
+}
+
+// stopAll stops every stream (connection teardown).
+func (ss *streamSet) stopAll() {
+	ss.mu.Lock()
+	streams := ss.streams
+	ss.streams = nil
+	ss.mu.Unlock()
+	for _, st := range streams {
+		st.stopStream()
+	}
+}

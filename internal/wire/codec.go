@@ -78,6 +78,12 @@ func (e *Buffer) Bool(v bool) {
 	}
 }
 
+// Append appends raw bytes with no length prefix — for staging an opaque,
+// already-encoded payload (a forwarded envelope body) in a reusable buffer.
+func (e *Buffer) Append(p []byte) {
+	e.b = append(e.b, p...)
+}
+
 // Bytes8 appends a length-prefixed byte string (uvarint length + raw bytes).
 func (e *Buffer) Bytes8(p []byte) {
 	e.Uvarint(uint64(len(p)))

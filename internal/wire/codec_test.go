@@ -139,7 +139,7 @@ func TestEnvelopeInvalidType(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for m := MsgSensorEvent; m <= MsgHello; m++ {
+	for m := MsgSensorEvent; m < maxMsgType; m++ {
 		if !m.Valid() {
 			t.Errorf("type %d should be valid", m)
 		}
@@ -150,19 +150,51 @@ func TestMsgTypeStrings(t *testing.T) {
 	if MsgType(0).Valid() {
 		t.Error("zero type is valid")
 	}
-	if MsgType(MsgHello + 1).Valid() {
-		t.Error("type one past the last is valid")
+	if maxMsgType.Valid() {
+		t.Error("sentinel type is valid")
+	}
+	if MsgType(maxMsgType + 1).Valid() {
+		t.Error("type past the sentinel is valid")
 	}
 	if MsgType(99).String() != "msgtype(99)" {
 		t.Error("unknown type String format")
 	}
-	// The multi-node protocol additions are part of the wire format now:
-	// pin their names and values so a reorder breaks loudly.
-	if MsgLoad != 9 || MsgHello != 10 {
-		t.Fatalf("MsgLoad/MsgHello = %d/%d, want 9/10 — wire values must not move", MsgLoad, MsgHello)
+}
+
+// TestMsgTypeValuesPinned pins every message type's wire value and name:
+// the values are the protocol (see PROTOCOL.md), so an enum insertion or
+// reorder must break this test, not remote peers.
+func TestMsgTypeValuesPinned(t *testing.T) {
+	pinned := []struct {
+		typ  MsgType
+		val  uint8
+		name string
+	}{
+		{MsgSensorEvent, 1, "sensor_event"},
+		{MsgFrameRequest, 2, "frame_request"},
+		{MsgAnnotations, 3, "annotations"},
+		{MsgQuery, 4, "query"},
+		{MsgQueryResult, 5, "query_result"},
+		{MsgControl, 6, "control"},
+		{MsgAck, 7, "ack"},
+		{MsgError, 8, "error"},
+		{MsgLoad, 9, "load"},
+		{MsgHello, 10, "hello"},
+		{MsgSubscribe, 11, "subscribe"},
+		{MsgUnsubscribe, 12, "unsubscribe"},
+		{MsgFramePush, 13, "frame_push"},
 	}
-	if MsgLoad.String() != "load" || MsgHello.String() != "hello" {
-		t.Fatalf("load/hello names = %q/%q", MsgLoad.String(), MsgHello.String())
+	for _, p := range pinned {
+		if uint8(p.typ) != p.val {
+			t.Errorf("%s = %d, want %d — wire values must not move", p.name, uint8(p.typ), p.val)
+		}
+		if p.typ.String() != p.name {
+			t.Errorf("type %d name = %q, want %q", p.val, p.typ.String(), p.name)
+		}
+	}
+	if int(maxMsgType) != len(pinned)+1 {
+		t.Errorf("maxMsgType = %d, want %d — new types must be pinned here and documented in PROTOCOL.md",
+			maxMsgType, len(pinned)+1)
 	}
 }
 
@@ -182,12 +214,12 @@ func TestLoadAndHelloEnvelopesRoundTrip(t *testing.T) {
 }
 
 // TestHelloRoundTrip checks the hello payload codec, including the empty
-// name a router announces with.
+// name a router announces with and the version field.
 func TestHelloRoundTrip(t *testing.T) {
 	for _, h := range []Hello{
-		{ID: 0, Name: "router"},
-		{ID: 7, Name: "shard-7"},
-		{ID: 1<<64 - 1, Name: ""},
+		{ID: 0, Name: "router", Version: ProtoV1},
+		{ID: 7, Name: "shard-7", Version: ProtoV2},
+		{ID: 1<<64 - 1, Name: "", Version: ProtoV2},
 	} {
 		var b Buffer
 		EncodeHelloInto(&b, h)
@@ -204,6 +236,108 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeHello([]byte{1, 5, 'a'}); err == nil {
 		t.Fatal("hello with short name decoded")
+	}
+}
+
+// TestHelloVersionCompat pins the compatibility rules around the version
+// field: a pre-versioning hello (no version bytes) decodes as ProtoV1, a
+// zero version never goes on the wire, and an explicit version 0 is
+// rejected rather than guessed at.
+func TestHelloVersionCompat(t *testing.T) {
+	// Pre-versioning layout: id + name only.
+	var legacy Buffer
+	legacy.Uvarint(3)
+	legacy.String("shard-3")
+	h, err := DecodeHello(legacy.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != ProtoV1 {
+		t.Fatalf("legacy hello version = %d, want ProtoV1", h.Version)
+	}
+	// A zero Version encodes as ProtoV1.
+	var b Buffer
+	EncodeHelloInto(&b, Hello{ID: 1, Name: "x"})
+	if h, err = DecodeHello(b.Bytes()); err != nil || h.Version != ProtoV1 {
+		t.Fatalf("zero-version hello decoded as %+v, %v", h, err)
+	}
+	// Explicit version 0 on the wire is invalid.
+	var zero Buffer
+	zero.Uvarint(1)
+	zero.String("x")
+	zero.Uvarint(0)
+	if _, err := DecodeHello(zero.Bytes()); err == nil {
+		t.Fatal("hello with explicit version 0 decoded")
+	}
+}
+
+// TestNegotiate covers the version negotiation table: both sides settle on
+// the lower announced version, and the typed VersionError fails closed when
+// that is below what the caller needs.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		local, remote, need uint32
+		want                uint32
+		fail                bool
+	}{
+		{ProtoV2, ProtoV2, ProtoV1, ProtoV2, false},
+		{ProtoV2, ProtoV1, ProtoV1, ProtoV1, false},
+		{ProtoV1, ProtoV2, ProtoV1, ProtoV1, false},
+		{ProtoV2, ProtoV2 + 5, ProtoV2, ProtoV2, false}, // newer peer: we cap at ours
+		{ProtoV2, ProtoV1, ProtoV2, 0, true},            // streaming client, v1 server
+		{ProtoV1, ProtoV2, ProtoV2, 0, true},
+		{ProtoV2, 0, ProtoV1, 0, true}, // below ProtoMin always fails
+	}
+	for _, c := range cases {
+		got, err := Negotiate(c.local, c.remote, c.need)
+		if c.fail {
+			if err == nil {
+				t.Errorf("Negotiate(%d,%d,%d) = %d, want failure", c.local, c.remote, c.need, got)
+				continue
+			}
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				t.Errorf("Negotiate(%d,%d,%d) error %v is not a *VersionError", c.local, c.remote, c.need, err)
+			} else if ve.Local != c.local || ve.Remote != c.remote || ve.Need != c.need {
+				t.Errorf("VersionError fields = %+v, want {%d %d %d}", ve, c.local, c.remote, c.need)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("Negotiate(%d,%d,%d) = %d, %v, want %d", c.local, c.remote, c.need, got, err, c.want)
+		}
+	}
+}
+
+// TestSubscribeRoundTrip checks the subscription payload codec.
+func TestSubscribeRoundTrip(t *testing.T) {
+	for _, s := range []Subscribe{
+		{},
+		{IntervalMS: 33, Budget: 8},
+		{IntervalMS: 1<<32 - 1, Budget: 1<<32 - 1},
+	} {
+		var b Buffer
+		EncodeSubscribeInto(&b, s)
+		got, err := DecodeSubscribe(b.Bytes())
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("subscribe round trip: got %+v, want %+v", got, s)
+		}
+	}
+	if _, err := DecodeSubscribe([]byte{0x80}); err == nil {
+		t.Fatal("truncated subscribe decoded")
+	}
+	if _, err := DecodeSubscribe([]byte{33}); err == nil {
+		t.Fatal("subscribe missing budget decoded")
+	}
+	// A value wider than uint32 must be rejected, not silently truncated.
+	var wide Buffer
+	wide.Uvarint(1 << 40)
+	wide.Uvarint(1)
+	if _, err := DecodeSubscribe(wide.Bytes()); err == nil {
+		t.Fatal("64-bit interval decoded into uint32")
 	}
 }
 

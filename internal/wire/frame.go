@@ -31,10 +31,28 @@ const (
 	// shard nodes push it periodically over backend connections so routers
 	// can run lag-aware admission against remote pressure.
 	MsgLoad
-	// MsgHello opens a backend connection: each side identifies itself
-	// (see Hello) before envelopes flow, so a router can detect a miswired
-	// shard address instead of silently routing sessions to it.
+	// MsgHello opens a connection: each side identifies itself (see Hello)
+	// and announces its protocol version before envelopes flow, so a router
+	// can detect a miswired shard address and both sides can negotiate the
+	// protocol instead of silently misbehaving across versions.
 	MsgHello
+	// MsgSubscribe (protocol v2) asks the server to push frames at a target
+	// cadence (see Subscribe) instead of the client polling with
+	// MsgFrameRequest. Acknowledged with MsgAck carrying the request's Seq.
+	MsgSubscribe
+	// MsgUnsubscribe (protocol v2) cancels the session's frame subscription.
+	// Acknowledged with MsgAck carrying the request's Seq.
+	MsgUnsubscribe
+	// MsgFramePush (protocol v2) is one server-pushed overlay frame: the
+	// payload is an encoded frame (core.EncodeFrame) and Seq is the stream's
+	// own monotonically increasing push counter — gaps mean the server
+	// skipped ticks or dropped queued pushes under backpressure.
+	MsgFramePush
+
+	// maxMsgType is one past the last valid message type. Every new type
+	// goes above this comment and below the last enum value, so Valid()
+	// tracks the enum automatically instead of naming its endpoints.
+	maxMsgType
 )
 
 // String returns the message type's symbolic name.
@@ -60,13 +78,19 @@ func (m MsgType) String() string {
 		return "load"
 	case MsgHello:
 		return "hello"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgUnsubscribe:
+		return "unsubscribe"
+	case MsgFramePush:
+		return "frame_push"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(m))
 	}
 }
 
 // Valid reports whether m is a known message type.
-func (m MsgType) Valid() bool { return m >= MsgSensorEvent && m <= MsgHello }
+func (m MsgType) Valid() bool { return m >= MsgSensorEvent && m < maxMsgType }
 
 // Envelope is a typed message with routing metadata.
 type Envelope struct {

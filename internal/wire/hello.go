@@ -1,24 +1,90 @@
 package wire
 
-// Hello is the payload of a MsgHello envelope: each side of a backend
-// connection announces who it is before envelopes flow. A router dialing a
-// shard sends its own hello and checks the shard's reply against the
-// membership config, so a miswired address fails the handshake instead of
-// silently owning a slice of the session ID space.
-type Hello struct {
-	// ID identifies the node (a shard's ring member ID; 0 for a router).
-	ID uint64
-	// Name is a human-readable role label for logs ("router", "shard-2").
-	Name string
+import "fmt"
+
+// Protocol versions carried in the hello handshake. Every connection —
+// client→standalone, client→router, router→shard — opens with a MsgHello
+// from the dialer announcing the highest version it speaks; the listener
+// answers with its own and both sides independently settle on the lower of
+// the two (Negotiate). Versions are additive: v2 keeps every v1 message.
+const (
+	// ProtoV1 is the original request/reply protocol: sensor streams in,
+	// MsgFrameRequest/MsgAnnotations round-trips out.
+	ProtoV1 uint32 = 1
+	// ProtoV2 adds subscription streaming: MsgSubscribe/MsgUnsubscribe/
+	// MsgFramePush, with the server owning the frame clock.
+	ProtoV2 uint32 = 2
+	// ProtoMin and ProtoMax bound what this build speaks.
+	ProtoMin = ProtoV1
+	ProtoMax = ProtoV2
+)
+
+// VersionError is the typed handshake failure: the two sides share no
+// protocol version the caller can operate at. It fails closed — the
+// connection must be torn down, never continued on a guessed version.
+type VersionError struct {
+	// Local and Remote are the versions each side announced.
+	Local, Remote uint32
+	// Need is the minimum version the failing caller required.
+	Need uint32
 }
 
-// EncodeHelloInto appends h's wire form to buf.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version mismatch: local v%d, remote v%d, need >= v%d",
+		e.Local, e.Remote, e.Need)
+}
+
+// Negotiate settles the protocol for a connection whose sides announced
+// local and remote as their highest supported versions: the lower of the
+// two. It fails closed with a *VersionError when that shared version is
+// below need — the minimum the caller can operate at (a streaming client
+// passes ProtoV2; plain request/reply passes ProtoV1).
+func Negotiate(local, remote, need uint32) (uint32, error) {
+	v := local
+	if remote < v {
+		v = remote
+	}
+	if v < need || v < ProtoMin {
+		return 0, &VersionError{Local: local, Remote: remote, Need: need}
+	}
+	return v, nil
+}
+
+// Hello is the payload of a MsgHello envelope: each side of a connection
+// announces who it is and what protocol it speaks before envelopes flow.
+// A router dialing a shard checks the shard's reply against the membership
+// config, so a miswired address fails the handshake instead of silently
+// owning a slice of the session ID space; a server answering a client
+// carries the session ID it assigned the connection.
+type Hello struct {
+	// ID identifies the node: a shard's ring member ID in backend
+	// handshakes, the assigned session ID in a server→client reply,
+	// 0 otherwise.
+	ID uint64
+	// Name is a human-readable role label for logs ("router", "shard-2",
+	// "client").
+	Name string
+	// Version is the highest protocol version the sender speaks. Hellos
+	// encoded before versioning existed lack the field; DecodeHello maps
+	// its absence to ProtoV1.
+	Version uint32
+}
+
+// EncodeHelloInto appends h's wire form to buf. A zero Version is encoded
+// as ProtoV1 so a half-initialised Hello can never announce the invalid
+// version 0.
 func EncodeHelloInto(buf *Buffer, h Hello) {
 	buf.Uvarint(h.ID)
 	buf.String(h.Name)
+	if h.Version == 0 {
+		h.Version = ProtoV1
+	}
+	buf.Uvarint(uint64(h.Version))
 }
 
-// DecodeHello parses a hello payload.
+// DecodeHello parses a hello payload. A payload ending after the name —
+// the pre-versioning layout — decodes as Version ProtoV1, which is exactly
+// what such peers speak.
 func DecodeHello(p []byte) (Hello, error) {
 	r := NewReader(p)
 	var h Hello
@@ -29,5 +95,17 @@ func DecodeHello(p []byte) (Hello, error) {
 	if h.Name, err = r.String(); err != nil {
 		return h, r.Err(err, "hello name")
 	}
+	if r.Remaining() == 0 {
+		h.Version = ProtoV1
+		return h, nil
+	}
+	v, err := r.Uvarint()
+	if err != nil {
+		return h, r.Err(err, "hello version")
+	}
+	if v == 0 || v > 1<<31 {
+		return h, fmt.Errorf("wire: implausible hello version %d", v)
+	}
+	h.Version = uint32(v)
 	return h, nil
 }

@@ -1,0 +1,45 @@
+package wire
+
+// Subscribe is the payload of a MsgSubscribe envelope: the client asks the
+// server to own the frame clock and push MsgFramePush envelopes at a target
+// cadence, replacing the per-frame MsgFrameRequest round-trip.
+type Subscribe struct {
+	// IntervalMS is the target push cadence in milliseconds (33 ≈ 30 Hz).
+	// The server treats it as a ceiling, not a promise: under load it skips
+	// ticks (degrading cadence) before shedding, so pushes arrive at the
+	// requested rate or slower, never faster. Zero takes the server default.
+	IntervalMS uint32
+	// Budget bounds how many encoded pushes may queue for this connection
+	// before the server drops the oldest — the backpressure contract: a
+	// client that stops reading loses old frames (the ones an AR overlay
+	// could least use) rather than stalling the server. Zero takes the
+	// server default.
+	Budget uint32
+}
+
+// EncodeSubscribeInto appends s's wire form to buf.
+func EncodeSubscribeInto(buf *Buffer, s Subscribe) {
+	buf.Uvarint(uint64(s.IntervalMS))
+	buf.Uvarint(uint64(s.Budget))
+}
+
+// DecodeSubscribe parses a subscribe payload.
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	r := NewReader(p)
+	var s Subscribe
+	iv, err := r.Uvarint()
+	if err != nil {
+		return s, r.Err(err, "subscribe interval")
+	}
+	bud, err := r.Uvarint()
+	if err != nil {
+		return s, r.Err(err, "subscribe budget")
+	}
+	const maxU32 = 1<<32 - 1
+	if iv > maxU32 || bud > maxU32 {
+		return s, r.Err(ErrOverflow, "subscribe fields")
+	}
+	s.IntervalMS = uint32(iv)
+	s.Budget = uint32(bud)
+	return s, nil
+}
