@@ -57,6 +57,11 @@ func BenchmarkE15GCPressure(b *testing.B) { runExperiment(b, "E15") }
 // against the E14 single-process baseline.
 func BenchmarkE16ScaleOut(b *testing.B) { runExperiment(b, "E16") }
 
+// BenchmarkE18ShardChurn runs a 4→3→4 shard churn cycle under 512 live
+// subscription streams: frames/s dip, inter-frame gap percentiles, remap
+// fraction against the rendezvous 1.5/N bound, and migration pause p99.
+func BenchmarkE18ShardChurn(b *testing.B) { runExperiment(b, "E18") }
+
 // BenchmarkE17StreamVsPoll compares subscription streaming (protocol v2,
 // server-pushed frames) against request/reply polling at 1/64/512
 // sessions: frames/s, p99 inter-frame jitter, and wire cost per frame.

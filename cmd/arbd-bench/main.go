@@ -1,4 +1,4 @@
-// Command arbd-bench runs the derived experiment suite E1-E17 (DESIGN.md §3)
+// Command arbd-bench runs the derived experiment suite E1-E18 (DESIGN.md §3)
 // and prints each experiment's result table — the source of the numbers in
 // EXPERIMENTS.md.
 //
@@ -10,6 +10,7 @@
 //	arbd-bench -exp E15    # frame hot path GC pressure (pooled vs alloc)
 //	arbd-bench -exp E16    # multi-node scale-out (router × 1/2/4 shards)
 //	arbd-bench -exp E17    # stream vs poll frame delivery (protocol v2)
+//	arbd-bench -exp E18    # shard churn under streaming (join/drain)
 //	arbd-bench -smoke      # tiny-parameter pass over every experiment
 //	arbd-bench -list       # list experiments
 package main
@@ -33,7 +34,7 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E17)")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E18)")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		smoke = flag.Bool("smoke", false, "run tiny-parameter smoke variants")
 	)

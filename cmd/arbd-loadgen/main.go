@@ -12,12 +12,21 @@
 //	arbd-loadgen -addr 127.0.0.1:7600 -clients 16 -duration 10s -fps 10
 //	arbd-loadgen -addr 127.0.0.1:7600 -clients 16 -stream
 //	arbd-loadgen -addr 127.0.0.1:7600 -sweep 1,8,64,512 -duration 5s
+//	arbd-loadgen -addr 127.0.0.1:7600 -stream -clients 64 \
+//	    -churn 3s -admin 127.0.0.1:7650 -churn-shard 2=127.0.0.1:7702
 //
 // With -sweep, the E14 multi-session scenario runs against a live server:
 // each listed client count runs for -duration and the end-to-end frame
 // throughput and latency percentiles are reported per count. In -stream
 // mode the latency columns report inter-frame gaps (the cadence the
 // device actually experienced) instead of request round-trips.
+//
+// With -churn (router targets only), the load generator also exercises
+// dynamic membership while it drives traffic: every -churn interval it
+// drains the -churn-shard via the router's -admin endpoint, waits one
+// interval, and joins it back — so the run measures frame delivery
+// through live shard leave/join cycles. Client errors still fail the run:
+// churn must be invisible to devices.
 package main
 
 import (
@@ -45,18 +54,28 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "server address")
-		clients  = flag.Int("clients", 8, "concurrent simulated devices")
-		duration = flag.Duration("duration", 10*time.Second, "run length (per sweep point with -sweep)")
-		fps      = flag.Int("fps", 10, "frame requests per second per client")
-		lat      = flag.Float64("lat", 22.3364, "city center latitude")
-		lon      = flag.Float64("lon", 114.2655, "city center longitude")
-		sweep    = flag.String("sweep", "", "comma-separated client counts to sweep (e.g. 1,8,64,512)")
-		stream   = flag.Bool("stream", false, "subscribe to pushed frames (protocol v2) instead of polling")
+		addr       = flag.String("addr", "127.0.0.1:7600", "server address")
+		clients    = flag.Int("clients", 8, "concurrent simulated devices")
+		duration   = flag.Duration("duration", 10*time.Second, "run length (per sweep point with -sweep)")
+		fps        = flag.Int("fps", 10, "frame requests per second per client")
+		lat        = flag.Float64("lat", 22.3364, "city center latitude")
+		lon        = flag.Float64("lon", 114.2655, "city center longitude")
+		sweep      = flag.String("sweep", "", "comma-separated client counts to sweep (e.g. 1,8,64,512)")
+		stream     = flag.Bool("stream", false, "subscribe to pushed frames (protocol v2) instead of polling")
+		churn      = flag.Duration("churn", 0, "drain/rejoin the -churn-shard on this interval while driving load (needs -admin)")
+		adminAddr  = flag.String("admin", "", "router admin endpoint for -churn")
+		churnShard = flag.String("churn-shard", "", "shard to cycle during -churn, as id=host:port")
 	)
 	flag.Parse()
 
 	center := geo.Point{Lat: *lat, Lon: *lon}
+	if *churn > 0 {
+		stopChurn, err := startChurn(*adminAddr, *churnShard, *churn)
+		if err != nil {
+			return err
+		}
+		defer stopChurn()
+	}
 	metric := "frame rtt"
 	if *stream {
 		metric = "frame gap"
@@ -95,6 +114,70 @@ func run() error {
 		return fmt.Errorf("%d client errors across sweep", totalErrs)
 	}
 	return nil
+}
+
+// startChurn runs the membership churn loop in the background: drain the
+// shard, wait one interval, join it back, wait, repeat. Returned stop
+// leaves the membership as found (rejoining the shard if the loop stopped
+// mid-drain).
+func startChurn(adminAddr, shard string, interval time.Duration) (stop func(), err error) {
+	if adminAddr == "" || shard == "" {
+		return nil, fmt.Errorf("-churn needs both -admin and -churn-shard (id=host:port)")
+	}
+	idStr, addr, ok := strings.Cut(strings.TrimSpace(shard), "=")
+	if !ok {
+		return nil, fmt.Errorf("bad -churn-shard %q, want id=host:port", shard)
+	}
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -churn-shard id %q: %w", idStr, err)
+	}
+	ac, err := server.DialAdmin(adminAddr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ac.Membership(); err != nil {
+		ac.Close()
+		return nil, fmt.Errorf("querying membership at %s: %w", adminAddr, err)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		out := false // whether the shard is currently drained out
+		cycle := func() bool {
+			select {
+			case <-done:
+				return false
+			case <-time.After(interval):
+			}
+			var err error
+			if out {
+				_, err = ac.Join(server.Member{ID: id, Addr: addr})
+			} else {
+				_, err = ac.Drain(id)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "arbd-loadgen: churn (drained=%v): %v\n", out, err)
+				return false
+			}
+			out = !out
+			fmt.Fprintf(os.Stderr, "arbd-loadgen: churn: shard %d drained=%v\n", id, out)
+			return true
+		}
+		for cycle() {
+		}
+		if out {
+			if _, err := ac.Join(server.Member{ID: id, Addr: addr}); err != nil {
+				fmt.Fprintf(os.Stderr, "arbd-loadgen: churn: restoring shard %d: %v\n", id, err)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		ac.Close()
+	}, nil
 }
 
 func parseSweep(s string) ([]int, error) {

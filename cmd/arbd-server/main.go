@@ -4,20 +4,36 @@
 // streams (v2, negotiated in the hello handshake). See cmd/arbd-loadgen for
 // a matching client (-stream drives the v2 path).
 //
-// Three roles share one frame-serving engine (internal/server.Engine):
+// Four roles share one frame-serving engine (internal/server.Engine):
 //
 //	standalone — one process, one session per client connection (default)
 //	shard      — owns a partition of the session ID space; serves routers
 //	router     — owns client connections; places sessions on shards by a
 //	             rendezvous ring and forwards envelopes, shedding frames
 //	             early when a shard's pushed LoadSignal reports pressure
+//	admin      — one-shot control-plane client: join/drain shards against
+//	             a router's admin endpoint, or print the membership
+//
+// Membership is dynamic (protocol v3): a router started with -admin exposes
+// a control endpoint; shards join a live router with -join, and draining a
+// shard migrates its live sessions (state, streams, buffered telemetry) to
+// the surviving shards before the shard detaches.
 //
 // Usage:
 //
 //	arbd-server -addr :7600 -pois 5000 -seed 1 [-epsilon 0.01]
 //	arbd-server -role shard -shard-id 1 -addr :7701
 //	arbd-server -role shard -shard-id 2 -addr :7702
-//	arbd-server -role router -addr :7600 -shards 1=127.0.0.1:7701,2=127.0.0.1:7702
+//	arbd-server -role router -addr :7600 -admin :7650 -shards 1=127.0.0.1:7701,2=127.0.0.1:7702
+//
+//	# grow the fleet: start a shard that registers itself with the router
+//	arbd-server -role shard -shard-id 3 -addr :7703 -join 127.0.0.1:7650
+//
+//	# drain shard 2 (live sessions migrate off first), then stop it
+//	arbd-server -role admin -admin 127.0.0.1:7650 -drain 2
+//
+//	# inspect the membership epoch
+//	arbd-server -role admin -admin 127.0.0.1:7650
 //
 // A router process hosts no platform: world flags (-pois, -seed, ...) apply
 // to standalone and shard roles. Point arbd-loadgen at a router exactly as
@@ -33,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"arbd/internal/core"
 	"arbd/internal/geo"
@@ -48,21 +65,28 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7600", "listen address")
-		role    = flag.String("role", "standalone", "server role: standalone | shard | router")
-		shardID = flag.Uint64("shard-id", 1, "this shard's ring member ID (role=shard)")
-		shards  = flag.String("shards", "", "static shard membership for role=router: id=host:port,id=host:port")
-		seed    = flag.Int64("seed", 1, "world seed")
-		pois    = flag.Int("pois", 5000, "synthetic city POI count")
-		radius  = flag.Float64("radius", 3000, "city radius, meters")
-		lat     = flag.Float64("lat", 22.3364, "city center latitude")
-		lon     = flag.Float64("lon", 114.2655, "city center longitude")
-		epsilon = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
+		addr      = flag.String("addr", "127.0.0.1:7600", "listen address")
+		role      = flag.String("role", "standalone", "server role: standalone | shard | router | admin")
+		shardID   = flag.Uint64("shard-id", 1, "this shard's ring member ID (role=shard)")
+		shards    = flag.String("shards", "", "initial shard membership for role=router: id=host:port,id=host:port")
+		admin     = flag.String("admin", "", "router: membership admin listen address; admin: router admin endpoint to dial")
+		join      = flag.String("join", "", "shard: router admin endpoint to register with; admin: shard to add as id=host:port")
+		drain     = flag.Uint64("drain", 0, "admin: shard ID to drain and remove")
+		advertise = flag.String("advertise", "", "shard: address to announce on -join (default: the bound -addr)")
+		seed      = flag.Int64("seed", 1, "world seed")
+		pois      = flag.Int("pois", 5000, "synthetic city POI count")
+		radius    = flag.Float64("radius", 3000, "city radius, meters")
+		lat       = flag.Float64("lat", 22.3364, "city center latitude")
+		lon       = flag.Float64("lon", 114.2655, "city center longitude")
+		epsilon   = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
 	)
 	flag.Parse()
 
-	if *role == "router" {
-		return runRouter(*addr, *shards)
+	switch *role {
+	case "router":
+		return runRouter(*addr, *admin, *shards)
+	case "admin":
+		return runAdmin(*admin, *join, *drain)
 	}
 
 	platform, err := core.NewPlatform(core.Config{
@@ -104,14 +128,27 @@ func run() error {
 			return err
 		}
 		log.Printf("arbd-server shard %d listening on %s (%d POIs, seed %d)", *shardID, bound, *pois, *seed)
+		if *join != "" {
+			announce := *advertise
+			if announce == "" {
+				announce = bound
+			}
+			epoch, err := registerShard(*join, server.Member{ID: *shardID, Addr: announce})
+			if err != nil {
+				_ = sh.Close()
+				return fmt.Errorf("joining via %s: %w", *join, err)
+			}
+			log.Printf("arbd-server shard %d joined membership epoch %d (announced %s)",
+				*shardID, epoch, announce)
+		}
 		awaitSignal()
 		return sh.Close()
 	default:
-		return fmt.Errorf("unknown role %q (standalone | shard | router)", *role)
+		return fmt.Errorf("unknown role %q (standalone | shard | router | admin)", *role)
 	}
 }
 
-func runRouter(addr, shards string) error {
+func runRouter(addr, adminAddr, shards string) error {
 	members, err := parseMembers(shards)
 	if err != nil {
 		return err
@@ -127,9 +164,90 @@ func runRouter(addr, shards string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("arbd-server router listening on %s (%d shards)", bound, len(members))
+	if adminAddr != "" {
+		adminBound, err := r.ListenAdmin(adminAddr)
+		if err != nil {
+			return err
+		}
+		log.Printf("arbd-server router admin endpoint on %s", adminBound)
+	}
+	log.Printf("arbd-server router listening on %s (%d shards, epoch %d)",
+		bound, len(members), r.Directory().View().Epoch)
 	awaitSignal()
 	return r.Close()
+}
+
+// runAdmin is the one-shot control-plane client: join, drain, or query.
+func runAdmin(target, join string, drain uint64) error {
+	if target == "" {
+		return fmt.Errorf("role=admin needs -admin (the router's admin endpoint)")
+	}
+	ac, err := server.DialAdmin(target, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer ac.Close()
+	switch {
+	case join != "":
+		m, err := parseMember(join)
+		if err != nil {
+			return err
+		}
+		view, err := ac.Join(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("joined shard %d; epoch %d, members %s\n", m.ID, view.Epoch, formatMembers(view.Members))
+	case drain != 0:
+		view, err := ac.Drain(drain)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained shard %d; epoch %d, members %s\n", drain, view.Epoch, formatMembers(view.Members))
+	default:
+		view, err := ac.Membership()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d, members %s\n", view.Epoch, formatMembers(view.Members))
+	}
+	return nil
+}
+
+// registerShard announces a freshly started shard to a router's admin
+// endpoint, returning the resulting epoch.
+func registerShard(adminAddr string, m server.Member) (uint64, error) {
+	ac, err := server.DialAdmin(adminAddr, 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer ac.Close()
+	view, err := ac.Join(m)
+	if err != nil {
+		return 0, err
+	}
+	return view.Epoch, nil
+}
+
+func formatMembers(members []server.Member) string {
+	parts := make([]string, 0, len(members))
+	for _, m := range members {
+		parts = append(parts, fmt.Sprintf("%d=%s", m.ID, m.Addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseMember parses "3=127.0.0.1:7703".
+func parseMember(s string) (server.Member, error) {
+	id, a, ok := strings.Cut(strings.TrimSpace(s), "=")
+	if !ok {
+		return server.Member{}, fmt.Errorf("bad shard entry %q, want id=host:port", s)
+	}
+	n, err := strconv.ParseUint(id, 10, 64)
+	if err != nil {
+		return server.Member{}, fmt.Errorf("bad shard id in %q: %w", s, err)
+	}
+	return server.Member{ID: n, Addr: a}, nil
 }
 
 // parseMembers parses "1=127.0.0.1:7701,2=127.0.0.1:7702".
@@ -139,15 +257,11 @@ func parseMembers(s string) ([]server.Member, error) {
 	}
 	var members []server.Member
 	for _, part := range strings.Split(s, ",") {
-		id, a, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad shard entry %q, want id=host:port", part)
-		}
-		n, err := strconv.ParseUint(id, 10, 64)
+		m, err := parseMember(part)
 		if err != nil {
-			return nil, fmt.Errorf("bad shard id in %q: %w", part, err)
+			return nil, err
 		}
-		members = append(members, server.Member{ID: n, Addr: a})
+		members = append(members, m)
 	}
 	return members, nil
 }

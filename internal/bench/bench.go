@@ -54,6 +54,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "frame hot path GC pressure", Run: E15GCPressure, Smoke: e15GCPressureSmoke},
 		{ID: "E16", Title: "multi-node scale-out", Run: E16ScaleOut, Smoke: e16ScaleOutSmoke},
 		{ID: "E17", Title: "stream vs poll frame delivery", Run: E17StreamVsPoll, Smoke: e17StreamVsPollSmoke},
+		{ID: "E18", Title: "shard churn under streaming", Run: E18ShardChurn, Smoke: e18ShardChurnSmoke},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps

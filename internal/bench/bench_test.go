@@ -8,17 +8,17 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E17.
-	if exps[0].ID != "E1" || exps[16].ID != "E17" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[16].ID)
+	// Sorted E1..E18.
+	if exps[0].ID != "E1" || exps[17].ID != "E18" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[17].ID)
 	}
 }
 

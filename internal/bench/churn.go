@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/sim"
+)
+
+// E18ShardChurn measures the membership control plane under live
+// subscription streaming: a router over N shards carries active streams
+// while one shard drains (its sessions snapshotted and migrated to the
+// survivors) and then rejoins (the ring's share migrated back). Reported
+// per phase: delivered frames/s and inter-frame gap percentiles — the dip
+// churn costs the fleet — plus the remap fraction against the rendezvous
+// bound (≤1.5/N; minimality is the reason the ring exists) and the p99
+// client-visible migration pause. Stream obituaries must be zero: elastic
+// capacity is only real if scaling events are invisible to devices.
+func E18ShardChurn() *metrics.Table {
+	// 10 Hz cadence keeps 512 streams inside the 4-shard fleet's capacity,
+	// so the drain/rejoin rows measure churn cost rather than overload.
+	return e18ShardChurn(4, 512, 2000, 100*time.Millisecond, 2*time.Second)
+}
+
+// e18ShardChurnSmoke is the tiny-parameter variant for plain `go test`
+// and arbd-bench -smoke.
+func e18ShardChurnSmoke() *metrics.Table {
+	return e18ShardChurn(2, 8, 300, 20*time.Millisecond, 300*time.Millisecond)
+}
+
+// churn phases.
+const (
+	phaseSteady = iota
+	phaseDrain
+	phaseRejoin
+	numChurnPhases
+)
+
+var churnPhaseNames = [numChurnPhases]string{"steady (N shards)", "drain (N-1 shards)", "rejoin (N shards)"}
+
+func e18ShardChurn(shards, sessions, numPOIs int, interval, phaseLen time.Duration) *metrics.Table {
+	discard := log.New(io.Discard, "", 0)
+	members := make([]server.Member, 0, shards)
+	nodes := make([]*server.Shard, 0, shards)
+	for i := 0; i < shards; i++ {
+		p, err := core.NewPlatform(core.Config{
+			Seed: 18,
+			City: geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+		})
+		if err != nil {
+			panic(err)
+		}
+		sh := server.NewShard(p, discard, server.ShardOptions{
+			ID:      uint64(i + 1),
+			Options: server.Options{Scheduler: server.SchedulerConfig{Deadline: 2 * time.Second}},
+		})
+		addr, err := sh.Listen("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		members = append(members, server.Member{ID: uint64(i + 1), Addr: addr})
+		nodes = append(nodes, sh)
+	}
+	defer func() {
+		for _, sh := range nodes {
+			_ = sh.Close()
+		}
+	}()
+
+	rt, err := server.NewRouter(members, discard, nil, server.RouterOptions{Deadline: 2 * time.Second})
+	if err != nil {
+		panic(err)
+	}
+	if err := rt.Connect(); err != nil {
+		panic(err)
+	}
+	addr, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = rt.Close() }()
+
+	// Streaming clients: subscribe once, then consume pushes, attributing
+	// each frame (and each inter-frame gap) to the phase current at
+	// receipt.
+	var phase atomic.Int32
+	var frames [numChurnPhases]metrics.Counter
+	var gaps [numChurnPhases]metrics.Histogram
+	var obituaries atomic.Int64
+	stop := make(chan struct{})
+	ready := make(chan struct{}, sessions)
+
+	rng := sim.NewRand(18)
+	var wg sync.WaitGroup
+	for c := 0; c < sessions; c++ {
+		pos := geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1500)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				obituaries.Add(1)
+				ready <- struct{}{}
+				return
+			}
+			defer cl.Close()
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 5}); err != nil {
+				obituaries.Add(1)
+				ready <- struct{}{}
+				return
+			}
+			ch, err := cl.Subscribe(context.Background(), server.SubscribeOptions{Interval: interval, Budget: 16})
+			if err != nil {
+				obituaries.Add(1)
+				ready <- struct{}{}
+				return
+			}
+			first := true
+			var last time.Time
+			for {
+				select {
+				case <-stop:
+					return
+				case _, ok := <-ch:
+					if !ok {
+						// The stream died — under pure churn this must not
+						// happen; count it as the failure it is.
+						obituaries.Add(1)
+						if first {
+							ready <- struct{}{}
+						}
+						return
+					}
+					now := time.Now()
+					if first {
+						first = false
+						ready <- struct{}{}
+					}
+					p := phase.Load()
+					frames[p].Inc()
+					if !last.IsZero() {
+						gaps[p].Observe(now.Sub(last))
+					}
+					last = now
+				}
+			}
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		<-ready
+	}
+
+	migratedCtr := rt.Metrics().Counter("router.sessions.migrated")
+	failedCtr := rt.Metrics().Counter("router.migrations.failed")
+	pauseHist := rt.Metrics().Histogram("router.migration.pause")
+	victim := members[shards-1]
+
+	type phaseRow struct {
+		migrated int64
+		elapsed  time.Duration
+		pauseP99 time.Duration
+	}
+	var rows [numChurnPhases]phaseRow
+	runPhase := func(p int32, change func()) {
+		phase.Store(p)
+		before := migratedCtr.Value()
+		start := time.Now()
+		if change != nil {
+			change()
+		}
+		if rem := phaseLen - time.Since(start); rem > 0 {
+			time.Sleep(rem)
+		}
+		rows[p] = phaseRow{
+			migrated: migratedCtr.Value() - before,
+			elapsed:  time.Since(start),
+			pauseP99: pauseHist.Quantile(0.99),
+		}
+	}
+
+	runPhase(phaseSteady, nil)
+	runPhase(phaseDrain, func() {
+		if _, err := rt.Drain(victim.ID); err != nil {
+			panic(fmt.Sprintf("E18 drain: %v", err))
+		}
+	})
+	runPhase(phaseRejoin, func() {
+		if _, err := rt.Join(victim); err != nil {
+			panic(fmt.Sprintf("E18 rejoin: %v", err))
+		}
+	})
+	close(stop)
+	wg.Wait()
+
+	bound := 1.5 / float64(shards)
+	t := metrics.NewTable(
+		fmt.Sprintf("E18: shard churn under streaming (%d sessions, %d→%d→%d shards, %v cadence, %v/phase; remap bound 1.5/N=%.2f, failed migrations %d, stream obituaries %d; pause p99 is cumulative over the transitions so far — the histogram spans the router's lifetime)",
+			sessions, shards, shards-1, shards, interval, phaseLen, bound, failedCtr.Value(), obituaries.Load()),
+		"phase", "frames", "frames/s", "gap p50", "gap p99", "migrated", "remap", "pause p99 (cum)")
+	for p := 0; p < numChurnPhases; p++ {
+		snap := gaps[p].Snapshot()
+		remap := "—"
+		if p != phaseSteady {
+			frac := float64(rows[p].migrated) / float64(sessions)
+			ok := "≤"
+			if frac > bound {
+				ok = ">"
+			}
+			remap = fmt.Sprintf("%.3f (%s%.2f)", frac, ok, bound)
+		}
+		pause := "—"
+		if p != phaseSteady {
+			pause = ms(rows[p].pauseP99)
+		}
+		t.AddRow(churnPhaseNames[p], frames[p].Value(),
+			fmt.Sprintf("%.0f", float64(frames[p].Value())/rows[p].elapsed.Seconds()),
+			ms(snap.P50), ms(snap.P99), rows[p].migrated, remap, pause)
+	}
+	return t
+}

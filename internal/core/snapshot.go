@@ -1,0 +1,272 @@
+// Session state snapshot/restore: the serialization layer under live
+// session migration. When a shard drains (or the ring remaps a session to
+// a new owner), the session's mutable state — tracking solution, gaze
+// dwell, degradation level, RNG stream position, and the telemetry records
+// still buffered for the broker — is exported as one payload, shipped
+// through the router inside a MsgMigrateSession envelope, and imported
+// into the destination platform's registry. The destination then serves
+// frames indistinguishable from the source's next frame: no sensor
+// re-warm, no telemetry loss, no RNG stream reset.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"arbd/internal/sim"
+	"arbd/internal/tracking"
+	"arbd/internal/wire"
+)
+
+// sessionSnapshotV1 is the snapshot format version byte. Bump on any
+// layout change; decoders reject versions they don't know (migrations run
+// between same-build nodes, so fail-closed beats best-effort).
+const sessionSnapshotV1 = 1
+
+// Decode bounds: a corrupt count must not pre-allocate unbounded memory —
+// or, for the RNG draw count, spin unbounded CPU: restore replays the
+// stream draw by draw, so the bound caps replay at well under a second
+// while sitting orders of magnitude above any real session (privacy noise
+// draws a handful of values per GPS fix; a month-long session stays in
+// the tens of millions).
+const (
+	maxSnapshotGazeEntries  = 1 << 20
+	maxSnapshotBatchRecords = 1 << 20
+	maxSnapshotRNGDraws     = 1 << 28
+)
+
+// EncodeSnapshotInto appends the session's complete mutable state to buf.
+// Buffered telemetry is MOVED into the snapshot, not copied: the records
+// will be published by the importing node, and leaving them here too would
+// double-publish them if the source's background flusher ran in the gap
+// before the session detaches. Callers therefore treat a snapshotted
+// session as already retired — detach it without a final flush.
+func (s *Session) EncodeSnapshotInto(buf *wire.Buffer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	buf.Byte(sessionSnapshotV1)
+	buf.Uvarint(s.ID)
+	buf.Uvarint(uint64(s.level))
+	buf.Uvarint(s.frames)
+	buf.Uvarint(s.overruns)
+
+	buf.Varint(s.rng.Seed())
+	buf.Uvarint(s.rng.Draws())
+
+	buf.Uvarint(uint64(len(s.gaze)))
+	for id, dwell := range s.gaze {
+		buf.Uvarint(id)
+		buf.Float64(dwell)
+	}
+
+	st := s.fuser.ExportState()
+	for _, v := range st.X {
+		buf.Float64(v)
+	}
+	for _, row := range st.P {
+		for _, v := range row {
+			buf.Float64(v)
+		}
+	}
+	buf.Float64(st.HeadingDeg)
+	buf.Float64(st.HeadingVar)
+	buf.Varint(st.LastNanos)
+	buf.Bool(st.Has)
+	buf.Uvarint(uint64(st.GPSUpdates))
+	buf.Uvarint(uint64(st.VisionUpdates))
+
+	s.telem.takeInto(buf)
+}
+
+// takeInto drains the batcher's buffered records into buf (move, not
+// copy — see EncodeSnapshotInto).
+func (tb *telemetryBatcher) takeInto(buf *wire.Buffer) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	for topic := range tb.buffers {
+		values := tb.buffers[topic].values
+		tb.buffers[topic].values = nil
+		buf.Uvarint(uint64(len(values)))
+		for _, v := range values {
+			buf.Bytes8(v)
+		}
+	}
+}
+
+// restore installs imported records as the batcher's buffered tail. Ages
+// restart at the import time: the max-delay bound is about how long a
+// record waits on *this* node.
+func (tb *telemetryBatcher) restore(topics [numTelemetryTopics][][]byte) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	for topic := range tb.buffers {
+		tb.buffers[topic].values = topics[topic]
+		tb.buffers[topic].oldestAt = now
+	}
+}
+
+// RestoreSession decodes a session snapshot produced by EncodeSnapshotInto
+// and registers the rebuilt session in this platform's registry. The
+// destination platform must share the source's world config (same city,
+// same origin): tracking state is origin-relative. It fails if a session
+// with the snapshot's ID is already live — the migration protocol
+// guarantees traffic is gated until the import acks, so a collision means
+// a protocol bug, not a race to paper over.
+func (p *Platform) RestoreSession(payload []byte) (*Session, error) {
+	r := wire.NewReader(payload)
+	fail := func(err error, what string) (*Session, error) {
+		return nil, r.Err(err, "session snapshot "+what)
+	}
+
+	version, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "version")
+	}
+	if version != sessionSnapshotV1 {
+		return nil, fmt.Errorf("core: unknown session snapshot version %d", version)
+	}
+	id, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "id")
+	}
+	if id == 0 {
+		return nil, fmt.Errorf("core: session snapshot with zero ID")
+	}
+	level, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "level")
+	}
+	frames, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "frames")
+	}
+	overruns, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "overruns")
+	}
+	rngSeed, err := r.Varint()
+	if err != nil {
+		return fail(err, "rng seed")
+	}
+	rngDraws, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "rng draws")
+	}
+	if rngDraws > maxSnapshotRNGDraws {
+		return nil, fmt.Errorf("core: implausible RNG draw count %d", rngDraws)
+	}
+
+	nGaze, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "gaze count")
+	}
+	if nGaze > maxSnapshotGazeEntries {
+		return nil, fmt.Errorf("core: implausible gaze entry count %d", nGaze)
+	}
+	gaze := make(map[uint64]float64, nGaze)
+	for i := uint64(0); i < nGaze; i++ {
+		key, err := r.Uvarint()
+		if err != nil {
+			return fail(err, "gaze key")
+		}
+		dwell, err := r.Float64()
+		if err != nil {
+			return fail(err, "gaze dwell")
+		}
+		gaze[key] = dwell
+	}
+
+	var st tracking.FuserState
+	for i := range st.X {
+		if st.X[i], err = r.Float64(); err != nil {
+			return fail(err, "fuser state")
+		}
+	}
+	for i := range st.P {
+		for j := range st.P[i] {
+			if st.P[i][j], err = r.Float64(); err != nil {
+				return fail(err, "fuser covariance")
+			}
+		}
+	}
+	if st.HeadingDeg, err = r.Float64(); err != nil {
+		return fail(err, "fuser heading")
+	}
+	if st.HeadingVar, err = r.Float64(); err != nil {
+		return fail(err, "fuser heading variance")
+	}
+	if st.LastNanos, err = r.Varint(); err != nil {
+		return fail(err, "fuser clock")
+	}
+	if st.Has, err = r.Bool(); err != nil {
+		return fail(err, "fuser has")
+	}
+	gps, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "fuser gps updates")
+	}
+	vision, err := r.Uvarint()
+	if err != nil {
+		return fail(err, "fuser vision updates")
+	}
+	st.GPSUpdates, st.VisionUpdates = int(gps), int(vision)
+
+	var topics [numTelemetryTopics][][]byte
+	for topic := range topics {
+		n, err := r.Uvarint()
+		if err != nil {
+			return fail(err, "telemetry count")
+		}
+		if n > maxSnapshotBatchRecords {
+			return nil, fmt.Errorf("core: implausible telemetry record count %d", n)
+		}
+		if n == 0 {
+			continue
+		}
+		values := make([][]byte, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := r.Bytes8()
+			if err != nil {
+				return fail(err, "telemetry record")
+			}
+			// The reader aliases the caller's payload buffer; the batcher
+			// retains records until flush, so copy.
+			values = append(values, append([]byte(nil), v...))
+		}
+		topics[topic] = values
+	}
+
+	// Keep platform-assigned IDs ahead of imported ones, exactly as
+	// SessionOrNew does for router-minted IDs.
+	for {
+		cur := p.nextSess.Load()
+		if cur >= id || p.nextSess.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+
+	s := p.buildSession(id)
+	s.rng = sim.RestoreRand(rngSeed, rngDraws)
+	s.level = DegradeLevel(level)
+	s.frames = frames
+	s.overruns = overruns
+	s.gaze = gaze
+	s.fuser.RestoreState(st)
+	s.telem.restore(topics)
+
+	if _, existed := p.sessions.addIfAbsent(s); existed {
+		return nil, fmt.Errorf("core: session %d already live; refusing snapshot import", id)
+	}
+	return s, nil
+}
+
+// DetachSession removes a session from the registry WITHOUT flushing its
+// telemetry — the counterpart of EncodeSnapshotInto, which moved the
+// buffered records into the snapshot. EndSession (flush + remove) remains
+// the path for sessions that end rather than migrate.
+func (p *Platform) DetachSession(id uint64) bool {
+	_, ok := p.sessions.remove(id)
+	return ok
+}

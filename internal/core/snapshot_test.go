@@ -1,0 +1,302 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"arbd/internal/analytics"
+	"arbd/internal/geo"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// snapshotTestPlatform builds a platform with a big enough telemetry batch
+// that records stay buffered (so the snapshot has something to move) and
+// no background flusher (Start never called).
+func snapshotTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(Config{
+		Seed: 7,
+		City: geo.CityConfig{Center: center, RadiusM: 2000, NumPOIs: 1500, TallRatio: 0.2},
+		// A tiny epsilon makes OnGPS draw privacy noise from the session
+		// RNG, so the round-trip exercises a non-trivial stream position.
+		LocationEpsilon:    0.05,
+		TelemetryBatchSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// driveSession feeds a session a deterministic sensor history and some
+// frames, leaving non-trivial state in every snapshot field.
+func driveSession(t *testing.T, s *Session) {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		now := base.Add(time.Duration(i) * 100 * time.Millisecond)
+		pos := geo.Destination(center, float64(i*36), float64(50+i*10))
+		if err := s.OnGPS(sensor.GPSFix{Time: now, Position: pos, AccuracyM: 4}); err != nil {
+			t.Fatal(err)
+		}
+		s.OnIMU(sensor.IMUSample{Time: now.Add(50 * time.Millisecond), GyroZRad: 0.1, AccelMps2: 0.3, CompassDeg: 80})
+	}
+	if err := s.OnGaze(sensor.GazeSample{Time: base.Add(time.Second), TargetID: 12, DwellMS: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordInteraction(33, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Frame(base.Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// seedAnalytics gives a platform's crowd view and heavy-hitter sketch a
+// deterministic state over the given POI IDs, so interpretation-dependent
+// frame content (tags derived from the sketch's TopK snapshot and the
+// crowd aggregates) is identical across the source and destination
+// platforms. The IDs should be POIs near the session's pose so the frame
+// pipeline actually consults them.
+func seedAnalytics(p *Platform, ids []uint64) {
+	p.hotMu.Lock()
+	for rank, id := range ids {
+		for i := 0; i <= 50*(len(ids)-rank); i++ {
+			p.hot.Add(poiKey(id))
+		}
+	}
+	p.hotMu.Unlock()
+	for rank, id := range ids {
+		p.crowd.Apply(analytics.Row{Group: poiKey(id), Value: float64(50 * (len(ids) - rank))})
+	}
+}
+
+// TestSessionSnapshotRoundTrip pins the migration serialization contract:
+// export → import preserves the telemetry batch (moved, byte-identical),
+// the RNG stream position, gaze dwell, tracking state, and counters — and
+// the restored session's next frame is byte-identical to the frame the
+// source would have rendered against the same analytics state (including
+// the sketch-TopK-derived tags).
+func TestSessionSnapshotRoundTrip(t *testing.T) {
+	src := snapshotTestPlatform(t)
+	dst := snapshotTestPlatform(t) // same world config, fresh registry
+
+	s := src.NewSession()
+	driveSession(t, s)
+
+	// Seed both platforms' analytics identically over POIs near the pose,
+	// so the compared frames exercise the sketch-TopK interpretation path.
+	var nearIDs []uint64
+	for _, poi := range src.POIs().Nearest(s.Pose().Position, 8) {
+		nearIDs = append(nearIDs, poi.ID)
+	}
+	seedAnalytics(src, nearIDs)
+	seedAnalytics(dst, nearIDs)
+
+	// Capture pre-snapshot observables for comparison.
+	wantStats := s.Stats()
+	wantPose := s.Pose()
+	s.mu.Lock()
+	wantGaze := make(map[uint64]float64, len(s.gaze))
+	for k, v := range s.gaze {
+		wantGaze[k] = v
+	}
+	s.mu.Unlock()
+	s.telem.mu.Lock()
+	var wantTelem [numTelemetryTopics][][]byte
+	telemRecords := 0
+	for topic := range s.telem.buffers {
+		for _, v := range s.telem.buffers[topic].values {
+			wantTelem[topic] = append(wantTelem[topic], append([]byte(nil), v...))
+			telemRecords++
+		}
+	}
+	s.telem.mu.Unlock()
+	if telemRecords == 0 {
+		t.Fatal("test drove no buffered telemetry; snapshot move has nothing to pin")
+	}
+
+	var buf wire.Buffer
+	s.EncodeSnapshotInto(&buf)
+	if !src.DetachSession(s.ID) {
+		t.Fatal("source session not live at detach")
+	}
+	if _, live := src.Session(s.ID); live {
+		t.Fatal("session still in source registry after detach")
+	}
+
+	// The snapshot moved the telemetry records: nothing may remain on the
+	// source to double-publish.
+	s.telem.mu.Lock()
+	for topic := range s.telem.buffers {
+		if n := len(s.telem.buffers[topic].values); n != 0 {
+			t.Fatalf("topic %d kept %d records after snapshot; export must move, not copy", topic, n)
+		}
+	}
+	s.telem.mu.Unlock()
+
+	r, err := dst.RestoreSession(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != s.ID {
+		t.Fatalf("restored ID %d, want %d", r.ID, s.ID)
+	}
+	if got, live := dst.Session(s.ID); !live || got != r {
+		t.Fatal("restored session not registered in destination")
+	}
+
+	if got := r.Stats(); got != wantStats {
+		t.Fatalf("restored stats %+v, want %+v", got, wantStats)
+	}
+	if got := r.Pose(); got != wantPose {
+		t.Fatalf("restored pose %+v, want %+v", got, wantPose)
+	}
+	r.mu.Lock()
+	gotGaze := r.gaze
+	r.mu.Unlock()
+	if !reflect.DeepEqual(gotGaze, wantGaze) {
+		t.Fatalf("restored gaze %v, want %v", gotGaze, wantGaze)
+	}
+	r.telem.mu.Lock()
+	for topic := range r.telem.buffers {
+		if !reflect.DeepEqual(r.telem.buffers[topic].values, wantTelem[topic]) {
+			r.telem.mu.Unlock()
+			t.Fatalf("topic %d telemetry records differ after restore", topic)
+		}
+	}
+	r.telem.mu.Unlock()
+
+	// Tracking continuity: both fusers must make identical predictions.
+	if src.cfg.City.Center != dst.cfg.City.Center {
+		t.Fatal("test platforms disagree on origin")
+	}
+	if gs, vs := s.fuser.UpdateCounts(); true {
+		gr, vr := r.fuser.UpdateCounts()
+		if gs != gr || vs != vr {
+			t.Fatalf("update counts (%d,%d) restored as (%d,%d)", gs, vs, gr, vr)
+		}
+	}
+
+	// RNG stream: both sessions must produce the same future sequence.
+	for i := 0; i < 50; i++ {
+		if a, b := s.rng.Float64(), r.rng.Float64(); a != b {
+			t.Fatalf("RNG stream diverged at draw %d: %v vs %v", i, a, b)
+		}
+	}
+
+	// Frame equivalence: against identical analytics state, the restored
+	// session's next frame must encode byte-identically to the source's —
+	// including the interpretation tags drawn from the sketch TopK.
+	at := time.Unix(1700000100, 0)
+	fs, err := s.Frame(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Elapsed = 0 // wall-clock measurement: the one legitimately varying field
+	var srcFrame wire.Buffer
+	EncodeFrameInto(&srcFrame, fs)
+	fr, err := r.Frame(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Elapsed = 0
+	var dstFrame wire.Buffer
+	EncodeFrameInto(&dstFrame, fr)
+	if string(srcFrame.Bytes()) != string(dstFrame.Bytes()) {
+		t.Fatalf("restored session renders a different frame (%d vs %d bytes)", srcFrame.Len(), dstFrame.Len())
+	}
+	if len(fr.TagsFor) == 0 {
+		t.Fatal("frames carried no interpretation tags; sketch-TopK equivalence untested")
+	}
+
+	// A second import of the same ID must fail loudly.
+	if _, err := dst.RestoreSession(buf.Bytes()); err == nil {
+		t.Fatal("duplicate snapshot import accepted")
+	}
+
+	// Future platform-assigned IDs must not collide with the imported one.
+	if ns := dst.NewSession(); ns.ID <= r.ID {
+		t.Fatalf("NewSession minted %d, colliding with imported watermark %d", ns.ID, r.ID)
+	}
+}
+
+// TestSessionSnapshotRestoredFrameAllocs re-pins the zero-allocation frame
+// budget on a restored session: migration must hand back a session whose
+// scratch warms up to the same steady state as a native one.
+func TestSessionSnapshotRestoredFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	src := snapshotTestPlatform(t)
+	dst := snapshotTestPlatform(t)
+	s := src.NewSession()
+	driveSession(t, s)
+
+	var buf wire.Buffer
+	s.EncodeSnapshotInto(&buf)
+	src.DetachSession(s.ID)
+	r, err := dst.RestoreSession(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1700000100, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := r.Frame(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.Frame(now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("restored session frames allocate %.1f objects/op in steady state, want ≤1", allocs)
+	}
+}
+
+// TestSessionSnapshotRejectsCorruptPayloads: truncations and an unknown
+// version must fail typed, never panic or half-import.
+func TestSessionSnapshotRejectsCorruptPayloads(t *testing.T) {
+	src := snapshotTestPlatform(t)
+	dst := snapshotTestPlatform(t)
+	s := src.NewSession()
+	driveSession(t, s)
+	var buf wire.Buffer
+	s.EncodeSnapshotInto(&buf)
+	full := buf.Bytes()
+
+	for _, n := range []int{0, 1, 3, 10, len(full) / 2, len(full) - 1} {
+		if _, err := dst.RestoreSession(full[:n]); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) accepted", n, len(full))
+		}
+		if got := dst.NumSessions(); got != 0 {
+			t.Fatalf("failed import leaked %d sessions into the registry", got)
+		}
+	}
+	bad := append([]byte(nil), full...)
+	bad[0] = 99 // unknown version
+	if _, err := dst.RestoreSession(bad); err == nil {
+		t.Fatal("unknown snapshot version accepted")
+	}
+
+	// An implausible RNG draw count must be rejected before restore spins
+	// replaying it: rebuild the snapshot prefix with a huge draws field.
+	var forged wire.Buffer
+	forged.Byte(1)              // version
+	forged.Uvarint(s.ID + 1000) // fresh ID
+	forged.Uvarint(0)           // level
+	forged.Uvarint(0)           // frames
+	forged.Uvarint(0)           // overruns
+	forged.Varint(1)            // rng seed
+	forged.Uvarint(1 << 50)     // rng draws: would replay for years
+	if _, err := dst.RestoreSession(forged.Bytes()); err == nil || !strings.Contains(err.Error(), "RNG draw count") {
+		t.Fatalf("implausible RNG draw count not rejected: %v", err)
+	}
+}

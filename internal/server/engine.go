@@ -132,15 +132,26 @@ func answerHello(w *lockedWriter, env *wire.Envelope, id uint64, name string, lo
 // lockedWriter serialises envelope writes to one connection shared by
 // several goroutines — scheduler callbacks, load pushers, stream outboxes,
 // and read loops all reply on the same wire. Each write is framed and
-// flushed atomically.
+// flushed atomically. When conn and timeout are set, every write carries a
+// deadline: writers that hold shared locks (the router's forward path
+// holds the membership-change lock across backend writes) must never block
+// on a peer's full TCP buffer indefinitely — a partitioned peer turns into
+// a timeout error, not a wedged lock.
 type lockedWriter struct {
-	mu sync.Mutex
-	fw *wire.FrameWriter
+	mu      sync.Mutex
+	fw      *wire.FrameWriter
+	conn    net.Conn      // optional: deadline target
+	timeout time.Duration // optional: per-write deadline
 }
 
 func (w *lockedWriter) write(env *wire.Envelope) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.conn != nil && w.timeout > 0 {
+		// Refreshed per write, never cleared: the next write resets it, and
+		// an idle connection has nothing in flight to time out.
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
 	if err := w.fw.WriteEnvelope(env); err != nil {
 		return err
 	}

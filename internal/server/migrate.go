@@ -1,0 +1,626 @@
+// Live membership changes: shard join, shard drain, and the per-session
+// migration machinery both ride on. This is the router side of the
+// control plane; the epoch bookkeeping lives in internal/server/membership
+// and the session serialization in internal/core (snapshot.go).
+//
+// A membership change runs in four steps, single-writer under adminMu:
+//
+//  1. Plan: diff the current ring against the next one over the live
+//     session set. Rendezvous hashing keeps the diff minimal — only the
+//     joining/leaving member's share of sessions (~1/N) moves.
+//  2. Gate: each moving session's client forwards pause (routerClient.fwdMu
+//     + migrating channel), so no envelope can race its own state across
+//     nodes. Un-gated sessions stream on, untouched.
+//  3. Publish: the directory bumps the epoch; every routing decision from
+//     here resolves against the new ring atomically.
+//  4. Move: for each gated session — export the snapshot from the old
+//     owner, import it on the new one, replay its subscription with the
+//     push counter rebased, un-gate. Clients observe a pause and a bounded
+//     frame gap, never ErrShardDown, and keep their server-side state.
+//
+// A drain detaches the old shard only after every move completed, so the
+// shard's process can be stopped with zero session loss.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"arbd/internal/server/membership"
+	"arbd/internal/wire"
+)
+
+// CtrlWatchMembership, inside a MsgControl envelope on an admin
+// connection, subscribes the connection to membership pushes: every epoch
+// bump is announced with a seq-0 MsgMembership until the connection
+// closes.
+const CtrlWatchMembership uint8 = 2
+
+// migrateConcurrency bounds how many sessions migrate at once during one
+// membership change: enough to pipeline the per-session round-trips,
+// bounded so a drain of thousands of sessions doesn't stampede the
+// destination shards.
+const migrateConcurrency = 16
+
+// migration is one in-flight session move; shard readers route
+// MsgMigrateSession replies into resp (buffered, never blocking a reader).
+type migration struct {
+	resp chan migResult
+}
+
+type migResult struct {
+	from    uint64 // member that answered
+	status  uint8  // MigExported / MigImported / MigFailed
+	payload []byte // snapshot or error text (copied)
+}
+
+// migrateReply routes one MsgMigrateSession reply to its waiting move.
+func (r *Router) migrateReply(ss *routerShard, env *wire.Envelope) {
+	r.migMu.Lock()
+	m := r.migrations[env.Session]
+	r.migMu.Unlock()
+	if m == nil {
+		r.reg.Counter("router.replies.orphaned").Inc()
+		return
+	}
+	res := migResult{from: ss.member.ID}
+	if len(env.Payload) > 0 {
+		res.status = env.Payload[0]
+		res.payload = append([]byte(nil), env.Payload[1:]...)
+	}
+	select {
+	case m.resp <- res:
+	default: // duplicate reply; the mover stopped listening
+	}
+}
+
+// move is one planned session migration.
+type move struct {
+	session  uint64
+	from, to uint64 // member IDs
+}
+
+// planMoves diffs two rings over the live session set: every session whose
+// owner changes must migrate before its traffic may resolve against the
+// new ring.
+func (r *Router) planMoves(old, next *membership.Ring) []move {
+	r.sessMu.RLock()
+	ids := make([]uint64, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	r.sessMu.RUnlock()
+	var moves []move
+	for _, id := range ids {
+		before, after := old.Pick(id), next.Pick(id)
+		if before.ID != after.ID {
+			moves = append(moves, move{session: id, from: before.ID, to: after.ID})
+		}
+	}
+	return moves
+}
+
+// gateHandle is one gated session's un-gate token. at is when the gate
+// closed: the client-visible migration pause runs from here (including any
+// wait for a migration slot), not from when the move started executing.
+type gateHandle struct {
+	cl *routerClient
+	ch chan struct{}
+	at time.Time
+}
+
+// gateAll pauses forwards for every moving session. After this returns, no
+// envelope for any of them is in flight toward a shard and none will start
+// until its gate opens.
+func (r *Router) gateAll(moves []move) map[uint64]gateHandle {
+	gates := make(map[uint64]gateHandle, len(moves))
+	for _, mv := range moves {
+		r.sessMu.RLock()
+		cl := r.sessions[mv.session]
+		r.sessMu.RUnlock()
+		if cl == nil {
+			continue // client disconnected since planning; nothing to gate
+		}
+		ch := make(chan struct{})
+		cl.fwdMu.Lock()
+		cl.migrating = ch
+		cl.fwdMu.Unlock()
+		gates[mv.session] = gateHandle{cl: cl, ch: ch, at: time.Now()}
+	}
+	return gates
+}
+
+// ungate opens one session's gate (idempotent against a newer gate).
+func (r *Router) ungate(g gateHandle) {
+	if g.cl == nil {
+		return
+	}
+	g.cl.fwdMu.Lock()
+	if g.cl.migrating == g.ch {
+		g.cl.migrating = nil
+	}
+	g.cl.fwdMu.Unlock()
+	close(g.ch)
+}
+
+// ungateAll opens every gate (error-path rollback).
+func (r *Router) ungateAll(gates map[uint64]gateHandle) {
+	for _, g := range gates {
+		r.ungate(g)
+	}
+}
+
+// runMoves migrates every planned session with bounded concurrency,
+// un-gating each as it completes and recording the client-visible pause.
+// A failed move fails soft: the session follows the new ring with fresh
+// state (its subscription, if any, is still resumed on the new owner) —
+// state loss for that session, never a stuck gate or a dead stream.
+func (r *Router) runMoves(moves []move, gates map[uint64]gateHandle) {
+	if len(moves) == 0 {
+		return
+	}
+	migrated := r.reg.Counter("router.sessions.migrated")
+	failed := r.reg.Counter("router.migrations.failed")
+	pause := r.reg.Histogram("router.migration.pause")
+	sem := make(chan struct{}, migrateConcurrency)
+	var wg sync.WaitGroup
+	for _, mv := range moves {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mv move) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			from, to := r.shard(mv.from), r.shard(mv.to)
+			// Re-check the client is still connected: a disconnect after
+			// planning deletes the session from r.sessions, and its
+			// deferred CtrlEndSession will resolve against the NEW ring —
+			// migrating the orphan would strand it on the destination with
+			// nothing left to end it. End it at its old owner instead
+			// (flushes its telemetry), exactly as a normal disconnect would
+			// have.
+			r.sessMu.RLock()
+			_, connected := r.sessions[mv.session]
+			r.sessMu.RUnlock()
+			if !connected {
+				if from != nil {
+					_ = from.forward(&wire.Envelope{Type: wire.MsgControl, Session: mv.session,
+						Payload: []byte{CtrlEndSession}})
+				}
+				r.ungate(gates[mv.session])
+				return
+			}
+			var err error
+			switch {
+			case from == nil || to == nil:
+				err = ErrShardDown
+			default:
+				err = r.migrateSession(mv.session, from, to)
+			}
+			if err != nil {
+				failed.Inc()
+				r.logger.Printf("router: migrating session %d (%d→%d): %v", mv.session, mv.from, mv.to, err)
+				r.resumeStream(mv.session, to)
+			} else {
+				migrated.Inc()
+			}
+			g := gates[mv.session]
+			r.ungate(g)
+			if !g.at.IsZero() {
+				pause.Observe(time.Since(g.at))
+			}
+		}(mv)
+	}
+	wg.Wait()
+}
+
+// migrateSession moves one session: export from the old owner, import on
+// the new one, resume its subscription. The caller holds the session's
+// gate, so no client envelope races the move.
+func (r *Router) migrateSession(id uint64, from, to *routerShard) error {
+	if p := from.proto(); p < wire.ProtoV3 {
+		return fmt.Errorf("source shard %d speaks v%d; live migration needs v%d", from.member.ID, p, wire.ProtoV3)
+	}
+	if p := to.proto(); p < wire.ProtoV3 {
+		return fmt.Errorf("destination shard %d speaks v%d; live migration needs v%d", to.member.ID, p, wire.ProtoV3)
+	}
+	m := &migration{resp: make(chan migResult, 2)}
+	r.migMu.Lock()
+	r.migrations[id] = m
+	r.migMu.Unlock()
+	defer func() {
+		r.migMu.Lock()
+		delete(r.migrations, id)
+		r.migMu.Unlock()
+	}()
+
+	// Export: the old owner freezes the stream, snapshots, detaches. The
+	// request rides the same connection as all previously forwarded
+	// envelopes for this session, and the shard applies sensor traffic
+	// inline on that connection's read loop — so every sensor update sent
+	// before the gate closed is in the snapshot. (A frame REQUEST still
+	// queued on the shard's scheduler is the one exception: it renders
+	// and replies after the snapshot, so its reply reaches the client but
+	// its pacing-counter bump stays behind — cosmetic, and documented at
+	// the shard's export handler.)
+	if err := from.forward(&wire.Envelope{Type: wire.MsgMigrateSession, Session: id}); err != nil {
+		return fmt.Errorf("export request: %w", err)
+	}
+	res, err := r.awaitMigrate(m, from.member.ID)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if res.status != MigExported {
+		return fmt.Errorf("export failed: %s", res.payload)
+	}
+	if len(res.payload) == 0 {
+		// The source had no state for this session (it never sent traffic
+		// or already ended there): nothing to import. The session simply
+		// follows the new ring, its stream resumed if it had one.
+		r.resumeStream(id, to)
+		return nil
+	}
+
+	// Rebase before the import: it arms the straggler guard (deliver drops
+	// raw seqs above the old stream's high-water mark from here on), so an
+	// old-stream push that raced past the export reply cannot inflate the
+	// rebase state while the import is in flight. resumeStream's rebase is
+	// idempotent on top of this one.
+	r.subsMu.Lock()
+	if e := r.subs[id]; e != nil {
+		e.rebase()
+	}
+	r.subsMu.Unlock()
+
+	if err := to.forward(&wire.Envelope{Type: wire.MsgMigrateSession, Session: id, Payload: res.payload}); err != nil {
+		return fmt.Errorf("import request: %w", err)
+	}
+	res, err = r.awaitMigrate(m, to.member.ID)
+	if err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+	if res.status != MigImported {
+		return fmt.Errorf("import failed: %s", res.payload)
+	}
+
+	r.resumeStream(id, to)
+	return nil
+}
+
+// resumeStream replays the session's tracked subscription (if any) on the
+// shard now owning it.
+func (r *Router) resumeStream(id uint64, to *routerShard) {
+	if to == nil {
+		return
+	}
+	r.subsMu.Lock()
+	e := r.subs[id]
+	var payload []byte
+	if e != nil {
+		e.rebase()
+		payload = e.payload
+	}
+	r.subsMu.Unlock()
+	if e == nil {
+		return
+	}
+	if err := to.forward(&wire.Envelope{Type: wire.MsgSubscribe, Session: id, Payload: payload}); err != nil {
+		r.logger.Printf("router: resuming subscription for session %d on shard %d: %v", id, to.member.ID, err)
+	}
+}
+
+// awaitMigrate waits for the reply from one specific member, tolerating a
+// stale reply from the other phase's shard.
+func (r *Router) awaitMigrate(m *migration, from uint64) (migResult, error) {
+	timeout := time.NewTimer(r.opts.MigrateTimeout)
+	defer timeout.Stop()
+	for {
+		select {
+		case res := <-m.resp:
+			if res.from != from {
+				continue
+			}
+			return res, nil
+		case <-timeout.C:
+			return migResult{}, fmt.Errorf("timed out after %v", r.opts.MigrateTimeout)
+		case <-r.cs.done:
+			return migResult{}, errors.New("router closed")
+		}
+	}
+}
+
+// Join adds a shard to the live membership: dial and handshake, install
+// the slot, publish the next epoch, and migrate the ~1/N sessions the new
+// ring hands it. Single-writer with every other membership change.
+func (r *Router) Join(m Member) (*membership.View, error) {
+	r.adminMu.Lock()
+	defer r.adminMu.Unlock()
+	if !r.connected {
+		return nil, errors.New("server: join before Connect")
+	}
+	if r.shard(m.ID) != nil {
+		return nil, fmt.Errorf("server: shard %d already in the membership", m.ID)
+	}
+	bc, err := r.dialBackend(m)
+	if err != nil {
+		return nil, err
+	}
+	if bc.proto < wire.ProtoV3 {
+		_ = bc.conn.Close()
+		return nil, fmt.Errorf("server: shard %d speaks v%d; live join needs v%d", m.ID, bc.proto, wire.ProtoV3)
+	}
+	ss := &routerShard{member: m, bc: bc}
+	ss.pend.init()
+	r.shardsMu.Lock()
+	r.shards[m.ID] = ss
+	r.shardsMu.Unlock()
+	go r.shardReader(ss, bc)
+
+	// Plan, gate, and publish under the change lock (writer side): no
+	// forward happens in between, so a session connecting mid-change
+	// cannot build state against the old ring after the plan was drawn.
+	r.changeMu.Lock()
+	old := r.dir.View()
+	nextRing, err := membership.NewRing(append(old.Members(), m))
+	if err != nil {
+		r.changeMu.Unlock()
+		r.detachShard(ss)
+		return nil, err
+	}
+	moves := r.planMoves(old.Ring(), nextRing)
+	gates := r.gateAll(moves)
+	view, err := r.dir.Join(m)
+	r.changeMu.Unlock()
+	if err != nil {
+		r.ungateAll(gates)
+		r.detachShard(ss)
+		return nil, err
+	}
+	r.runMoves(moves, gates)
+	r.logger.Printf("router: epoch %d: shard %d joined at %s (%d sessions rebalanced)",
+		view.Epoch, m.ID, m.Addr, len(moves))
+	return view, nil
+}
+
+// Drain removes a shard from the live membership without losing its
+// sessions: publish the next epoch, migrate every session the shard owned
+// to its new ring owner, then detach the backend connection. When Drain
+// returns, the shard process serves nothing and can be stopped.
+func (r *Router) Drain(id uint64) (*membership.View, error) {
+	r.adminMu.Lock()
+	defer r.adminMu.Unlock()
+	if !r.connected {
+		return nil, errors.New("server: drain before Connect")
+	}
+	ss := r.shard(id)
+	if ss == nil {
+		return nil, fmt.Errorf("server: unknown shard %d", id)
+	}
+	// Same plan/gate/publish critical section as Join — see there.
+	r.changeMu.Lock()
+	old := r.dir.View()
+	var kept []Member
+	for _, m := range old.Members() {
+		if m.ID != id {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == 0 {
+		r.changeMu.Unlock()
+		return nil, fmt.Errorf("server: refusing to drain the last shard %d", id)
+	}
+	nextRing, err := membership.NewRing(kept)
+	if err != nil {
+		r.changeMu.Unlock()
+		return nil, err
+	}
+	moves := r.planMoves(old.Ring(), nextRing)
+	gates := r.gateAll(moves)
+	view, err := r.dir.Leave(id)
+	r.changeMu.Unlock()
+	if err != nil {
+		r.ungateAll(gates)
+		return nil, err
+	}
+	r.runMoves(moves, gates)
+	r.detachShard(ss)
+	r.logger.Printf("router: epoch %d: shard %d drained (%d sessions migrated)",
+		view.Epoch, id, len(moves))
+	return view, nil
+}
+
+// detachShard removes a slot and closes its connection without obituaries:
+// the shard left on purpose, its sessions are already elsewhere.
+func (r *Router) detachShard(ss *routerShard) {
+	ss.removed.Store(true)
+	r.shardsMu.Lock()
+	delete(r.shards, ss.member.ID)
+	r.shardsMu.Unlock()
+	if bc := ss.backend(); bc != nil {
+		_ = bc.conn.Close()
+	}
+}
+
+// ListenAdmin binds the router's admin endpoint: MsgJoinShard /
+// MsgLeaveShard mutate the membership, a MsgControl queries it (or, with
+// CtrlWatchMembership, subscribes to epoch pushes). Replies carry
+// MsgMembership with the resulting epoch. Optional — a router without an
+// admin listener simply has static membership, exactly as before.
+func (r *Router) ListenAdmin(addr string) (string, error) {
+	if !r.connected {
+		return "", errors.New("server: admin listener before Connect")
+	}
+	if r.admin == nil {
+		r.admin = newConnServer(r.logger, r.serveAdmin)
+	}
+	return r.admin.listen(addr)
+}
+
+// writeMembership writes one MsgMembership envelope carrying the view.
+func writeMembership(w *lockedWriter, seq uint64, v *membership.View) error {
+	var buf wire.Buffer
+	membership.EncodeViewInto(&buf, v)
+	return w.write(&wire.Envelope{Type: wire.MsgMembership, Seq: seq, Payload: buf.Bytes()})
+}
+
+func (r *Router) serveAdmin(conn net.Conn) {
+	fr := wire.NewFrameReader(conn)
+	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
+	var watchCancel func()
+	var watchDone chan struct{}
+	defer func() {
+		if watchCancel != nil {
+			watchCancel()
+			<-watchDone
+		}
+	}()
+	fail := func(seq uint64, err error) bool {
+		return w.write(&wire.Envelope{Type: wire.MsgError, Seq: seq, Payload: []byte(err.Error())}) != nil
+	}
+	var env wire.Envelope
+	for {
+		if err := fr.ReadEnvelopeReuse(&env); err != nil {
+			return
+		}
+		switch env.Type {
+		case wire.MsgHello:
+			if _, _, err := answerHello(w, &env, 0, "router-admin", wire.ProtoMax); err != nil {
+				return
+			}
+		case wire.MsgJoinShard:
+			m, err := membership.DecodeMember(env.Payload)
+			var view *membership.View
+			if err == nil {
+				view, err = r.Join(m)
+			}
+			if err != nil {
+				if fail(env.Seq, err) {
+					return
+				}
+				continue
+			}
+			if writeMembership(w, env.Seq, view) != nil {
+				return
+			}
+		case wire.MsgLeaveShard:
+			id, err := wire.NewReader(env.Payload).Uvarint()
+			var view *membership.View
+			if err == nil {
+				view, err = r.Drain(id)
+			}
+			if err != nil {
+				if fail(env.Seq, err) {
+					return
+				}
+				continue
+			}
+			if writeMembership(w, env.Seq, view) != nil {
+				return
+			}
+		case wire.MsgControl:
+			if len(env.Payload) > 0 && env.Payload[0] == CtrlWatchMembership {
+				if watchCancel == nil {
+					views, cancel := r.dir.Watch()
+					watchCancel = cancel
+					watchDone = make(chan struct{})
+					go func() {
+						defer close(watchDone)
+						for v := range views {
+							if writeMembership(w, 0, v) != nil {
+								_ = conn.Close() // writer dead: end the admin loop too
+								return
+							}
+						}
+					}()
+				}
+				if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: env.Seq}) != nil {
+					return
+				}
+				continue
+			}
+			if writeMembership(w, env.Seq, r.dir.View()) != nil {
+				return
+			}
+		default:
+			if fail(env.Seq, fmt.Errorf("server: unsupported admin message %v", env.Type)) {
+				return
+			}
+		}
+	}
+}
+
+// AdminClient speaks the router's admin protocol — the client side of
+// join/drain/query, shared by cmd/arbd-server (-join, -drain), loadgen's
+// churn mode, and the tests. Not safe for concurrent use: admin traffic is
+// strictly request/reply on one connection.
+type AdminClient struct {
+	conn net.Conn
+	fr   *wire.FrameReader
+	w    *lockedWriter
+	seq  uint64
+}
+
+// DialAdmin connects to a router's admin endpoint.
+func DialAdmin(addr string, timeout time.Duration) (*AdminClient, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("admin: dial %s: %w", addr, err)
+	}
+	return &AdminClient{conn: conn, fr: wire.NewFrameReader(conn), w: &lockedWriter{fw: wire.NewFrameWriter(conn)}}, nil
+}
+
+// Close tears the admin connection down.
+func (a *AdminClient) Close() error { return a.conn.Close() }
+
+// roundTrip sends one request and waits for the membership (or error)
+// reply carrying its seq, skipping seq-0 watch pushes.
+func (a *AdminClient) roundTrip(env *wire.Envelope) (membership.DecodedView, error) {
+	a.seq++
+	env.Seq = a.seq
+	if err := a.w.write(env); err != nil {
+		return membership.DecodedView{}, err
+	}
+	for {
+		reply, err := a.fr.ReadEnvelope()
+		if err != nil {
+			return membership.DecodedView{}, err
+		}
+		if reply.Seq != env.Seq {
+			continue // watch push or stale reply
+		}
+		switch reply.Type {
+		case wire.MsgMembership:
+			return membership.DecodeView(reply.Payload)
+		case wire.MsgError:
+			return membership.DecodedView{}, fmt.Errorf("admin: %s", reply.Payload)
+		default:
+			return membership.DecodedView{}, fmt.Errorf("admin: unexpected reply %v", reply.Type)
+		}
+	}
+}
+
+// Join asks the router to add a shard and migrates the sessions the new
+// ring assigns it; the returned view is the resulting epoch.
+func (a *AdminClient) Join(m Member) (membership.DecodedView, error) {
+	var buf wire.Buffer
+	membership.EncodeMemberInto(&buf, m)
+	return a.roundTrip(&wire.Envelope{Type: wire.MsgJoinShard, Payload: buf.Bytes()})
+}
+
+// Drain asks the router to migrate every session off a shard and remove
+// it; it returns once the drain completed.
+func (a *AdminClient) Drain(id uint64) (membership.DecodedView, error) {
+	var buf wire.Buffer
+	buf.Uvarint(id)
+	return a.roundTrip(&wire.Envelope{Type: wire.MsgLeaveShard, Payload: buf.Bytes()})
+}
+
+// Membership queries the current epoch.
+func (a *AdminClient) Membership() (membership.DecodedView, error) {
+	return a.roundTrip(&wire.Envelope{Type: wire.MsgControl})
+}

@@ -1,70 +1,19 @@
 package server
 
-import (
-	"fmt"
-	"sort"
+import "arbd/internal/server/membership"
 
-	"arbd/internal/core"
+// Member and Ring moved to the membership control-plane package when shard
+// sets became dynamic (epoch-versioned views, join/drain). The aliases keep
+// the server package's public surface — NewRouter([]Member...), bench and
+// cmd call sites, existing tests — source-compatible.
+type (
+	// Member is one shard node in the membership.
+	Member = membership.Member
+	// Ring assigns sessions to shard members by rendezvous hashing; see
+	// membership.Ring for the remap-minimality property live migration
+	// leans on.
+	Ring = membership.Ring
 )
 
-// Member is one shard node in a static membership config.
-type Member struct {
-	// ID is the shard's stable identity; it survives address changes, so
-	// session placement does too.
-	ID uint64
-	// Addr is the shard's backend listen address.
-	Addr string
-}
-
-// Ring assigns sessions to shard members by rendezvous (highest-random-
-// weight) hashing over a static member set: for a session, every member's
-// weight is a mix of the member's ID with the splitmix-mixed session ID —
-// the same mix the in-process registry shards by — and the heaviest member
-// owns the session. Rendezvous needs no virtual nodes and keeps the
-// remap fraction minimal (1/n) when membership changes, which is the
-// property a future dynamic-membership PR will lean on.
-type Ring struct {
-	members []Member
-}
-
-// NewRing validates the membership and returns a ring. Members are sorted
-// by ID so configs listing the same set in any order route identically.
-func NewRing(members []Member) (*Ring, error) {
-	if len(members) == 0 {
-		return nil, fmt.Errorf("server: ring needs at least one member")
-	}
-	ms := append([]Member(nil), members...)
-	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
-	for i := 1; i < len(ms); i++ {
-		if ms[i].ID == ms[i-1].ID {
-			return nil, fmt.Errorf("server: duplicate ring member ID %d", ms[i].ID)
-		}
-	}
-	return &Ring{members: ms}, nil
-}
-
-// Members returns the membership in ID order.
-func (r *Ring) Members() []Member { return r.members }
-
-// Pick returns the member owning the session ID. Deterministic: every
-// router with the same membership maps a session to the same shard, which
-// is what makes session affinity hold without coordination.
-func (r *Ring) Pick(sessionID uint64) Member {
-	key := core.MixSessionID(sessionID)
-	best := 0
-	bestW := rendezvousWeight(key, r.members[0].ID)
-	for i := 1; i < len(r.members); i++ {
-		if w := rendezvousWeight(key, r.members[i].ID); w > bestW {
-			best, bestW = i, w
-		}
-	}
-	return r.members[best]
-}
-
-// rendezvousWeight combines a mixed session key with a member identity.
-// The member ID is mixed before xor so members 1,2,3... don't produce
-// near-identical weights, then the combination is mixed again for
-// avalanche.
-func rendezvousWeight(key, memberID uint64) uint64 {
-	return core.MixSessionID(key ^ core.MixSessionID(memberID))
-}
+// NewRing validates the membership and returns a ring.
+func NewRing(members []Member) (*Ring, error) { return membership.NewRing(members) }

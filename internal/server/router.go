@@ -11,6 +11,7 @@ import (
 
 	"arbd/internal/core"
 	"arbd/internal/metrics"
+	"arbd/internal/server/membership"
 	"arbd/internal/wire"
 )
 
@@ -100,6 +101,16 @@ type RouterOptions struct {
 	// wire.ProtoMax). Shard connections always negotiate the router's full
 	// range — capping the client side is what turns streaming off.
 	MaxProto uint32
+	// MigrateTimeout bounds each phase (export, import) of one session's
+	// live migration; a shard that stops answering mid-drain costs that
+	// session its state, not the drain its liveness (default 5 s).
+	MigrateTimeout time.Duration
+	// WriteTimeout bounds every write to a backend (shard) connection
+	// (default 10 s; negative disables). Forwards hold shared locks across
+	// these writes, so a partitioned shard must become a timeout error —
+	// routed to the reconnect machinery — rather than an indefinitely
+	// wedged lock stalling every client.
+	WriteTimeout time.Duration
 }
 
 func (o *RouterOptions) defaults() {
@@ -121,6 +132,15 @@ func (o *RouterOptions) defaults() {
 	if o.MaxProto == 0 {
 		o.MaxProto = wire.ProtoMax
 	}
+	if o.MigrateTimeout <= 0 {
+		o.MigrateTimeout = 5 * time.Second
+	}
+	switch {
+	case o.WriteTimeout < 0:
+		o.WriteTimeout = 0
+	case o.WriteTimeout == 0:
+		o.WriteTimeout = 10 * time.Second
+	}
 	o.Retry.defaults()
 }
 
@@ -138,22 +158,48 @@ func (o *RouterOptions) defaults() {
 type Router struct {
 	cs     *connServer
 	logger *log.Logger
-	ring   *Ring
-	opts   RouterOptions
-	gate   loadGate
-	reg    *metrics.Registry
+	// dir is the membership control plane: the current epoch's member set
+	// and ring. Routing decisions load the current view atomically; Join
+	// and Drain publish new epochs, and the router swaps rings by placing
+	// each decision against whatever view is current at that instant.
+	dir  *membership.Directory
+	opts RouterOptions
+	gate loadGate
+	reg  *metrics.Registry
 
-	shards map[uint64]*routerShard // by member ID; immutable after Connect
+	// shards maps member ID → slot. Mutable since membership went dynamic:
+	// Join installs, Drain removes.
+	shardsMu sync.RWMutex
+	shards   map[uint64]*routerShard
 
 	sessMu   sync.RWMutex
 	sessions map[uint64]*routerClient
 	nextSess atomic.Uint64
 
-	// subs tracks live subscriptions (session → subscribe payload copy) so
-	// a reconnected shard can have its streams replayed and a permanently
-	// dead one can fail them with a typed error.
+	// subs tracks live subscriptions so a reconnected shard can have its
+	// streams replayed, a migrated session's stream can be resumed on the
+	// new owner with its push counter rebased, and a permanently dead
+	// shard can fail its streams with a typed error.
 	subsMu sync.Mutex
-	subs   map[uint64][]byte
+	subs   map[uint64]*subEntry
+
+	// adminMu makes membership mutations single-writer: one Join or Drain
+	// (with all its migrations) runs at a time.
+	adminMu sync.Mutex
+	admin   *connServer
+
+	// changeMu closes the plan/publish window: forwards hold it for read,
+	// and a membership change holds it for write from planning its
+	// migration set until the new epoch is published. A session that
+	// connects mid-change therefore cannot slip its first envelopes to
+	// the old ring after the plan was drawn — its forwards wait the few
+	// microseconds of plan+gate and then resolve against the new epoch.
+	changeMu sync.RWMutex
+
+	// migrations tracks in-flight session exports/imports, keyed by
+	// session; shard readers route MsgMigrateSession replies here.
+	migMu      sync.Mutex
+	migrations map[uint64]*migration
 
 	// bufs stages forwarded push payloads while they sit in client
 	// outboxes (the shard reader's frame buffer cannot outlive one read).
@@ -162,6 +208,47 @@ type Router struct {
 	connected bool
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// subEntry is one tracked subscription: the subscribe payload for replay,
+// plus the rebase state that keeps the client-visible push counter
+// strictly increasing across server-side stream restarts (shard reconnect
+// replay, re-subscribe, live migration). base is added to every raw push
+// counter; last is the highest rebased value delivered; lastRaw is the
+// highest raw counter delivered. restart marks a rebase whose replacement
+// stream hasn't pushed yet: until its counter visibly restarts (a raw seq
+// at or below lastRaw), any higher raw seq is a straggler from the
+// replaced stream and must be dropped — delivering it would inflate
+// `last` past everything the new stream will produce and silently
+// blackhole the stream for its whole replayed length.
+type subEntry struct {
+	payload   []byte
+	base      uint64
+	last      uint64
+	lastRaw   uint64
+	restart   bool
+	rebasedAt time.Time
+}
+
+// stragglerWindow bounds how long after a rebase a too-high raw counter
+// is treated as a replaced-stream straggler. Stragglers are already in
+// flight at rebase time (one connection read plus queued outbox writes),
+// so they arrive promptly; after the window any push is accepted as the
+// replacement stream. The window matters because raw counters are not
+// gap-free — the shard's drop-oldest outbox discards pushes after their
+// seq is assigned — so a replacement stream whose first pushes were all
+// dropped can legitimately first appear ABOVE the old high-water mark,
+// and an unbounded guard would blackhole it forever.
+var stragglerWindow = time.Second
+
+// rebase marks a server-side stream replacement: future raw counters
+// restart at 1 and map above everything already delivered. Idempotent —
+// a second rebase before any push arrived only refreshes the straggler
+// window.
+func (e *subEntry) rebase() {
+	e.base = e.last
+	e.restart = true
+	e.rebasedAt = time.Now()
 }
 
 // backendConn is one dialled-and-handshaken shard connection.
@@ -187,9 +274,12 @@ type routerShard struct {
 	pend pendingFrames
 
 	// down flips while the backend connection is lost; dead flips once the
-	// retry budget is spent and the shard's streams have been failed.
-	down atomic.Bool
-	dead atomic.Bool
+	// retry budget is spent and the shard's streams have been failed;
+	// removed flips when a drain detaches the shard on purpose, telling the
+	// reader not to reconnect and not to write obituaries.
+	down    atomic.Bool
+	dead    atomic.Bool
+	removed atomic.Bool
 }
 
 func (ss *routerShard) setLoad(sig core.LoadSignal) {
@@ -238,12 +328,20 @@ func (ss *routerShard) forward(env *wire.Envelope) error {
 type routerClient struct {
 	lockedWriter
 	out *outbox
+
+	// fwdMu serialises this session's forwards against its migration: the
+	// migration sets migrating under the lock, so once set, no forward is
+	// in flight and none will start until the channel closes. The read
+	// loop blocking here — for exactly the export→import→replay window —
+	// IS the client-visible migration pause E18 measures.
+	fwdMu     sync.Mutex
+	migrating chan struct{}
 }
 
 // NewRouter returns a router over the membership (not yet connected or
 // listening). reg may be nil.
 func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts RouterOptions) (*Router, error) {
-	ring, err := NewRing(members)
+	dir, err := membership.NewDirectory(members)
 	if err != nil {
 		return nil, err
 	}
@@ -255,14 +353,15 @@ func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts
 	}
 	opts.defaults()
 	r := &Router{
-		logger:   logger,
-		ring:     ring,
-		opts:     opts,
-		gate:     loadGate{deadline: opts.Deadline, flushLatencyRef: opts.FlushLatencyRef, backlogRef: opts.BacklogRef},
-		reg:      reg,
-		shards:   make(map[uint64]*routerShard),
-		sessions: make(map[uint64]*routerClient),
-		subs:     make(map[uint64][]byte),
+		logger:     logger,
+		dir:        dir,
+		opts:       opts,
+		gate:       loadGate{deadline: opts.Deadline, flushLatencyRef: opts.FlushLatencyRef, backlogRef: opts.BacklogRef},
+		reg:        reg,
+		shards:     make(map[uint64]*routerShard),
+		sessions:   make(map[uint64]*routerClient),
+		subs:       make(map[uint64]*subEntry),
+		migrations: make(map[uint64]*migration),
 	}
 	r.bufs.New = func() any { return wire.NewBuffer(1024) }
 	r.cs = newConnServer(logger, r.serveClient)
@@ -271,30 +370,53 @@ func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts
 
 // Metrics returns the registry the router records into (router.frames.shed,
 // router.replies.orphaned, router.forward.errors, router.pushes.dropped,
-// router.shard.reconnects).
+// router.shard.reconnects, router.sessions.migrated, router.migrations.failed,
+// histogram router.migration.pause).
 func (r *Router) Metrics() *metrics.Registry { return r.reg }
 
-// Ring exposes the router's placement ring.
-func (r *Router) Ring() *Ring { return r.ring }
+// Ring exposes the current epoch's placement ring.
+func (r *Router) Ring() *Ring { return r.dir.View().Ring() }
+
+// Directory exposes the membership control plane (epoch, watch API).
+func (r *Router) Directory() *membership.Directory { return r.dir }
+
+// shard returns the slot for a member ID, nil if unknown.
+func (r *Router) shard(id uint64) *routerShard {
+	r.shardsMu.RLock()
+	ss := r.shards[id]
+	r.shardsMu.RUnlock()
+	return ss
+}
+
+// shardFor resolves a session's current owner against the current epoch.
+// It can return nil only in the short window where an epoch named a member
+// whose slot is already detached (router shutting down).
+func (r *Router) shardFor(session uint64) *routerShard {
+	return r.shard(r.dir.View().Ring().Pick(session).ID)
+}
 
 // Connect dials every shard and completes the hello handshake, verifying
 // each peer announces the member ID the config claims and negotiating the
 // protocol version. It must succeed before Listen.
 func (r *Router) Connect() error {
-	for _, m := range r.ring.Members() {
+	for _, m := range r.dir.View().Members() {
 		bc, err := r.dialBackend(m)
 		if err != nil {
 			// Close what already connected; Connect is all-or-nothing.
+			r.shardsMu.Lock()
 			for _, ss := range r.shards {
 				if prev := ss.backend(); prev != nil {
 					_ = prev.conn.Close()
 				}
 			}
+			r.shardsMu.Unlock()
 			return err
 		}
 		ss := &routerShard{member: m, bc: bc}
 		ss.pend.init()
+		r.shardsMu.Lock()
 		r.shards[m.ID] = ss
+		r.shardsMu.Unlock()
 		go r.shardReader(ss, bc)
 	}
 	r.connected = true
@@ -347,7 +469,8 @@ func (r *Router) dialBackend(m Member) (*backendConn, error) {
 		return nil, fmt.Errorf("server: shard %d handshake: %w", m.ID, err)
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return &backendConn{conn: conn, w: &lockedWriter{fw: fw}, fr: fr, proto: proto}, nil
+	return &backendConn{conn: conn, w: &lockedWriter{fw: fw, conn: conn, timeout: r.opts.WriteTimeout},
+		fr: fr, proto: proto}, nil
 }
 
 // shardReader drains one backend connection: load reports update admission,
@@ -367,6 +490,9 @@ func (r *Router) shardReader(ss *routerShard, bc *backendConn) {
 			select {
 			case <-r.cs.done:
 			default:
+				if ss.removed.Load() {
+					return // drained on purpose: no reconnect, no obituaries
+				}
 				r.logger.Printf("router: shard %d connection lost: %v", ss.member.ID, err)
 				go r.reconnectShard(ss)
 			}
@@ -377,6 +503,10 @@ func (r *Router) shardReader(ss *routerShard, bc *backendConn) {
 			if sig, err := core.DecodeLoadSignal(env.Payload); err == nil {
 				ss.setLoad(sig)
 			}
+		case wire.MsgMigrateSession:
+			// Control plane, never client-bound: route to the in-flight
+			// migration waiting on this session.
+			r.migrateReply(ss, &env)
 		case wire.MsgAnnotations, wire.MsgError:
 			ss.pend.done(env.Session, env.Seq)
 			r.deliver(&env)
@@ -397,16 +527,25 @@ func (r *Router) reconnectShard(ss *routerShard) {
 			return
 		case <-time.After(r.opts.Retry.delay(attempt)):
 		}
+		if ss.removed.Load() {
+			return // drained while we backed off: the slot is gone for good
+		}
 		bc, err := r.dialBackend(ss.member)
 		if err != nil {
 			r.logger.Printf("router: shard %d reconnect attempt %d/%d: %v",
 				ss.member.ID, attempt, r.opts.Retry.Attempts, err)
 			continue
 		}
-		// Install under the conn lock with a shutdown re-check: if Close
-		// already swept the shard slots, the fresh conn must be torn down
-		// here — Close will not come back for it.
+		// Install under the conn lock with shutdown and removal re-checks:
+		// if Close already swept the shard slots — or a Drain detached this
+		// one while we were dialling — the fresh conn must be torn down
+		// here, because neither will come back for it.
 		ss.connMu.Lock()
+		if ss.removed.Load() {
+			ss.connMu.Unlock()
+			_ = bc.conn.Close()
+			return
+		}
 		select {
 		case <-r.cs.done:
 			ss.connMu.Unlock()
@@ -437,11 +576,16 @@ func (r *Router) reconnectShard(ss *routerShard) {
 // bounce destroyed. Replayed subscribes carry Seq 0: the shard's acks are
 // delivered to clients, which ignore acks for requests they never made.
 func (r *Router) replaySubscriptions(ss *routerShard) {
+	ring := r.dir.View().Ring()
 	r.subsMu.Lock()
 	replay := make(map[uint64][]byte, len(r.subs))
-	for id, payload := range r.subs {
-		if r.ring.Pick(id).ID == ss.member.ID {
-			replay[id] = payload
+	for id, e := range r.subs {
+		if ring.Pick(id).ID == ss.member.ID {
+			// The replayed server-side stream restarts its push counter at
+			// 1; shift the rebase base so the wire seq stays strictly
+			// increasing through the bounce.
+			e.rebase()
+			replay[id] = e.payload
 		}
 	}
 	r.subsMu.Unlock()
@@ -484,10 +628,11 @@ func (r *Router) replaySubscriptions(ss *routerShard) {
 // the slot request/reply traffic never uses — so clients recognise it as
 // the stream's obituary rather than a reply.
 func (r *Router) failStreams(ss *routerShard) {
+	ring := r.dir.View().Ring()
 	r.subsMu.Lock()
 	var ids []uint64
 	for id := range r.subs {
-		if r.ring.Pick(id).ID == ss.member.ID {
+		if ring.Pick(id).ID == ss.member.ID {
 			ids = append(ids, id)
 			delete(r.subs, id)
 		}
@@ -521,11 +666,39 @@ func (r *Router) deliver(env *wire.Envelope) {
 		return
 	}
 	if env.Type == wire.MsgFramePush {
+		// Rebase the stream's push counter: a migrated (or replayed)
+		// server-side stream restarts at 1, but the wire contract toward
+		// the client is a strictly increasing seq. Two stale cases drop
+		// here: after a rebase, a raw seq above lastRaw is a straggler of
+		// the replaced stream (the real replacement announces itself by
+		// restarting at or below lastRaw — raw counters are per-stream
+		// contiguous, so only a restart can move backwards); and a rebased
+		// value at or below `last` is a duplicate.
+		seq := env.Seq
+		r.subsMu.Lock()
+		if e := r.subs[env.Session]; e != nil {
+			if e.restart && e.lastRaw > 0 && env.Seq > e.lastRaw &&
+				time.Since(e.rebasedAt) < stragglerWindow {
+				r.subsMu.Unlock()
+				r.reg.Counter("router.pushes.stale").Inc()
+				return
+			}
+			seq = e.base + env.Seq
+			if seq <= e.last {
+				r.subsMu.Unlock()
+				r.reg.Counter("router.pushes.stale").Inc()
+				return
+			}
+			e.restart = false
+			e.lastRaw = env.Seq
+			e.last = seq
+		}
+		r.subsMu.Unlock()
 		buf := r.bufs.Get().(*wire.Buffer)
 		buf.Reset()
 		buf.Append(env.Payload)
 		cl.out.enqueue(outMsg{
-			env:     wire.Envelope{Type: env.Type, Seq: env.Seq, Session: env.Session, Payload: buf.Bytes()},
+			env:     wire.Envelope{Type: env.Type, Seq: seq, Session: env.Session, Payload: buf.Bytes()},
 			release: func() { r.bufs.Put(buf) },
 		})
 		return
@@ -542,16 +715,23 @@ func (r *Router) Listen(addr string) (string, error) {
 	return r.cs.listen(addr)
 }
 
-// Close stops accepting clients, closes client and backend connections,
-// and waits for handlers. Idempotent.
+// Close stops accepting clients, closes admin, client and backend
+// connections, and waits for handlers. Idempotent.
 func (r *Router) Close() error {
 	r.closeOnce.Do(func() {
 		r.closeErr = r.cs.close()
+		if r.admin != nil {
+			if err := r.admin.close(); err != nil && r.closeErr == nil {
+				r.closeErr = err
+			}
+		}
+		r.shardsMu.Lock()
 		for _, ss := range r.shards {
 			if bc := ss.backend(); bc != nil {
 				_ = bc.conn.Close()
 			}
 		}
+		r.shardsMu.Unlock()
 	})
 	return r.closeErr
 }
@@ -559,7 +739,7 @@ func (r *Router) Close() error {
 // EffectiveDeadline reports the admission budget the router currently
 // applies to frame requests bound for the given shard member.
 func (r *Router) EffectiveDeadline(memberID uint64) time.Duration {
-	ss := r.shards[memberID]
+	ss := r.shard(memberID)
 	if ss == nil {
 		return r.opts.Deadline
 	}
@@ -567,9 +747,16 @@ func (r *Router) EffectiveDeadline(memberID uint64) time.Duration {
 }
 
 // trackSub records a live subscription for replay; untrackSub forgets it.
+// A re-subscribe keeps the rebase state: the client's stream identity
+// survives a cadence change, so its seq contract must too.
 func (r *Router) trackSub(session uint64, payload []byte) {
 	r.subsMu.Lock()
-	r.subs[session] = append([]byte(nil), payload...)
+	if e := r.subs[session]; e != nil {
+		e.payload = append([]byte(nil), payload...)
+		e.rebase() // the replacement server-side stream restarts at 1
+	} else {
+		r.subs[session] = &subEntry{payload: append([]byte(nil), payload...)}
+	}
 	r.subsMu.Unlock()
 }
 
@@ -580,10 +767,13 @@ func (r *Router) untrackSub(session uint64) {
 }
 
 // serveClient speaks the standalone server's client protocol, with the
-// frame work a forward hop away.
+// frame work a forward hop away. The owning shard is resolved per envelope
+// against the current membership epoch, and forwards serialise against the
+// session's migration gate — a session mid-migration pauses here for the
+// export→import→replay window rather than racing its own state across
+// nodes.
 func (r *Router) serveClient(conn net.Conn) {
 	id := r.nextSess.Add(1)
-	ss := r.shards[r.ring.Pick(id).ID]
 	cl := &routerClient{lockedWriter: lockedWriter{fw: wire.NewFrameWriter(conn)}}
 	cl.out = newOutbox(&cl.lockedWriter, routerPushQueue, r.reg.Counter("router.pushes.dropped"))
 	r.sessMu.Lock()
@@ -598,10 +788,11 @@ func (r *Router) serveClient(conn net.Conn) {
 		// be mid-write to a stalled client.
 		_ = conn.Close()
 		cl.out.close()
-		// Tell the shard the session is over so its registry doesn't grow
-		// for the life of the backend connection.
-		_ = ss.forward(&wire.Envelope{Type: wire.MsgControl, Session: id,
-			Payload: []byte{CtrlEndSession}})
+		// Tell the owning shard the session is over so its registry doesn't
+		// grow for the life of the backend connection. Gated: a migration
+		// in flight finishes first, so the end lands on the new owner.
+		end := wire.Envelope{Type: wire.MsgControl, Session: id, Payload: []byte{CtrlEndSession}}
+		r.routeClientEnvelope(cl, id, &end, wire.ProtoMax)
 	}()
 
 	proto := wire.ProtoV1
@@ -639,71 +830,127 @@ func (r *Router) serveClient(conn net.Conn) {
 			// than let a client envelope collide with an internal verb.
 			env.Payload = nil
 		}
-		if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
-			// Version gate on both hops: the client must have negotiated
-			// v2, and so must the shard the stream would live on.
-			if need := wire.ProtoV2; proto < need || ss.proto() < need {
-				verr := &wire.VersionError{Local: proto, Remote: ss.proto(), Need: need}
-				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
-					Payload: []byte(verr.Error())}) != nil {
-					return
-				}
-				continue
-			}
-		}
-		if env.Type == wire.MsgSubscribe {
-			// Track before the forward: a shard bounce in the gap would
-			// otherwise snapshot r.subs without this stream — never
-			// replayed, never given an obituary, a silently dead channel.
-			// The forward-failure path below and the reconnect sweep both
-			// clean up if the subscribe never actually took.
-			r.trackSub(id, env.Payload)
-			if sub, err := wire.DecodeSubscribe(env.Payload); err == nil {
-				// Honour the subscription's queue budget on this hop too —
-				// the shard grows its outbox per subscription, and capping
-				// here would silently undercut the knob in exactly the
-				// topology streaming was built for.
-				cl.out.grow(pushBudget(sub))
-			}
-		}
-		if env.Type == wire.MsgFrameRequest {
-			if r.shedNow(ss) {
-				r.reg.Counter("router.frames.shed").Inc()
-				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
-					Payload: []byte(ErrRouterShed.Error())}) != nil {
-					return
-				}
-				continue
-			}
-			ss.pend.add(id, env.Seq, time.Now())
-		}
-		if err := ss.forward(&env); err != nil {
-			r.reg.Counter("router.forward.errors").Inc()
-			if env.Type == wire.MsgFrameRequest {
-				ss.pend.done(id, env.Seq)
-			}
-			// The stream intent didn't reach the shard: an unsent
-			// subscribe must not be replayed onto a reconnected shard,
-			// and a failed unsubscribe still records the client's intent
-			// so the reconnect replay can't resurrect the stream.
-			if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
-				r.untrackSub(id)
-			}
-			// Surface the failure on request/reply traffic; sensor streams
-			// are one-way so the client finds out on its next request.
-			switch env.Type {
-			case wire.MsgFrameRequest, wire.MsgControl, wire.MsgSubscribe, wire.MsgUnsubscribe:
-				if cl.write(&wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
-					Payload: []byte(ErrShardDown.Error())}) != nil {
-					return
-				}
-			}
-			continue
-		}
-		if env.Type == wire.MsgUnsubscribe {
-			r.untrackSub(id)
+		if fatal := r.routeClientEnvelope(cl, id, &env, proto); fatal {
+			return
 		}
 	}
+}
+
+// routeClientEnvelope forwards one client envelope to the session's
+// current owner and writes any resulting reply. It reports fatal (tear
+// the connection down) when the reply write to the client fails.
+func (r *Router) routeClientEnvelope(cl *routerClient, id uint64, env *wire.Envelope, proto uint32) (fatal bool) {
+	reply, ok := r.forwardGated(cl, id, env, proto)
+	if !ok {
+		return true // router shutting down; nothing can be forwarded
+	}
+	if reply != nil {
+		return cl.write(reply) != nil
+	}
+	return false
+}
+
+// forwardGated makes the admission decision and performs the shard
+// forward under the session's migration gate and the membership-change
+// read lock, returning the reply to send (nil for one-way traffic) rather
+// than writing it: client writes can block on a reader that went away,
+// and blocking while holding these locks would let one stalled client
+// wedge every membership change (gateAll waits on fwdMu) and, through the
+// change lock, the whole data plane.
+//
+// The locks span the whole decide-and-forward sequence so the shard
+// consulted for admission is the shard the envelope reaches: without
+// that, a migration between the pend-FIFO add and the forward would
+// strand an entry on the old shard's FIFO and poison its admission clock.
+func (r *Router) forwardGated(cl *routerClient, id uint64, env *wire.Envelope, proto uint32) (reply *wire.Envelope, ok bool) {
+	for {
+		r.changeMu.RLock()
+		cl.fwdMu.Lock()
+		if cl.migrating == nil {
+			break
+		}
+		ch := cl.migrating
+		cl.fwdMu.Unlock()
+		r.changeMu.RUnlock()
+		select {
+		case <-ch:
+		case <-r.cs.done:
+			return nil, false
+		}
+	}
+	defer func() {
+		cl.fwdMu.Unlock()
+		r.changeMu.RUnlock()
+	}()
+	errReply := func(text string) *wire.Envelope {
+		return &wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id, Payload: []byte(text)}
+	}
+	ss := r.shardFor(id)
+	if ss == nil {
+		// Epoch names an owner with no live slot: only reachable in the
+		// router's own shutdown window.
+		return r.shardDownReply(id, env), true
+	}
+	if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
+		// Version gate on both hops: the client must have negotiated
+		// v2, and so must the shard the stream would live on.
+		if need := wire.ProtoV2; proto < need || ss.proto() < need {
+			verr := &wire.VersionError{Local: proto, Remote: ss.proto(), Need: need}
+			return errReply(verr.Error()), true
+		}
+	}
+	if env.Type == wire.MsgSubscribe {
+		// Track before the forward: a shard bounce in the gap would
+		// otherwise snapshot r.subs without this stream — never
+		// replayed, never given an obituary, a silently dead channel.
+		// The forward-failure path below and the reconnect sweep both
+		// clean up if the subscribe never actually took.
+		r.trackSub(id, env.Payload)
+		if sub, err := wire.DecodeSubscribe(env.Payload); err == nil {
+			// Honour the subscription's queue budget on this hop too —
+			// the shard grows its outbox per subscription, and capping
+			// here would silently undercut the knob in exactly the
+			// topology streaming was built for.
+			cl.out.grow(pushBudget(sub))
+		}
+	}
+	if env.Type == wire.MsgFrameRequest {
+		if r.shedNow(ss) {
+			r.reg.Counter("router.frames.shed").Inc()
+			return errReply(ErrRouterShed.Error()), true
+		}
+		ss.pend.add(id, env.Seq, time.Now())
+	}
+	if err := ss.forward(env); err != nil {
+		r.reg.Counter("router.forward.errors").Inc()
+		if env.Type == wire.MsgFrameRequest {
+			ss.pend.done(id, env.Seq)
+		}
+		// The stream intent didn't reach the shard: an unsent
+		// subscribe must not be replayed onto a reconnected shard,
+		// and a failed unsubscribe still records the client's intent
+		// so the reconnect replay can't resurrect the stream.
+		if env.Type == wire.MsgSubscribe || env.Type == wire.MsgUnsubscribe {
+			r.untrackSub(id)
+		}
+		return r.shardDownReply(id, env), true
+	}
+	if env.Type == wire.MsgUnsubscribe {
+		r.untrackSub(id)
+	}
+	return nil, true
+}
+
+// shardDownReply builds the unreachable-owner error for request/reply
+// traffic; sensor streams are one-way (nil reply) so the client finds out
+// on its next request.
+func (r *Router) shardDownReply(id uint64, env *wire.Envelope) *wire.Envelope {
+	switch env.Type {
+	case wire.MsgFrameRequest, wire.MsgControl, wire.MsgSubscribe, wire.MsgUnsubscribe:
+		return &wire.Envelope{Type: wire.MsgError, Seq: env.Seq, Session: id,
+			Payload: []byte(ErrShardDown.Error())}
+	}
+	return nil
 }
 
 // shedNow applies lag-aware admission for one shard: the base deadline is

@@ -471,7 +471,7 @@ func TestRouterStreamE2E(t *testing.T) {
 				return
 			}
 			defer cl.Close()
-			if cl.Proto() != wire.ProtoV2 {
+			if cl.Proto() < wire.ProtoV2 {
 				errs <- fmt.Errorf("client %d negotiated v%d", c, cl.Proto())
 				return
 			}

@@ -21,6 +21,18 @@ const (
 	CtrlEndSession uint8 = 1
 )
 
+// MsgMigrateSession reply status bytes (shard → router). The request
+// direction needs no discriminator: an empty payload asks the shard to
+// export the session, a non-empty payload is a snapshot to import.
+const (
+	// MigExported precedes the session snapshot in an export reply.
+	MigExported uint8 = 1
+	// MigImported acknowledges a successful snapshot import.
+	MigImported uint8 = 2
+	// MigFailed precedes UTF-8 error text in either direction's reply.
+	MigFailed uint8 = 3
+)
+
 // backendPushQueue is the minimum outbox capacity on a shard's backend
 // connection, which multiplexes many sessions' streams toward one router.
 const backendPushQueue = 64
@@ -193,6 +205,66 @@ func (sh *Shard) serveConn(conn net.Conn) {
 				}
 			}
 			continue // one-way: the client is already gone
+		}
+		if in.Type == wire.MsgMigrateSession {
+			// Live migration (protocol v3). Export: freeze the session's
+			// stream, purge its queued pushes, snapshot, detach, reply.
+			// Import: rebuild the session from the snapshot and own it.
+			migFail := func(msg string) {
+				var buf wire.Buffer
+				buf.Byte(MigFailed)
+				buf.Append([]byte(msg))
+				_ = w.write(&wire.Envelope{Type: wire.MsgMigrateSession, Seq: in.Seq,
+					Session: in.Session, Payload: buf.Bytes()})
+			}
+			if proto < wire.ProtoV3 {
+				migFail((&wire.VersionError{Local: proto, Remote: proto, Need: wire.ProtoV3}).Error())
+				continue
+			}
+			if len(in.Payload) == 0 { // export request
+				_, live := owned[in.Session]
+				sess, ok := sh.eng.platform.Session(in.Session)
+				if !live || !ok {
+					// The session never reached this shard (client connected
+					// but sent nothing yet) or already ended: nothing to
+					// move. An empty export tells the router to re-home the
+					// session with fresh state instead of failing the drain.
+					_ = w.write(&wire.Envelope{Type: wire.MsgMigrateSession, Seq: in.Seq,
+						Session: in.Session, Payload: []byte{MigExported}})
+					continue
+				}
+				// Stop the stream first: stopStream waits out the in-flight
+				// frame, so its push is enqueued (and then purged) before
+				// the snapshot is taken. Pipelined MsgFrameRequests still
+				// queued on the scheduler are NOT waited for: they hold no
+				// sensor state (that was applied inline, above, in arrival
+				// order), and EncodeSnapshotInto serialises with a running
+				// frame via the session lock — a queued one just replies
+				// after the snapshot, its frames/overruns counter bump
+				// staying on this side. Waiting would couple the export to
+				// every other session's queue depth for a cosmetic counter.
+				streams.remove(in.Session)
+				if ob != nil {
+					ob.purge(in.Session)
+				}
+				var buf wire.Buffer
+				buf.Byte(MigExported)
+				sess.EncodeSnapshotInto(&buf)
+				delete(owned, in.Session)
+				sh.eng.platform.DetachSession(in.Session)
+				_ = w.write(&wire.Envelope{Type: wire.MsgMigrateSession, Seq: in.Seq,
+					Session: in.Session, Payload: buf.Bytes()})
+				continue
+			}
+			// Import request: the payload is the snapshot.
+			if _, err := sh.eng.platform.RestoreSession(in.Payload); err != nil {
+				migFail(err.Error())
+				continue
+			}
+			owned[in.Session] = struct{}{}
+			_ = w.write(&wire.Envelope{Type: wire.MsgMigrateSession, Seq: in.Seq,
+				Session: in.Session, Payload: []byte{MigImported}})
+			continue
 		}
 		switch in.Type {
 		case wire.MsgSensorEvent, wire.MsgFrameRequest, wire.MsgControl:

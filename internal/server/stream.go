@@ -193,6 +193,34 @@ func (ob *outbox) writeLoop() {
 	}
 }
 
+// purge drops every queued push for one session, releasing their buffers.
+// Session migration uses it after stopping the session's stream: pushes
+// already queued behind other sessions' traffic must not trail onto the
+// wire after the export reply that hands the session away.
+func (ob *outbox) purge(session uint64) {
+	ob.mu.Lock()
+	var dropped []outMsg
+	w := ob.head
+	for i := ob.head; i < len(ob.q); i++ {
+		if ob.q[i].env.Session == session {
+			dropped = append(dropped, ob.q[i])
+			continue
+		}
+		ob.q[w] = ob.q[i]
+		w++
+	}
+	for i := w; i < len(ob.q); i++ {
+		ob.q[i] = outMsg{}
+	}
+	ob.q = ob.q[:w]
+	ob.mu.Unlock()
+	for _, m := range dropped {
+		if m.release != nil {
+			m.release()
+		}
+	}
+}
+
 // drain marks the outbox closed and releases everything queued.
 func (ob *outbox) drain() {
 	ob.mu.Lock()

@@ -8,20 +8,66 @@ import (
 // Rand is a deterministic random stream. It wraps math/rand with helpers the
 // simulators need (gaussian noise, exponential inter-arrival, zipfian keys)
 // and supports deriving independent child streams so each component gets its
-// own sequence without global coupling.
+// own sequence without global coupling. A stream's position is snapshotable
+// as (seed, draw count) — see Draws and RestoreRand — which is what lets a
+// migrating session carry its RNG stream to another node byte-for-byte.
 type Rand struct {
 	rng  *rand.Rand
+	src  *countingSource
 	seed int64
 }
+
+// countingSource wraps the math/rand source and counts state advances.
+// Both Int63 and Uint64 advance the underlying generator by exactly one
+// step, so the count alone (with the seed) pins the stream position: a
+// restore replays count steps regardless of which methods consumed them.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // NewRand returns a stream seeded with seed. Equal seeds yield equal
 // sequences.
 func NewRand(seed int64) *Rand {
-	return &Rand{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	// rand.NewSource's result implements Source64 (documented); counting at
+	// the source level sees every state advance, including the variable
+	// number of draws behind Norm/Exp/Perm.
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{rng: rand.New(src), src: src, seed: seed}
 }
 
 // Seed returns the seed this stream was created with.
 func (r *Rand) Seed() int64 { return r.seed }
+
+// Draws returns how many times the underlying generator has advanced.
+// (seed, draws) identifies the stream position exactly.
+func (r *Rand) Draws() uint64 { return r.src.n }
+
+// RestoreRand returns a stream positioned as if draws values had already
+// been consumed from NewRand(seed): the next value equals what the
+// original stream would produce next. Replay cost is O(draws) — cheap for
+// the per-session streams that snapshot (a session draws only for privacy
+// noise), and irrelevant for bulk simulation streams, which never do.
+func RestoreRand(seed int64, draws uint64) *Rand {
+	r := NewRand(seed)
+	for i := uint64(0); i < draws; i++ {
+		_ = r.src.src.Uint64() // advance the inner source without recounting
+	}
+	r.src.n = draws
+	return r
+}
 
 // Child derives an independent stream identified by name. The same
 // (seed, name) pair always yields the same child sequence.

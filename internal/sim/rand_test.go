@@ -192,3 +192,37 @@ func TestShuffleAndPermArePermutations(t *testing.T) {
 		t.Fatalf("Shuffle lost elements, sum=%d", sum)
 	}
 }
+
+// TestRestoreRandResumesStream pins the snapshot contract migration leans
+// on: (seed, Draws()) restores a stream whose future output is identical
+// to the original's, even after helpers that consume a variable number of
+// underlying draws (Norm, Exp, Perm, rejection-sampled Intn).
+func TestRestoreRandResumesStream(t *testing.T) {
+	r := NewRand(99)
+	_ = r.Float64()
+	_ = r.Norm(0, 2)
+	_ = r.Exp(3)
+	_ = r.Perm(17)
+	_ = r.Intn(1000)
+	_ = r.Uniform(-5, 5)
+	draws := r.Draws()
+	if draws == 0 {
+		t.Fatal("no draws counted")
+	}
+
+	clone := RestoreRand(99, draws)
+	if clone.Draws() != draws {
+		t.Fatalf("restored Draws() = %d, want %d", clone.Draws(), draws)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := r.Float64(), clone.Float64(); a != b {
+			t.Fatalf("stream diverged at %d: %v vs %v", i, a, b)
+		}
+		if a, b := r.Norm(1, 3), clone.Norm(1, 3); a != b {
+			t.Fatalf("norm diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	if r.Draws() != clone.Draws() {
+		t.Fatalf("draw counters diverged: %d vs %d", r.Draws(), clone.Draws())
+	}
+}

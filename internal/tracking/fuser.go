@@ -121,6 +121,57 @@ func (f *Fuser) UpdateCounts() (gps, vision int) {
 	return f.gpsUpdates, f.visionUpdates
 }
 
+// FuserState is a fuser's complete mutable state, exportable so a session
+// migrating between nodes carries its registration solution instead of
+// re-converging from scratch. Positions are ENU meters relative to the
+// fuser's origin: restore is only meaningful on a fuser anchored at the
+// same origin (shards of one deployment share the world config).
+type FuserState struct {
+	// X and P are the position filter's state vector [e, n, ve, vn] and
+	// covariance.
+	X [4]float64
+	P [4][4]float64
+	// HeadingDeg and HeadingVar are the heading filter's estimate and
+	// variance.
+	HeadingDeg float64
+	HeadingVar float64
+	// LastNanos is the prediction clock (unix nanos); Has reports whether
+	// any sample has initialised it.
+	LastNanos int64
+	Has       bool
+	// GPSUpdates and VisionUpdates carry the correction counters.
+	GPSUpdates    int
+	VisionUpdates int
+}
+
+// ExportState snapshots the fuser's mutable state.
+func (f *Fuser) ExportState() FuserState {
+	return FuserState{
+		X:             f.pos.x,
+		P:             f.pos.p,
+		HeadingDeg:    f.hdg.deg,
+		HeadingVar:    f.hdg.v,
+		LastNanos:     f.last.UnixNano(),
+		Has:           f.has,
+		GPSUpdates:    f.gpsUpdates,
+		VisionUpdates: f.visionUpdates,
+	}
+}
+
+// RestoreState overwrites the fuser's mutable state with an exported
+// snapshot. Filter tuning (process noise) is construction-time config and
+// is kept, not restored.
+func (f *Fuser) RestoreState(st FuserState) {
+	f.pos.x = st.X
+	f.pos.p = st.P
+	f.hdg.deg = st.HeadingDeg
+	f.hdg.v = st.HeadingVar
+	f.last = time.Unix(0, st.LastNanos)
+	f.has = st.Has
+	f.gpsUpdates = st.GPSUpdates
+	f.visionUpdates = st.VisionUpdates
+}
+
 // RegError quantifies registration quality of an estimated pose against
 // ground truth.
 type RegError struct {

@@ -183,6 +183,10 @@ func TestMsgTypeValuesPinned(t *testing.T) {
 		{MsgSubscribe, 11, "subscribe"},
 		{MsgUnsubscribe, 12, "unsubscribe"},
 		{MsgFramePush, 13, "frame_push"},
+		{MsgJoinShard, 14, "join_shard"},
+		{MsgLeaveShard, 15, "leave_shard"},
+		{MsgMembership, 16, "membership"},
+		{MsgMigrateSession, 17, "migrate_session"},
 	}
 	for _, p := range pinned {
 		if uint8(p.typ) != p.val {

@@ -48,6 +48,27 @@ const (
 	// own monotonically increasing push counter — gaps mean the server
 	// skipped ticks or dropped queued pushes under backpressure.
 	MsgFramePush
+	// MsgJoinShard (protocol v3, control plane) asks a router's admin
+	// endpoint to add a shard to the membership: the payload is a member
+	// record (membership.EncodeMemberInto). Answered with MsgMembership
+	// carrying the new epoch, or MsgError.
+	MsgJoinShard
+	// MsgLeaveShard (protocol v3, control plane) asks a router's admin
+	// endpoint to drain a shard and remove it: the payload is the uvarint
+	// member ID. The reply (MsgMembership or MsgError) arrives only after
+	// the drain — snapshotting and re-homing every live session — finished.
+	MsgLeaveShard
+	// MsgMembership (protocol v3, control plane) announces a membership
+	// epoch: uvarint epoch, uvarint member count, then each member. Sent as
+	// the reply to join/leave/query and pushed to admin watchers on every
+	// epoch bump.
+	MsgMembership
+	// MsgMigrateSession (protocol v3, router↔shard) moves one live session.
+	// Router→shard with an empty payload exports: the shard freezes the
+	// session's stream, detaches it, and replies with the state snapshot.
+	// Router→shard with a snapshot payload imports it on the new owner.
+	// Shard→router replies carry a leading status byte (see server.Mig*).
+	MsgMigrateSession
 
 	// maxMsgType is one past the last valid message type. Every new type
 	// goes above this comment and below the last enum value, so Valid()
@@ -84,6 +105,14 @@ func (m MsgType) String() string {
 		return "unsubscribe"
 	case MsgFramePush:
 		return "frame_push"
+	case MsgJoinShard:
+		return "join_shard"
+	case MsgLeaveShard:
+		return "leave_shard"
+	case MsgMembership:
+		return "membership"
+	case MsgMigrateSession:
+		return "migrate_session"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(m))
 	}

@@ -14,9 +14,14 @@ const (
 	// ProtoV2 adds subscription streaming: MsgSubscribe/MsgUnsubscribe/
 	// MsgFramePush, with the server owning the frame clock.
 	ProtoV2 uint32 = 2
+	// ProtoV3 adds the membership control plane: MsgJoinShard/MsgLeaveShard/
+	// MsgMembership on admin connections and MsgMigrateSession on
+	// router→shard connections (live session migration during join/drain).
+	// Client-facing traffic is unchanged from v2.
+	ProtoV3 uint32 = 3
 	// ProtoMin and ProtoMax bound what this build speaks.
 	ProtoMin = ProtoV1
-	ProtoMax = ProtoV2
+	ProtoMax = ProtoV3
 )
 
 // VersionError is the typed handshake failure: the two sides share no
