@@ -24,7 +24,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if tbl := e.Run(); tbl.NumRows() == 0 {
+		if rep := e.Run(); rep.Table.NumRows() == 0 {
 			b.Fatalf("%s produced an empty table", id)
 		}
 	}
@@ -69,7 +69,9 @@ func BenchmarkE17StreamVsPoll(b *testing.B) { runExperiment(b, "E17") }
 
 // TestExperimentsSmoke runs every registered experiment once at smoke scale:
 // a broken experiment fails plain `go test` instead of hiding until the next
-// -bench run.
+// -bench run. Beyond a non-empty table, every experiment must produce a
+// non-empty typed record set — the BENCH_*.json trajectory covers the whole
+// suite, not just the natively-instrumented experiments.
 func TestExperimentsSmoke(t *testing.T) {
 	exps := bench.All()
 	if len(exps) < 14 {
@@ -77,9 +79,30 @@ func TestExperimentsSmoke(t *testing.T) {
 	}
 	for _, e := range exps {
 		t.Run(e.ID, func(t *testing.T) {
-			tbl := e.SmokeRun()
-			if tbl == nil || tbl.NumRows() == 0 {
+			rep := e.SmokeRun()
+			if rep == nil || rep.Table == nil || rep.Table.NumRows() == 0 {
 				t.Fatalf("%s smoke run produced an empty table", e.ID)
+			}
+			res := rep.Result
+			if res == nil || len(res.Rows) == 0 {
+				t.Fatalf("%s smoke run produced no typed records", e.ID)
+			}
+			if res.Experiment != e.ID {
+				t.Fatalf("record experiment = %q, want %q", res.Experiment, e.ID)
+			}
+			if res.SchemaVersion != bench.SchemaVersion || res.Config == "" ||
+				res.GoVersion == "" || res.Timestamp == "" {
+				t.Fatalf("%s record missing provenance fields: %+v", e.ID, res)
+			}
+			metricsTotal := 0
+			for _, row := range res.Rows {
+				if row.Name == "" {
+					t.Fatalf("%s has an unnamed record row", e.ID)
+				}
+				metricsTotal += len(row.Metrics)
+			}
+			if metricsTotal == 0 {
+				t.Fatalf("%s records carry no metrics", e.ID)
 			}
 		})
 	}

@@ -1,28 +1,36 @@
 // Command arbd-bench runs the derived experiment suite E1-E18 (DESIGN.md §3)
 // and prints each experiment's result table — the source of the numbers in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. Alongside the tables it can emit the machine-readable
+// BENCH_<exp>.json records the perf trajectory is built from, and diff a
+// fresh run against a committed baseline (the CI regression gate).
 //
 // Usage:
 //
-//	arbd-bench             # run everything
-//	arbd-bench -exp E5     # one experiment
-//	arbd-bench -exp E14    # the multi-session throughput sweep
-//	arbd-bench -exp E15    # frame hot path GC pressure (pooled vs alloc)
-//	arbd-bench -exp E16    # multi-node scale-out (router × 1/2/4 shards)
-//	arbd-bench -exp E17    # stream vs poll frame delivery (protocol v2)
-//	arbd-bench -exp E18    # shard churn under streaming (join/drain)
-//	arbd-bench -smoke      # tiny-parameter pass over every experiment
-//	arbd-bench -list       # list experiments
+//	arbd-bench                  # run everything
+//	arbd-bench -exp E5          # one experiment
+//	arbd-bench -smoke           # tiny-parameter pass over every experiment
+//	arbd-bench -list            # list experiments
+//	arbd-bench -exp E15 -smoke -json
+//	                            # also write BENCH_E15.json (schema-versioned
+//	                            # typed records: allocs/op, p99, frames/s, …)
+//	arbd-bench -exp E15 -smoke -out path.json
+//	                            # write the record file to a specific path
+//	arbd-bench -exp E15 -smoke -baseline BENCH_E15.json
+//	                            # diff against a baseline; exit 1 on any
+//	                            # >threshold regression of a gated metric
+//	                            # (frames/s, allocs/op, bytes/op)
+//	arbd-bench -exp E15 -smoke -baseline BENCH_E15.json -threshold 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"arbd/internal/bench"
-	"arbd/internal/metrics"
 )
 
 func main() {
@@ -34,9 +42,13 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E18)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		smoke = flag.Bool("smoke", false, "run tiny-parameter smoke variants")
+		exp       = flag.String("exp", "", "run a single experiment (E1..E18)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		smoke     = flag.Bool("smoke", false, "run tiny-parameter smoke variants")
+		jsonOut   = flag.Bool("json", false, "write BENCH_<exp>.json typed records for each experiment run")
+		outPath   = flag.String("out", "", "write the experiment's record file to this path (requires -exp; implies -json)")
+		baseline  = flag.String("baseline", "", "compare the run against this BENCH_*.json baseline and fail on regression (requires -exp)")
+		threshold = flag.Float64("threshold", 0.10, "relative regression threshold for -baseline (0.10 = 10%)")
 	)
 	flag.Parse()
 
@@ -54,16 +66,66 @@ func run() error {
 		}
 		exps = []bench.Experiment{e}
 	}
+	if (*outPath != "" || *baseline != "") && len(exps) != 1 {
+		return fmt.Errorf("-out and -baseline require a single experiment (-exp)")
+	}
+
+	sha := gitSHA()
 	for _, e := range exps {
 		start := time.Now()
-		var table *metrics.Table
+		var rep *bench.Report
 		if *smoke {
-			table = e.SmokeRun()
+			rep = e.SmokeRun()
 		} else {
-			table = e.Run()
+			rep = e.Run()
 		}
-		fmt.Println(table.String())
+		fmt.Println(rep.Table.String())
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+
+		res := rep.Result
+		res.GitSHA = sha
+		if *jsonOut || *outPath != "" {
+			path := *outPath
+			if path == "" {
+				path = bench.BenchFileName(e.ID)
+			}
+			if err := res.WriteFile(path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadResultFile(*baseline)
+			if err != nil {
+				return err
+			}
+			cmp, err := bench.Compare(base, res, *threshold)
+			if err != nil {
+				return err
+			}
+			fmt.Println(cmp.Table().String())
+			if regs := cmp.Regressions(); len(regs) > 0 {
+				return fmt.Errorf("%s: %d metric(s) regressed more than %.0f%% against %s",
+					e.ID, len(regs), *threshold*100, *baseline)
+			}
+			fmt.Printf("%s: no regression beyond %.0f%% against %s\n", e.ID, *threshold*100, *baseline)
+		}
 	}
 	return nil
+}
+
+// gitSHA stamps records with the commit they measured: CI's checkout SHA
+// when present, otherwise the local HEAD, otherwise empty.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -1,8 +1,10 @@
 // Package bench implements the experiment harness: one function per derived
-// experiment E1-E17 (see DESIGN.md §3 — the paper is a vision paper with no
+// experiment E1-E18 (see DESIGN.md §3 — the paper is a vision paper with no
 // measured evaluation, so each experiment quantifies one of its qualitative
-// claims). Each function returns a rendered table; cmd/arbd-bench prints
-// them and the root bench_test.go wraps them in testing.B benchmarks.
+// claims). Each run produces a Report: a rendered table for humans plus a
+// typed Result record for the BENCH_*.json perf trajectory. cmd/arbd-bench
+// prints the tables (and emits/diffs the JSON records); the root
+// bench_test.go wraps the runs in testing.B benchmarks.
 package bench
 
 import (
@@ -13,43 +15,71 @@ import (
 	"arbd/internal/metrics"
 )
 
+// Report is the outcome of one experiment run: the human-readable table and
+// the machine-readable record set behind it.
+type Report struct {
+	Table  *metrics.Table
+	Result *Result
+}
+
+// RunFunc executes an experiment at one scale.
+type RunFunc func() *Report
+
 // Experiment is one runnable experiment.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() *metrics.Table
+	Run   RunFunc
 	// Smoke is a tiny-parameter variant of Run used by plain `go test`
-	// (TestExperimentsSmoke) to catch regressions without benchmark-scale
-	// runtimes. Experiments cheap enough to run at full size leave it nil,
-	// and Smoke falls back to Run.
-	Smoke func() *metrics.Table
+	// (TestExperimentsSmoke) and the CI perf gate to catch regressions
+	// without benchmark-scale runtimes. Experiments cheap enough to run at
+	// full size leave it nil, and Smoke falls back to Run.
+	Smoke RunFunc
 }
 
 // SmokeRun executes the experiment at smoke scale (or full scale when no
 // smoke variant exists).
-func (e Experiment) SmokeRun() *metrics.Table {
+func (e Experiment) SmokeRun() *Report {
 	if e.Smoke != nil {
 		return e.Smoke()
 	}
 	return e.Run()
 }
 
+// tableOnly adapts a legacy table-returning experiment: the Result is
+// derived from the table's typed cells (see DeriveResult).
+func tableOnly(id, config string, f func() *metrics.Table) RunFunc {
+	return func() *Report {
+		t := f()
+		return &Report{Table: t, Result: DeriveResult(id, config, t)}
+	}
+}
+
+// legacy registers a table-returning experiment pair.
+func legacy(id, title string, run, smoke func() *metrics.Table) Experiment {
+	e := Experiment{ID: id, Title: title, Run: tableOnly(id, "full", run)}
+	if smoke != nil {
+		e.Smoke = tableOnly(id, "smoke", smoke)
+	}
+	return e
+}
+
 // All returns every experiment in ID order.
 func All() []Experiment {
 	exps := []Experiment{
-		{ID: "E1", Title: "ingest throughput (mq)", Run: E1LogIngest, Smoke: e1LogIngestSmoke},
-		{ID: "E2", Title: "stream window throughput", Run: E2StreamWindows, Smoke: e2StreamWindowsSmoke},
-		{ID: "E3", Title: "incremental vs batch views", Run: E3IncrementalVsBatch, Smoke: e3IncrementalVsBatchSmoke},
-		{ID: "E4", Title: "offloading latency/energy", Run: E4Offload},
-		{ID: "E5", Title: "geo index query latency", Run: E5GeoIndex, Smoke: e5GeoIndexSmoke},
-		{ID: "E6", Title: "annotation layout quality", Run: E6Layout},
-		{ID: "E7", Title: "recommendation lift", Run: E7Recommend, Smoke: e7RecommendSmoke},
-		{ID: "E8", Title: "health alert latency", Run: E8HealthAlerts, Smoke: e8HealthAlertsSmoke},
-		{ID: "E9", Title: "collision warning recall", Run: E9Traffic, Smoke: e9TrafficSmoke},
-		{ID: "E10", Title: "privacy/utility trade-off", Run: E10Privacy},
-		{ID: "E11", Title: "ARML interpretation cost", Run: E11Interpret},
-		{ID: "E12", Title: "sketch accuracy vs memory", Run: E12Sketches, Smoke: e12SketchesSmoke},
-		{ID: "E13", Title: "Figure 5 influence matrix", Run: E13Influence},
+		legacy("E1", "ingest throughput (mq)", E1LogIngest, e1LogIngestSmoke),
+		legacy("E2", "stream window throughput", E2StreamWindows, e2StreamWindowsSmoke),
+		legacy("E3", "incremental vs batch views", E3IncrementalVsBatch, e3IncrementalVsBatchSmoke),
+		legacy("E4", "offloading latency/energy", E4Offload, nil),
+		legacy("E5", "geo index query latency", E5GeoIndex, e5GeoIndexSmoke),
+		legacy("E6", "annotation layout quality", E6Layout, nil),
+		legacy("E7", "recommendation lift", E7Recommend, e7RecommendSmoke),
+		legacy("E8", "health alert latency", E8HealthAlerts, e8HealthAlertsSmoke),
+		legacy("E9", "collision warning recall", E9Traffic, e9TrafficSmoke),
+		legacy("E10", "privacy/utility trade-off", E10Privacy, nil),
+		legacy("E11", "ARML interpretation cost", E11Interpret, nil),
+		legacy("E12", "sketch accuracy vs memory", E12Sketches, e12SketchesSmoke),
+		legacy("E13", "Figure 5 influence matrix", E13Influence, nil),
 		{ID: "E14", Title: "multi-session throughput", Run: E14MultiSession, Smoke: e14MultiSessionSmoke},
 		{ID: "E15", Title: "frame hot path GC pressure", Run: E15GCPressure, Smoke: e15GCPressureSmoke},
 		{ID: "E16", Title: "multi-node scale-out", Run: E16ScaleOut, Smoke: e16ScaleOutSmoke},

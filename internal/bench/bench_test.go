@@ -23,39 +23,44 @@ func TestAllExperimentsRegistered(t *testing.T) {
 }
 
 // TestE17SmokeShape runs the stream-vs-poll harness end to end at smoke
-// scale (a real server and v2 clients over loopback) and checks the table:
-// one poll row and one stream row per session count, zero client errors,
-// and streaming achieving at least one pushed frame per subscription.
+// scale (a real server and v2 clients over loopback) and checks both output
+// layers: the table (one poll row and one stream row per session count) and
+// the typed records (zero client errors, at least one pushed frame, and a
+// positive max frame gap wherever gaps were observed).
 func TestE17SmokeShape(t *testing.T) {
-	tbl := e17StreamVsPollSmoke()
+	rep := e17StreamVsPollSmoke()
+	tbl := rep.Table
 	if tbl.NumRows() != 4 { // {1,8} sessions × {poll,stream}
 		t.Fatalf("rows = %d, want 4", tbl.NumRows())
 	}
 	out := tbl.String()
-	for _, want := range []string{"mode", "poll", "stream", "p99 jitter", "B/frame", "reads/frame"} {
+	for _, want := range []string{"mode", "poll", "stream", "p99 jitter", "max gap", "B/frame", "reads/frame"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
 		}
 	}
-	rows := 0
-	for _, l := range strings.Split(out, "\n") {
-		fields := strings.Fields(l)
-		if len(fields) < 9 || (fields[1] != "poll" && fields[1] != "stream") {
-			continue
-		}
-		if _, err := strconv.Atoi(fields[0]); err != nil {
-			continue // the title line mentions the modes too
-		}
-		rows++
-		if frames, err := strconv.Atoi(fields[2]); err != nil || frames == 0 {
-			t.Fatalf("%s row reports no frames:\n%s", fields[1], out)
-		}
-		if fields[8] != "0" {
-			t.Fatalf("%s row reports %s client errors:\n%s", fields[1], fields[8], out)
-		}
+	res := rep.Result
+	if len(res.Rows) != 4 {
+		t.Fatalf("record rows = %d, want 4", len(res.Rows))
 	}
-	if rows != 4 {
-		t.Fatalf("parsed %d data rows, want 4:\n%s", rows, out)
+	for _, row := range res.Rows {
+		frames, ok := row.Metric("frames")
+		if !ok || frames.Value == 0 {
+			t.Fatalf("%s reports no frames:\n%s", row.Name, out)
+		}
+		if errs, ok := row.Metric("errors"); !ok || errs.Value != 0 {
+			t.Fatalf("%s reports client errors:\n%s", row.Name, out)
+		}
+		gap, ok := row.Metric("max_gap")
+		if !ok {
+			t.Fatalf("%s missing max_gap metric", row.Name)
+		}
+		if frames.Value > 1 && gap.Value <= 0 {
+			t.Fatalf("%s observed %v frames but max_gap = %v", row.Name, frames.Value, gap.Value)
+		}
+		if rate, ok := row.Metric("frames_per_sec"); !ok || rate.Better != BetterHigher {
+			t.Fatalf("%s frames_per_sec not marked higher-is-better", row.Name)
+		}
 	}
 }
 
@@ -63,7 +68,7 @@ func TestE17SmokeShape(t *testing.T) {
 // router and shard processes-in-miniature over loopback) and checks the
 // table reports one row per shard count with no client errors.
 func TestE16SmokeShape(t *testing.T) {
-	tbl := e16ScaleOutSmoke()
+	tbl := e16ScaleOutSmoke().Table
 	if tbl.NumRows() != 2 {
 		t.Fatalf("rows = %d, want 2", tbl.NumRows())
 	}
@@ -87,7 +92,7 @@ func TestE16SmokeShape(t *testing.T) {
 func TestE14SweepShape(t *testing.T) {
 	// The smoke sweep must report one row per session count with positive
 	// throughput; the full sweep's counts are asserted statically.
-	tbl := e14MultiSession([]int{1, 4}, 16, 200)
+	tbl := e14MultiSession([]int{1, 4}, 16, 200, 1, "smoke").Table
 	if tbl.NumRows() != 2 {
 		t.Fatalf("rows = %d, want 2", tbl.NumRows())
 	}
@@ -121,11 +126,11 @@ func TestLightExperimentsProduceTables(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", id)
 		}
-		tbl := e.Run()
-		if tbl.NumRows() == 0 {
+		rep := e.Run()
+		if rep.Table.NumRows() == 0 {
 			t.Fatalf("%s produced an empty table", id)
 		}
-		out := tbl.String()
+		out := rep.Table.String()
 		if !strings.Contains(out, id) {
 			t.Errorf("%s table missing its id in the title:\n%s", id, out)
 		}

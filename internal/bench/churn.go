@@ -26,16 +26,16 @@ import (
 // bound (≤1.5/N; minimality is the reason the ring exists) and the p99
 // client-visible migration pause. Stream obituaries must be zero: elastic
 // capacity is only real if scaling events are invisible to devices.
-func E18ShardChurn() *metrics.Table {
+func E18ShardChurn() *Report {
 	// 10 Hz cadence keeps 512 streams inside the 4-shard fleet's capacity,
 	// so the drain/rejoin rows measure churn cost rather than overload.
-	return e18ShardChurn(4, 512, 2000, 100*time.Millisecond, 2*time.Second)
+	return e18ShardChurn(4, 512, 2000, 100*time.Millisecond, 2*time.Second, "full")
 }
 
 // e18ShardChurnSmoke is the tiny-parameter variant for plain `go test`
 // and arbd-bench -smoke.
-func e18ShardChurnSmoke() *metrics.Table {
-	return e18ShardChurn(2, 8, 300, 20*time.Millisecond, 300*time.Millisecond)
+func e18ShardChurnSmoke() *Report {
+	return e18ShardChurn(2, 8, 300, 20*time.Millisecond, 300*time.Millisecond, "smoke")
 }
 
 // churn phases.
@@ -48,7 +48,7 @@ const (
 
 var churnPhaseNames = [numChurnPhases]string{"steady (N shards)", "drain (N-1 shards)", "rejoin (N shards)"}
 
-func e18ShardChurn(shards, sessions, numPOIs int, interval, phaseLen time.Duration) *metrics.Table {
+func e18ShardChurn(shards, sessions, numPOIs int, interval, phaseLen time.Duration, config string) *Report {
 	discard := log.New(io.Discard, "", 0)
 	members := make([]server.Member, 0, shards)
 	nodes := make([]*server.Shard, 0, shards)
@@ -203,28 +203,42 @@ func e18ShardChurn(shards, sessions, numPOIs int, interval, phaseLen time.Durati
 	wg.Wait()
 
 	bound := 1.5 / float64(shards)
-	t := metrics.NewTable(
-		fmt.Sprintf("E18: shard churn under streaming (%d sessions, %d→%d→%d shards, %v cadence, %v/phase; remap bound 1.5/N=%.2f, failed migrations %d, stream obituaries %d; pause p99 is cumulative over the transitions so far — the histogram spans the router's lifetime)",
-			sessions, shards, shards-1, shards, interval, phaseLen, bound, failedCtr.Value(), obituaries.Load()),
+	title := fmt.Sprintf("E18: shard churn under streaming (%d sessions, %d→%d→%d shards, %v cadence, %v/phase; remap bound 1.5/N=%.2f, failed migrations %d, stream obituaries %d; pause p99 is cumulative over the transitions so far — the histogram spans the router's lifetime)",
+		sessions, shards, shards-1, shards, interval, phaseLen, bound, failedCtr.Value(), obituaries.Load())
+	t := metrics.NewTable(title,
 		"phase", "frames", "frames/s", "gap p50", "gap p99", "migrated", "remap", "pause p99 (cum)")
+	res := NewResult("E18", title, config)
 	for p := 0; p < numChurnPhases; p++ {
 		snap := gaps[p].Snapshot()
+		rate := float64(frames[p].Value()) / rows[p].elapsed.Seconds()
 		remap := "—"
+		remapFrac := 0.0
 		if p != phaseSteady {
-			frac := float64(rows[p].migrated) / float64(sessions)
+			remapFrac = float64(rows[p].migrated) / float64(sessions)
 			ok := "≤"
-			if frac > bound {
+			if remapFrac > bound {
 				ok = ">"
 			}
-			remap = fmt.Sprintf("%.3f (%s%.2f)", frac, ok, bound)
+			remap = fmt.Sprintf("%.3f (%s%.2f)", remapFrac, ok, bound)
 		}
 		pause := "—"
 		if p != phaseSteady {
 			pause = ms(rows[p].pauseP99)
 		}
-		t.AddRow(churnPhaseNames[p], frames[p].Value(),
-			fmt.Sprintf("%.0f", float64(frames[p].Value())/rows[p].elapsed.Seconds()),
+		t.AddRow(churnPhaseNames[p], frames[p].Value(), fmt.Sprintf("%.0f", rate),
 			ms(snap.P50), ms(snap.P99), rows[p].migrated, remap, pause)
+		res.AddRow("phase="+churnPhaseNames[p],
+			M("frames", float64(frames[p].Value()), "count", ""),
+			M("frames_per_sec", rate, "1/s", BetterHigher),
+			DurMetric("gap_p50", snap.P50, ""),
+			DurMetric("gap_p99", snap.P99, ""),
+			M("migrated", float64(rows[p].migrated), "count", ""),
+			M("remap_fraction", remapFrac, "", ""),
+			DurMetric("pause_p99_cum", rows[p].pauseP99, ""),
+			M("obituaries", float64(obituaries.Load()), "count", ""),
+			M("failed_migrations", float64(failedCtr.Value()), "count", ""),
+		)
 	}
-	return t
+	res.CaptureRSS()
+	return &Report{Table: t, Result: res}
 }

@@ -1,0 +1,435 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"arbd/internal/metrics"
+)
+
+// SchemaVersion is the BENCH_*.json schema version. Bump it when the record
+// layout changes incompatibly; ReadResultFile refuses files from other
+// versions so the CI gate never silently compares across schemas.
+const SchemaVersion = 1
+
+// Metric direction markers: which way "better" points. Metrics without a
+// direction are informational — their deltas are reported but never fail the
+// regression gate.
+const (
+	BetterHigher = "higher"
+	BetterLower  = "lower"
+)
+
+// Metric is one named measurement in a result row. Tolerance, when non-zero,
+// widens the regression gate for this metric alone: the effective threshold is
+// max(global threshold, Tolerance). Experiments stamp it on wall-clock rates
+// whose run-to-run noise on a shared CI host exceeds the global gate (CPU-bound
+// throughput can swing ±30% with host load); deterministic metrics such as
+// allocs/frame keep the tight default.
+type Metric struct {
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit,omitempty"`
+	Better    string  `json:"better,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+// M builds a Metric tersely.
+func M(name string, value float64, unit, better string) Metric {
+	return Metric{Name: name, Value: value, Unit: unit, Better: better}
+}
+
+// WithTolerance returns a copy of the metric carrying a per-metric gate
+// threshold (0.5 = only a >50% move the wrong way fails the gate).
+func (m Metric) WithTolerance(tol float64) Metric {
+	m.Tolerance = tol
+	return m
+}
+
+// DurMetric builds a Metric from a duration, recorded in seconds.
+func DurMetric(name string, d time.Duration, better string) Metric {
+	return Metric{Name: name, Value: d.Seconds(), Unit: "s", Better: better}
+}
+
+// Row is one experiment configuration point (one table row): a name such as
+// "sessions=512" or "mode=pooled" plus its measurements.
+type Row struct {
+	Name    string   `json:"name"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric of the row.
+func (r *Row) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Result is the machine-readable outcome of one experiment run — the unit
+// the BENCH_<exp>.json trajectory is built from. Values are captured from
+// typed sources (metrics.Histogram snapshots, counters, runtime.MemStats),
+// never re-parsed from rendered table strings.
+type Result struct {
+	SchemaVersion int     `json:"schema_version"`
+	Experiment    string  `json:"experiment"`
+	Title         string  `json:"title,omitempty"`
+	Config        string  `json:"config"` // "full" or "smoke"
+	GitSHA        string  `json:"git_sha,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	OS            string  `json:"os"`
+	Arch          string  `json:"arch"`
+	Timestamp     string  `json:"timestamp"` // RFC3339 UTC
+	RSSBytes      float64 `json:"rss_bytes,omitempty"`
+	Rows          []Row   `json:"rows"`
+}
+
+// NewResult returns a Result stamped with the schema version, toolchain, and
+// current time. GitSHA is left empty; cmd/arbd-bench fills it when writing
+// files (library callers, e.g. tests, must stay hermetic).
+func NewResult(experiment, title, config string) *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Experiment:    experiment,
+		Title:         title,
+		Config:        config,
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// AddRow appends a named row.
+func (r *Result) AddRow(name string, ms ...Metric) {
+	r.Rows = append(r.Rows, Row{Name: name, Metrics: ms})
+}
+
+// Row returns the named row.
+func (r *Result) Row(name string) (*Row, bool) {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name {
+			return &r.Rows[i], true
+		}
+	}
+	return nil, false
+}
+
+// CaptureRSS stamps the process's current resident set size (or the Go
+// runtime's OS-reserved bytes where /proc is unavailable), so memory
+// footprint rides the trajectory next to speed.
+func (r *Result) CaptureRSS() { r.RSSBytes = rssBytes() }
+
+// rssBytes reads resident memory from /proc/self/statm, falling back to
+// runtime MemStats.Sys off Linux.
+func rssBytes() float64 {
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return pages * float64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys)
+}
+
+// Encode renders the result as indented JSON with a trailing newline —
+// git-diff-friendly, since these files are committed as baselines.
+func (r *Result) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ErrSchemaVersion reports a BENCH_*.json from an incompatible schema.
+var ErrSchemaVersion = errors.New("bench: unsupported result schema version")
+
+// DecodeResult parses an encoded result and validates its schema version.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: decode result: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrSchemaVersion, r.SchemaVersion, SchemaVersion)
+	}
+	if r.Experiment == "" {
+		return nil, errors.New("bench: result missing experiment ID")
+	}
+	return &r, nil
+}
+
+// WriteFile writes the encoded result to path.
+func (r *Result) WriteFile(path string) error {
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadResultFile reads and decodes a BENCH_*.json file.
+func ReadResultFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// BenchFileName is the conventional on-disk name for an experiment's
+// baseline: BENCH_E15.json for E15.
+func BenchFileName(experimentID string) string {
+	return "BENCH_" + experimentID + ".json"
+}
+
+// Delta classification.
+const (
+	ClassRegression  = "regression"  // directional metric moved the wrong way past the threshold
+	ClassImprovement = "improvement" // directional metric moved the right way past the threshold
+	ClassOK          = "ok"          // directional metric within the threshold
+	ClassInfo        = "info"        // no direction: reported, never gated
+	ClassMissing     = "missing"     // baseline metric absent from the current run
+)
+
+// Delta is the per-metric difference between a baseline and a current run.
+type Delta struct {
+	Row    string
+	Metric string
+	Base   float64
+	Cur    float64
+	Pct    float64 // (cur-base)/base; ±Inf when base == 0 and cur != 0
+	Better string
+	Class  string
+}
+
+// Comparison is the outcome of diffing a current run against a baseline.
+type Comparison struct {
+	Experiment string
+	Threshold  float64
+	BaseSHA    string
+	CurSHA     string
+	Deltas     []Delta
+}
+
+// Compare diffs cur against base: every metric of every baseline row is
+// matched by (row name, metric name) and classified against the threshold
+// (0.10 = a 10% move), widened per metric by the baseline's Tolerance.
+// Direction and tolerance metadata are taken from the baseline, so a current
+// run cannot silently demote a gated metric to informational or loosen its
+// gate. A directional baseline metric missing from the current run classifies
+// as missing and fails the gate.
+func Compare(base, cur *Result, threshold float64) (*Comparison, error) {
+	if base.Experiment != cur.Experiment {
+		return nil, fmt.Errorf("bench: comparing different experiments: baseline %s vs current %s",
+			base.Experiment, cur.Experiment)
+	}
+	if base.Config != cur.Config {
+		return nil, fmt.Errorf("bench: comparing different configs: baseline %q vs current %q",
+			base.Config, cur.Config)
+	}
+	c := &Comparison{
+		Experiment: base.Experiment,
+		Threshold:  threshold,
+		BaseSHA:    base.GitSHA,
+		CurSHA:     cur.GitSHA,
+	}
+	for _, brow := range base.Rows {
+		crow, rowOK := cur.Row(brow.Name)
+		for _, bm := range brow.Metrics {
+			d := Delta{Row: brow.Name, Metric: bm.Name, Base: bm.Value, Better: bm.Better}
+			var cm Metric
+			found := false
+			if rowOK {
+				cm, found = crow.Metric(bm.Name)
+			}
+			if !found {
+				d.Class = ClassInfo
+				if bm.Better != "" {
+					d.Class = ClassMissing
+				}
+				d.Cur = math.NaN()
+				c.Deltas = append(c.Deltas, d)
+				continue
+			}
+			d.Cur = cm.Value
+			d.Pct = pctChange(bm.Value, cm.Value)
+			thr := threshold
+			if bm.Tolerance > thr {
+				thr = bm.Tolerance
+			}
+			d.Class = classify(d.Pct, bm.Better, thr)
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	return c, nil
+}
+
+func pctChange(base, cur float64) float64 {
+	switch {
+	case base == cur:
+		return 0
+	case base == 0 && cur > 0:
+		return math.Inf(1)
+	case base == 0:
+		return math.Inf(-1)
+	default:
+		return (cur - base) / base
+	}
+}
+
+func classify(pct float64, better string, threshold float64) string {
+	if better == "" {
+		return ClassInfo
+	}
+	worse := pct
+	if better == BetterHigher {
+		worse = -pct
+	}
+	switch {
+	case worse > threshold:
+		return ClassRegression
+	case worse < -threshold:
+		return ClassImprovement
+	default:
+		return ClassOK
+	}
+}
+
+// Regressions returns the deltas that fail the gate: regressions plus
+// missing directional metrics.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Class == ClassRegression || d.Class == ClassMissing {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table renders the comparison for humans.
+func (c *Comparison) Table() *metrics.Table {
+	title := fmt.Sprintf("%s vs baseline (threshold ±%.0f%%", c.Experiment, c.Threshold*100)
+	if c.BaseSHA != "" {
+		title += fmt.Sprintf(", baseline @%s", c.BaseSHA)
+	}
+	title += ")"
+	t := metrics.NewTable(title, "row", "metric", "baseline", "current", "delta", "class")
+	for _, d := range c.Deltas {
+		delta := "—"
+		switch {
+		case d.Class == ClassMissing:
+			delta = "missing"
+		case math.IsInf(d.Pct, 0):
+			delta = fmt.Sprintf("%+v", d.Pct)
+		default:
+			delta = fmt.Sprintf("%+.1f%%", d.Pct*100)
+		}
+		t.AddRow(d.Row, d.Metric, trimNum(d.Base), trimNum(d.Cur), delta, d.Class)
+	}
+	return t
+}
+
+func trimNum(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// DeriveResult builds a Result from a table's typed cells — the adapter that
+// gives the legacy E1-E13 experiments a machine-readable record set without
+// rewriting them. The first column names the row; numeric cells (including
+// time.Durations and parsable duration/percentage strings) become metrics
+// named by their column header. Derived metrics carry no direction: the
+// regression gate only runs over experiments emitting native records.
+func DeriveResult(id, config string, t *metrics.Table) *Result {
+	res := NewResult(id, t.Title(), config)
+	headers := t.Headers()
+	for i := 0; i < t.NumRows(); i++ {
+		vals := t.RowValues(i)
+		if len(vals) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("%v", vals[0])
+		if len(headers) > 0 {
+			name = fmt.Sprintf("%s=%v", headers[0], vals[0])
+		}
+		var ms []Metric
+		for j := 1; j < len(vals); j++ {
+			v, unit, ok := numericCell(vals[j])
+			if !ok {
+				continue
+			}
+			mname := fmt.Sprintf("col%d", j)
+			if j < len(headers) {
+				mname = headers[j]
+			}
+			ms = append(ms, Metric{Name: mname, Value: v, Unit: unit})
+		}
+		res.AddRow(name, ms...)
+	}
+	return res
+}
+
+// numericCell extracts a float value (and unit) from a typed table cell.
+func numericCell(v any) (float64, string, bool) {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.Seconds(), "s", true
+	case float64:
+		return x, "", true
+	case float32:
+		return float64(x), "", true
+	case int:
+		return float64(x), "", true
+	case int32:
+		return float64(x), "", true
+	case int64:
+		return float64(x), "", true
+	case uint:
+		return float64(x), "", true
+	case uint32:
+		return float64(x), "", true
+	case uint64:
+		return float64(x), "", true
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" || s == "—" || s == "-" {
+			return 0, "", false
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, "", true
+		}
+		if d, err := time.ParseDuration(s); err == nil {
+			return d.Seconds(), "s", true
+		}
+		if p := strings.TrimSuffix(s, "%"); p != s {
+			if f, err := strconv.ParseFloat(p, 64); err == nil {
+				return f, "%", true
+			}
+		}
+		return 0, "", false
+	default:
+		return 0, "", false
+	}
+}

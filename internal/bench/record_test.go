@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"arbd/internal/metrics"
+)
+
+func sampleResult() *Result {
+	res := NewResult("E15", "sample", "smoke")
+	res.GitSHA = "abc123"
+	res.AddRow("mode=pooled",
+		M("frames_per_sec", 1000, "1/s", BetterHigher).WithTolerance(0.5),
+		M("allocs_per_frame", 2.0, "allocs", BetterLower),
+		DurMetric("frame_p99", 3*time.Millisecond, ""),
+	)
+	res.AddRow("mode=alloc",
+		M("frames_per_sec", 700, "1/s", BetterHigher),
+		M("allocs_per_frame", 27.2, "allocs", BetterLower),
+		DurMetric("frame_p99", 9*time.Millisecond, ""),
+	)
+	res.CaptureRSS()
+	return res
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := sampleResult()
+	data, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatal("encoded result missing trailing newline")
+	}
+	for _, want := range []string{`"schema_version": 1`, `"experiment": "E15"`, `"allocs_per_frame"`, `"frame_p99"`, `"better": "higher"`, `"tolerance": 0.5`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("encoded result missing %q:\n%s", want, data)
+		}
+	}
+	back, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+func TestResultFileRoundTrip(t *testing.T) {
+	res := sampleResult()
+	path := filepath.Join(t.TempDir(), BenchFileName(res.Experiment))
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsWrongSchemaVersion(t *testing.T) {
+	res := sampleResult()
+	res.SchemaVersion = SchemaVersion + 1
+	data, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(data); !errors.Is(err, ErrSchemaVersion) {
+		t.Fatalf("err = %v, want ErrSchemaVersion", err)
+	}
+	if _, err := DecodeResult([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON decoded without error")
+	}
+}
+
+func TestBenchFileName(t *testing.T) {
+	if got := BenchFileName("E15"); got != "BENCH_E15.json" {
+		t.Fatalf("BenchFileName = %q", got)
+	}
+}
+
+// TestCompareDeltaMath pins the classification: a directional metric moving
+// the wrong way past the threshold is a regression, the right way an
+// improvement, inside the threshold ok; undirected metrics are always info.
+func TestCompareDeltaMath(t *testing.T) {
+	base := NewResult("EX", "t", "smoke")
+	base.AddRow("r",
+		M("up_regressed", 100, "", BetterHigher),   // drops 20% → regression
+		M("up_improved", 100, "", BetterHigher),    // gains 20% → improvement
+		M("up_within", 100, "", BetterHigher),      // drops 5%  → ok
+		M("down_regressed", 10, "", BetterLower),   // rises 50% → regression
+		M("down_improved", 10, "", BetterLower),    // drops 50% → improvement
+		M("info_swing", 1, "", ""),                 // triples   → info, never gated
+		M("vanished", 5, "", BetterLower),          // absent    → missing, gated
+		M("vanished_info", 5, "", ""),              // absent    → info
+		M("from_zero", 0, "allocs", BetterLower),   // 0 → 3     → regression
+		M("zero_stable", 0, "allocs", BetterLower), // 0 → 0     → ok
+		// Tolerance widens the gate per metric: -30% is ok under a 50%
+		// tolerance, -60% still regresses.
+		M("tol_within", 100, "", BetterHigher).WithTolerance(0.5),
+		M("tol_regressed", 100, "", BetterHigher).WithTolerance(0.5),
+	)
+	cur := NewResult("EX", "t", "smoke")
+	cur.AddRow("r",
+		M("up_regressed", 80, "", BetterHigher),
+		M("up_improved", 120, "", BetterHigher),
+		M("up_within", 95, "", BetterHigher),
+		M("down_regressed", 15, "", BetterLower),
+		M("down_improved", 5, "", BetterLower),
+		M("info_swing", 3, "", ""),
+		M("from_zero", 3, "allocs", BetterLower),
+		M("zero_stable", 0, "allocs", BetterLower),
+		// A current run stripping the tolerance cannot tighten or loosen the
+		// gate: Compare reads it from the baseline.
+		M("tol_within", 70, "", BetterHigher),
+		M("tol_regressed", 40, "", BetterHigher),
+	)
+	cmp, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]string{}
+	pcts := map[string]float64{}
+	for _, d := range cmp.Deltas {
+		classes[d.Metric] = d.Class
+		pcts[d.Metric] = d.Pct
+	}
+	want := map[string]string{
+		"up_regressed":   ClassRegression,
+		"up_improved":    ClassImprovement,
+		"up_within":      ClassOK,
+		"down_regressed": ClassRegression,
+		"down_improved":  ClassImprovement,
+		"info_swing":     ClassInfo,
+		"vanished":       ClassMissing,
+		"vanished_info":  ClassInfo,
+		"from_zero":      ClassRegression,
+		"zero_stable":    ClassOK,
+		"tol_within":     ClassOK,
+		"tol_regressed":  ClassRegression,
+	}
+	for m, cls := range want {
+		if classes[m] != cls {
+			t.Errorf("%s classified %q, want %q (pct %v)", m, classes[m], cls, pcts[m])
+		}
+	}
+	if got := pcts["up_regressed"]; math.Abs(got-(-0.20)) > 1e-9 {
+		t.Errorf("up_regressed pct = %v, want -0.20", got)
+	}
+	if !math.IsInf(pcts["from_zero"], 1) {
+		t.Errorf("from_zero pct = %v, want +Inf", pcts["from_zero"])
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 5 { // up_regressed, down_regressed, vanished, from_zero, tol_regressed
+		t.Fatalf("Regressions() returned %d deltas: %+v", len(regs), regs)
+	}
+	// The rendered comparison table names every class without panicking.
+	out := cmp.Table().String()
+	for _, wantStr := range []string{ClassRegression, ClassImprovement, ClassOK, ClassInfo, "missing"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("comparison table missing %q:\n%s", wantStr, out)
+		}
+	}
+}
+
+func TestCompareRejectsMismatchedRuns(t *testing.T) {
+	a := NewResult("E14", "t", "smoke")
+	b := NewResult("E15", "t", "smoke")
+	if _, err := Compare(a, b, 0.1); err == nil {
+		t.Fatal("cross-experiment comparison accepted")
+	}
+	c := NewResult("E14", "t", "full")
+	if _, err := Compare(a, c, 0.1); err == nil {
+		t.Fatal("cross-config comparison accepted")
+	}
+}
+
+// TestBaselineGateCatchesInjectedRegression is the acceptance path end to
+// end: run E15 at smoke scale, write its BENCH_E15.json, read it back as the
+// baseline, then compare "second runs" with injected damage — a 12% allocs/
+// frame increase must fail at the default 10% threshold, a frames/s collapse
+// past its declared noise tolerance must fail too, and an 8% wobble must pass.
+func TestBaselineGateCatchesInjectedRegression(t *testing.T) {
+	rep := e15GCPressureSmoke()
+	res := rep.Result
+	for _, want := range []string{"allocs_per_frame", "frames_per_sec", "frame_p99"} {
+		if _, ok := res.Rows[0].Metric(want); !ok {
+			t.Fatalf("E15 record missing %q: %+v", want, res.Rows[0])
+		}
+	}
+	path := filepath.Join(t.TempDir(), BenchFileName("E15"))
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scale := func(metric string, factor float64) *Result {
+		data, _ := base.Encode()
+		cur, _ := DecodeResult(data)
+		for i := range cur.Rows {
+			for j := range cur.Rows[i].Metrics {
+				if cur.Rows[i].Metrics[j].Name == metric {
+					cur.Rows[i].Metrics[j].Value *= factor
+				}
+			}
+		}
+		return cur
+	}
+	assertOnly := func(cmp *Comparison, metric string) {
+		t.Helper()
+		regs := cmp.Regressions()
+		if len(regs) == 0 {
+			t.Fatalf("injected %s regression not caught by the gate", metric)
+		}
+		for _, d := range regs {
+			if d.Metric != metric {
+				t.Fatalf("unexpected regression on %s: %+v", d.Metric, d)
+			}
+		}
+	}
+
+	// A 12% allocs/frame rise breaks the tight 10% gate. The baseline alloc
+	// mode allocates ~28/frame so a multiplicative injection moves it well
+	// clear of integer jitter.
+	cmp, err := Compare(base, scale("allocs_per_frame", 1.12), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOnly(cmp, "allocs_per_frame")
+
+	// frames/s carries a wide host-noise tolerance; a collapse past it (here
+	// -75% vs the 60% tolerance) still fails the gate.
+	tolM, ok := base.Rows[0].Metric("frames_per_sec")
+	if !ok || tolM.Tolerance <= 0.10 {
+		t.Fatalf("E15 frames_per_sec should declare a noise tolerance above the global gate: %+v", tolM)
+	}
+	cmp, err = Compare(base, scale("frames_per_sec", 0.25), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertOnly(cmp, "frames_per_sec")
+
+	cmp, err = Compare(base, scale("frames_per_sec", 0.92), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Fatalf("8%% wobble flagged as regression: %+v", regs)
+	}
+
+	// Identity comparison: a run against itself is always clean.
+	cmp, err = Compare(base, base, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := cmp.Regressions(); len(regs) != 0 {
+		t.Fatalf("self-comparison reported regressions: %+v", regs)
+	}
+}
+
+// TestDeriveResultFromTable covers the legacy adapter: typed cells (ints,
+// floats, durations) and parsable strings become metrics named by their
+// column header; unparsable cells are skipped.
+func TestDeriveResultFromTable(t *testing.T) {
+	tbl := metrics.NewTable("E5: geo index", "index", "n", "p50", "rate", "note")
+	tbl.AddRow("rtree", 1000, 12*time.Microsecond, "340.5", "fast")
+	tbl.AddRow("scan", 1000, "1.4ms", "12", "93%")
+	res := DeriveResult("E5", "full", tbl)
+	if res.Experiment != "E5" || res.Config != "full" || res.SchemaVersion != SchemaVersion {
+		t.Fatalf("header fields wrong: %+v", res)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	r0, _ := res.Row("index=rtree")
+	if r0 == nil {
+		t.Fatalf("row names = %v", res.Rows)
+	}
+	if m, ok := r0.Metric("p50"); !ok || m.Value != 12e-6 || m.Unit != "s" {
+		t.Fatalf("duration cell not captured: %+v", r0)
+	}
+	if m, ok := r0.Metric("rate"); !ok || m.Value != 340.5 {
+		t.Fatalf("string float not parsed: %+v", r0)
+	}
+	if _, ok := r0.Metric("note"); ok {
+		t.Fatal("unparsable string became a metric")
+	}
+	r1, _ := res.Row("index=scan")
+	if m, ok := r1.Metric("p50"); !ok || math.Abs(m.Value-0.0014) > 1e-12 {
+		t.Fatalf("duration string not parsed: %+v", r1)
+	}
+	if m, ok := r1.Metric("note"); !ok || m.Value != 93 || m.Unit != "%" {
+		t.Fatalf("percentage string not parsed: %+v", r1)
+	}
+	// Derived metrics never carry a direction: the gate only trusts native
+	// records.
+	for _, row := range res.Rows {
+		for _, m := range row.Metrics {
+			if m.Better != "" {
+				t.Fatalf("derived metric %s carries direction %q", m.Name, m.Better)
+			}
+		}
+	}
+}
+
+func TestRowAndMetricLookup(t *testing.T) {
+	res := sampleResult()
+	if _, ok := res.Row("mode=missing"); ok {
+		t.Fatal("phantom row found")
+	}
+	row, ok := res.Row("mode=pooled")
+	if !ok {
+		t.Fatal("row lookup failed")
+	}
+	if _, ok := row.Metric("nope"); ok {
+		t.Fatal("phantom metric found")
+	}
+	if res.RSSBytes <= 0 {
+		t.Fatalf("CaptureRSS recorded %v", res.RSSBytes)
+	}
+}

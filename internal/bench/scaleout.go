@@ -24,27 +24,36 @@ import (
 // parallelism — the paper's horizontal-scale assumption (CloudRiDAR-style
 // offload across nodes, §4.1) made measurable. Compare against E14 for the
 // single-process ceiling.
-func E16ScaleOut() *metrics.Table {
-	return e16ScaleOut([]int{1, 2, 4}, 512, 2000, 3*time.Second)
+func E16ScaleOut() *Report {
+	return e16ScaleOut([]int{1, 2, 4}, 512, 2000, 3*time.Second, "full")
 }
 
 // e16ScaleOutSmoke is the tiny-parameter variant for plain `go test` and
 // arbd-bench -smoke.
-func e16ScaleOutSmoke() *metrics.Table {
-	return e16ScaleOut([]int{1, 2}, 8, 300, 250*time.Millisecond)
+func e16ScaleOutSmoke() *Report {
+	return e16ScaleOut([]int{1, 2}, 8, 300, 250*time.Millisecond, "smoke")
 }
 
-func e16ScaleOut(shardCounts []int, sessions, numPOIs int, duration time.Duration) *metrics.Table {
-	t := metrics.NewTable(
-		fmt.Sprintf("E16: multi-node scale-out (router × N shards, %d sessions, %d POIs, 1 worker/shard, %v/point)",
-			sessions, numPOIs, duration),
-		"shards", "frames", "frames/s", "p50", "p99", "shed", "errors")
+func e16ScaleOut(shardCounts []int, sessions, numPOIs int, duration time.Duration, config string) *Report {
+	title := fmt.Sprintf("E16: multi-node scale-out (router × N shards, %d sessions, %d POIs, 1 worker/shard, %v/point)",
+		sessions, numPOIs, duration)
+	t := metrics.NewTable(title, "shards", "frames", "frames/s", "p50", "p99", "shed", "errors")
+	res := NewResult("E16", title, config)
 	for _, n := range shardCounts {
 		row := runScaleOut(n, sessions, numPOIs, duration)
 		t.AddRow(n, row.frames, fmt.Sprintf("%.0f", row.rate),
 			ms(row.p50), ms(row.p99), row.shed, row.errors)
+		res.AddRow(fmt.Sprintf("shards=%d", n),
+			M("frames", float64(row.frames), "count", ""),
+			M("frames_per_sec", row.rate, "1/s", BetterHigher),
+			DurMetric("rtt_p50", row.p50, ""),
+			DurMetric("rtt_p99", row.p99, ""),
+			M("shed", float64(row.shed), "count", ""),
+			M("errors", float64(row.errors), "count", ""),
+		)
 	}
-	return t
+	res.CaptureRSS()
+	return &Report{Table: t, Result: res}
 }
 
 type scaleOutResult struct {

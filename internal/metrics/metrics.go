@@ -138,6 +138,11 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked computes the q-th quantile. h.mu must be held.
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
@@ -172,16 +177,25 @@ type Snapshot struct {
 	P50, P95, P99  time.Duration
 }
 
-// Snapshot returns the current summary.
+// Snapshot returns the current summary. All fields are computed from one
+// consistent state under a single lock acquisition: a snapshot taken while
+// another goroutine is observing can never mix counts from one state with
+// percentiles from another (e.g. report P99 > Max).
 func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var mean time.Duration
+	if h.count > 0 {
+		mean = h.sum / time.Duration(h.count)
+	}
 	return Snapshot{
-		Count: h.Count(),
-		Min:   h.Min(),
-		Mean:  h.Mean(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		Count: h.count,
+		Min:   h.min,
+		Mean:  mean,
+		Max:   h.max,
+		P50:   h.quantileLocked(0.50),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
 	}
 }
 

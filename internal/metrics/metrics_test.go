@@ -146,6 +146,54 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestHistogramSnapshotConsistent pins the atomicity of Snapshot: all seven
+// fields must come from one locked state. The pre-fix implementation took
+// the mutex once per field, so a snapshot racing a large observation could
+// report P99 above its own Max (the quantile clamp used the new max while
+// the Max field held the old one). With concurrent writers pushing the
+// distribution upward, any torn snapshot violates the invariants below.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d := time.Microsecond
+		for i := 0; i < 20000; i++ {
+			h.Observe(d)
+			// Exponential growth with wraparound keeps max jumping by large
+			// steps, maximizing the window a torn snapshot would expose.
+			d *= 2
+			if d > 10*time.Minute {
+				d = time.Microsecond
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			t.Fatal("snapshot lost the pre-existing observation")
+		}
+		if s.Min > s.P50 || s.P50 > s.P95 || s.P95 > s.P99 {
+			t.Fatalf("non-monotone percentiles: %+v", s)
+		}
+		if s.P99 > s.Max {
+			t.Fatalf("torn snapshot: P99 %v > Max %v (%+v)", s.P99, s.Max, s)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean outside [min,max]: %+v", s)
+		}
+	}
+	<-done
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
 func TestRegistryReturnsSameInstance(t *testing.T) {
 	r := NewRegistry()
 	c1 := r.Counter("reqs")
@@ -203,6 +251,51 @@ func TestTableRendering(t *testing.T) {
 	}
 	if tb.NumRows() != 2 {
 		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+// TestTableWideRowNoPanic pins the widths fix: a row with more cells than
+// headers used to panic String() with index-out-of-range (widths were sized
+// to the header count but indexed for every non-final cell).
+func TestTableWideRowNoPanic(t *testing.T) {
+	tb := NewTable("wide", "a", "b")
+	tb.AddRow(1, 2, 3, 4, 5)
+	tb.AddRow("x")
+	out := tb.String()
+	for _, want := range []string{"wide", "a", "b", "3", "5", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableTypedCells(t *testing.T) {
+	tb := NewTable("t", "name", "dur", "rate")
+	tb.AddRow("row0", 5*time.Millisecond, 12.5)
+	if got := tb.Headers(); len(got) != 3 || got[1] != "dur" {
+		t.Fatalf("Headers = %v", got)
+	}
+	if tb.Title() != "t" {
+		t.Fatalf("Title = %q", tb.Title())
+	}
+	v, ok := tb.Value(0, 1)
+	if !ok || v != 5*time.Millisecond {
+		t.Fatalf("Value(0,1) = %v, %v", v, ok)
+	}
+	if _, ok := tb.Value(0, 3); ok {
+		t.Fatal("out-of-range column reported ok")
+	}
+	if _, ok := tb.Value(1, 0); ok {
+		t.Fatal("out-of-range row reported ok")
+	}
+	row := tb.RowValues(0)
+	if len(row) != 3 || row[2] != 12.5 {
+		t.Fatalf("RowValues = %v", row)
+	}
+	// Mutating the returned copies must not affect the table.
+	row[0] = "mutated"
+	if v, _ := tb.Value(0, 0); v != "row0" {
+		t.Fatalf("RowValues aliases table storage: %v", v)
 	}
 }
 

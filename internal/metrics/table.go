@@ -7,11 +7,14 @@ import (
 
 // Table accumulates rows and renders an aligned plain-text table. The
 // benchmark harness uses it to print the per-experiment result tables
-// recorded in EXPERIMENTS.md.
+// recorded in EXPERIMENTS.md. Alongside the formatted strings it keeps the
+// raw values passed to AddRow, so machine consumers (the BENCH_*.json record
+// layer) can read typed cells instead of re-parsing rendered text.
 type Table struct {
 	title   string
 	headers []string
 	rows    [][]string
+	values  [][]any
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -19,7 +22,8 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row; cells are formatted with %v.
+// AddRow appends a row; cells are formatted with %v and the raw values are
+// retained for typed access via Value/RowValues.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -33,6 +37,7 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.values = append(t.values, append([]any(nil), cells...))
 }
 
 // trimFloat renders a float compactly: integers without decimals, otherwise
@@ -49,16 +54,50 @@ func trimFloat(v float64) string {
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string { return append([]string(nil), t.headers...) }
+
+// Value returns the raw value passed to AddRow for the given row and column,
+// or (nil, false) when either index is out of range.
+func (t *Table) Value(row, col int) (any, bool) {
+	if row < 0 || row >= len(t.values) || col < 0 || col >= len(t.values[row]) {
+		return nil, false
+	}
+	return t.values[row][col], true
+}
+
+// RowValues returns a copy of the raw values of one row, or nil when the
+// index is out of range.
+func (t *Table) RowValues(row int) []any {
+	if row < 0 || row >= len(t.values) {
+		return nil
+	}
+	return append([]any(nil), t.values[row]...)
+}
+
 // String renders the table with a title line, a header row, a separator, and
-// aligned columns.
+// aligned columns. Rows wider than the header row render their extra cells
+// unpadded rather than panicking.
 func (t *Table) String() string {
-	widths := make([]int, len(t.headers))
+	// Widths cover the widest row, not just the headers: AddRow accepts more
+	// cells than there are headers, and writeRow indexes widths for every
+	// non-final cell.
+	n := len(t.headers)
+	for _, row := range t.rows {
+		if len(row) > n {
+			n = len(row)
+		}
+	}
+	widths := make([]int, n)
 	for i, h := range t.headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -413,3 +413,78 @@ func TestRecordsAreCopies(t *testing.T) {
 		t.Fatalf("broker aliased caller's buffer: %q", recs[0].Value)
 	}
 }
+
+// keyForPartition finds a produce key that routes to the wanted partition.
+func keyForPartition(t *testing.T, want, partitions int) []byte {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if PartitionFor(k, partitions) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key found for partition %d/%d", want, partitions)
+	return nil
+}
+
+// TestPollRotatesStartPartition pins the round-robin cursor: before the fix
+// Poll always scanned from partition 0 and stopped at max records, so a hot
+// partition 0 under sustained production starved partitions 1..N-1
+// indefinitely — their records were never delivered and their lag never
+// drained. With the rotating start, a capacity-limited consumer keeping pace
+// with a hot partition still drains the quiet ones.
+func TestPollRotatesStartPartition(t *testing.T) {
+	b := newTestBroker(t, 2)
+	hot := keyForPartition(t, 0, 2)
+	quiet := keyForPartition(t, 1, 2)
+
+	// Backlog: a deep hot partition plus a few quiet records behind it.
+	for i := 0; i < 50; i++ {
+		if _, _, err := b.Produce("events", hot, []byte("h")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const quietRecords = 3
+	for i := 0; i < quietRecords; i++ {
+		if _, _, err := b.Produce("events", quiet, []byte("q")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g, err := b.NewGroup("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sustained load: every consumed record is replaced by a new hot one, so
+	// partition 0 always has a fresh uncommitted record. A fixed scan start
+	// would return hot records forever.
+	seenQuiet := 0
+	for i := 0; i < 40 && seenQuiet < quietRecords; i++ {
+		recs, err := g.Poll(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("poll %d returned %d records, want 1", i, len(recs))
+		}
+		r := recs[0]
+		if r.Partition == 1 {
+			seenQuiet++
+		}
+		g.Commit(r.Partition, r.Offset+1)
+		if _, _, err := b.Produce("events", hot, []byte("h")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seenQuiet != quietRecords {
+		t.Fatalf("quiet partition starved: delivered %d of %d records", seenQuiet, quietRecords)
+	}
+	// The quiet partition's lag is fully drained.
+	oldest, newest, err := b.Offsets("events", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Committed(1); got != newest || oldest > got {
+		t.Fatalf("quiet partition lag not drained: committed %d, head %d", got, newest)
+	}
+}

@@ -14,6 +14,7 @@ type Group struct {
 
 	mu        sync.Mutex
 	committed map[int]int64
+	next      int // Poll's round-robin starting partition
 }
 
 // NewGroup returns a consumer group positioned at the oldest retained offset
@@ -57,13 +58,23 @@ func (g *Group) Lag() (int64, error) {
 
 // Poll fetches up to max uncommitted records across all partitions, without
 // committing them. It returns nil when fully caught up.
+//
+// The scan's starting partition rotates across calls: a fixed start at
+// partition 0 would let a hot partition fill every batch and starve
+// partitions 1..N-1 indefinitely under sustained load, so their lag never
+// drains and the Lag()-driven admission signal is skewed.
 func (g *Group) Poll(max int) ([]Record, error) {
 	n, err := g.broker.Partitions(g.topic)
 	if err != nil {
 		return nil, err
 	}
+	g.mu.Lock()
+	start := g.next % n
+	g.next = (start + 1) % n
+	g.mu.Unlock()
 	var out []Record
-	for pi := 0; pi < n && len(out) < max; pi++ {
+	for k := 0; k < n && len(out) < max; k++ {
+		pi := (start + k) % n
 		from := g.Committed(pi)
 		// Skip forward if retention truncated below our committed position.
 		oldest, _, err := g.broker.Offsets(g.topic, pi)
