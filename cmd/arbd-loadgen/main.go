@@ -19,7 +19,9 @@
 // each listed client count runs for -duration and the end-to-end frame
 // throughput and latency percentiles are reported per count. In -stream
 // mode the latency columns report inter-frame gaps (the cadence the
-// device actually experienced) instead of request round-trips.
+// device actually experienced) instead of request round-trips, plus the
+// received wire bytes per pushed frame — the number protocol v4's delta
+// encoding shrinks (compare against a -max-proto 3 run).
 //
 // With -churn (router targets only), the load generator also exercises
 // dynamic membership while it drives traffic: every -churn interval it
@@ -33,10 +35,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arbd/internal/geo"
@@ -65,6 +69,7 @@ func run() error {
 		churn      = flag.Duration("churn", 0, "drain/rejoin the -churn-shard on this interval while driving load (needs -admin)")
 		adminAddr  = flag.String("admin", "", "router admin endpoint for -churn")
 		churnShard = flag.String("churn-shard", "", "shard to cycle during -churn, as id=host:port")
+		maxProto   = flag.Uint("max-proto", 0, "cap the negotiated protocol version in -stream mode (0 = newest; 3 disables delta pushes)")
 	)
 	flag.Parse()
 
@@ -81,10 +86,13 @@ func run() error {
 		metric = "frame gap"
 	}
 	if *sweep == "" {
-		res := runLoad(*addr, *clients, *duration, *fps, center, *stream)
+		res := runLoad(*addr, *clients, *duration, *fps, center, *stream, uint32(*maxProto))
 		s := res.hist.Snapshot()
 		fmt.Printf("clients=%d duration=%v fps=%d stream=%v\n", *clients, *duration, *fps, *stream)
 		fmt.Printf("frames=%d shed=%d errors=%d\n", res.frames, res.shed, res.errors)
+		if *stream && res.frames > 0 {
+			fmt.Printf("rx bytes/frame=%.0f\n", float64(res.rxBytes)/float64(res.frames))
+		}
 		fmt.Printf("%s: p50=%v p95=%v p99=%v max=%v\n", metric, s.P50, s.P95, s.P99, s.Max)
 		if res.errors > 0 {
 			return fmt.Errorf("%d client errors", res.errors)
@@ -98,15 +106,19 @@ func run() error {
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("multi-session sweep against %s (%v per point, %d fps/client, %s)", *addr, *duration, *fps, metric),
-		"clients", "frames", "frames/s", "p50", "p95", "p99", "shed", "errors")
+		"clients", "frames", "frames/s", "p50", "p95", "p99", "B/frame", "shed", "errors")
 	var totalErrs int64
 	for _, n := range counts {
-		res := runLoad(*addr, n, *duration, *fps, center, *stream)
+		res := runLoad(*addr, n, *duration, *fps, center, *stream, uint32(*maxProto))
 		s := res.hist.Snapshot()
+		bpf := "—" // polling replies aren't counted; only -stream wraps the conn
+		if *stream && res.frames > 0 {
+			bpf = fmt.Sprintf("%.0f", float64(res.rxBytes)/float64(res.frames))
+		}
 		// Divide by measured wall time, not the nominal -duration: at high
 		// client counts connection setup eats into the window.
 		t.AddRow(n, res.frames, fmt.Sprintf("%.0f", float64(res.frames)/res.elapsed.Seconds()),
-			s.P50, s.P95, s.P99, res.shed, res.errors)
+			s.P50, s.P95, s.P99, bpf, res.shed, res.errors)
 		totalErrs += res.errors
 	}
 	fmt.Println(t.String())
@@ -196,6 +208,7 @@ type loadResult struct {
 	frames  int64
 	shed    int64
 	errors  int64
+	rxBytes int64         // wire bytes received across all streaming clients
 	elapsed time.Duration // measured wall time, including connection setup
 	hist    *metrics.Histogram
 }
@@ -204,13 +217,16 @@ type loadResult struct {
 // given duration and aggregates end-to-end frame stats. In streaming mode
 // each client subscribes once at the target FPS and consumes pushed
 // frames while its sensor loop keeps feeding the walk; the histogram then
-// holds inter-frame gaps rather than request round-trips.
-func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Point, streaming bool) loadResult {
+// holds inter-frame gaps rather than request round-trips, and every
+// connection is wrapped in a byte counter so the run reports received
+// wire bytes per pushed frame.
+func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Point, streaming bool, maxProto uint32) loadResult {
 	var (
 		hist    metrics.Histogram
 		frames  metrics.Counter
 		shedCtr metrics.Counter
 		errsCtr metrics.Counter
+		rxBytes atomic.Int64
 		wg      sync.WaitGroup
 	)
 	start := time.Now()
@@ -219,7 +235,13 @@ func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Poi
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := server.Dial(addr)
+			var cl *server.Client
+			var err error
+			if streaming {
+				cl, err = dialCounted(addr, maxProto, &rxBytes)
+			} else {
+				cl, err = server.Dial(addr)
+			}
 			if err != nil {
 				errsCtr.Inc()
 				return
@@ -276,9 +298,35 @@ func runLoad(addr string, n int, duration time.Duration, fps int, center geo.Poi
 		frames:  frames.Value(),
 		shed:    shedCtr.Value(),
 		errors:  errsCtr.Value(),
+		rxBytes: rxBytes.Load(),
 		elapsed: time.Since(start),
 		hist:    &hist,
 	}
+}
+
+// dialCounted dials like server.Dial but wraps the connection in a byte
+// counter (and optionally caps the announced protocol version) so -stream
+// runs can report received wire bytes per pushed frame — full pushes when
+// capped at v3, delta pushes when v4 negotiates.
+func dialCounted(addr string, maxProto uint32, rx *atomic.Int64) (*server.Client, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return server.NewClient(context.Background(), &countingConn{Conn: raw, rx: rx},
+		server.DialOptions{MaxProto: maxProto})
+}
+
+// countingConn counts bytes read off the wire.
+type countingConn struct {
+	net.Conn
+	rx *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rx.Add(int64(n))
+	return n, err
 }
 
 // streamClient is one device in -stream mode: subscribe once, then consume

@@ -35,6 +35,9 @@
 //	# inspect the membership epoch
 //	arbd-server -role admin -admin 127.0.0.1:7650
 //
+//	# any role: expose net/http/pprof for live profiling
+//	arbd-server -addr :7600 -pprof 127.0.0.1:6060
+//
 // A router process hosts no platform: world flags (-pois, -seed, ...) apply
 // to standalone and shard roles. Point arbd-loadgen at a router exactly as
 // at a standalone server — the client protocol is identical.
@@ -44,6 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -79,8 +85,26 @@ func run() error {
 		lat       = flag.Float64("lat", 22.3364, "city center latitude")
 		lon       = flag.Float64("lon", 114.2655, "city center longitude")
 		epsilon   = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
+
+	// Profiling applies to every role — bring it up before the role switch
+	// so routers and the one-shot admin client get it too. The listener is
+	// bound synchronously (a bad address fails startup loudly); the serve
+	// loop runs for the life of the process.
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		log.Printf("arbd-server pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	switch *role {
 	case "router":

@@ -234,7 +234,11 @@ func e18ShardChurn(shards, sessions, numPOIs int, interval, phaseLen time.Durati
 			DurMetric("gap_p99", snap.P99, ""),
 			M("migrated", float64(rows[p].migrated), "count", ""),
 			M("remap_fraction", remapFrac, "", ""),
-			DurMetric("pause_p99_cum", rows[p].pauseP99, ""),
+			// Directed: the churn pause is the client-visible cost the
+			// control plane exists to bound, so a regression fails the CI
+			// gate. Generous tolerance — p99 over a handful of migration
+			// pauses is noisy on shared CI boxes.
+			DurMetric("pause_p99_cum", rows[p].pauseP99, BetterLower).WithTolerance(1.0),
 			M("obituaries", float64(obituaries.Load()), "count", ""),
 			M("failed_migrations", float64(failedCtr.Value()), "count", ""),
 		)

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/geo"
+	"arbd/internal/metrics"
+	"arbd/internal/sensor"
+	"arbd/internal/server"
+	"arbd/internal/sim"
+	"arbd/internal/wire"
+)
+
+// E19DeltaStream measures what protocol v4 buys the streaming fan-out: the
+// same standalone server drives two client cohorts at the same cadence,
+// one pinned to protocol v3 (every push is a full MsgFramePush) and one
+// negotiating v4 (MsgFrameDelta diffs against the previous push, with a
+// keyframe every 64 pushes and on every loss resync). Clients walk, so
+// annotations move every frame — deltas carry real masked-field updates,
+// not empty diffs. The table reports wire bytes per frame for each mode,
+// the headline reduction fraction, the inter-frame gap/jitter (delta
+// decode must not cost cadence), and the engine's pacer goroutine count —
+// the shared timing wheel keeps it at 1 no matter how many streams run.
+func E19DeltaStream() *Report {
+	return e19DeltaStream([]int{64, 512}, 2000, 2*time.Second, 15*time.Millisecond, "full")
+}
+
+// e19DeltaStreamSmoke is the tiny variant for `go test`, arbd-bench -smoke,
+// and the CI perf gate.
+func e19DeltaStreamSmoke() *Report {
+	return e19DeltaStream([]int{8}, 300, 600*time.Millisecond, 5*time.Millisecond, "smoke")
+}
+
+func e19DeltaStream(sessionCounts []int, numPOIs int, duration, interval time.Duration, config string) *Report {
+	title := fmt.Sprintf("E19: delta vs full streaming (standalone over loopback, %d POIs, %v base cadence, %v/point)",
+		numPOIs, interval, duration)
+	t := metrics.NewTable(title,
+		"sessions", "mode", "frames", "frames/s", "p50 gap", "p99 jitter", "B/frame", "pacers", "errors")
+	res := NewResult("E19", title, config)
+	for _, n := range sessionCounts {
+		iv := pointInterval(n, interval)
+		var bpf [2]float64
+		for i, mode := range []string{"full", "delta"} {
+			maxProto := uint32(wire.ProtoV3)
+			if mode == "delta" {
+				maxProto = wire.ProtoV4
+			}
+			row := runDeltaStream(n, numPOIs, duration, iv, maxProto)
+			bpf[i] = row.bytesPerFrame
+			t.AddRow(n, mode, row.frames, fmt.Sprintf("%.0f", row.rate),
+				ms(row.p50Gap), ms(row.p99Jitter),
+				fmt.Sprintf("%.0f", row.bytesPerFrame),
+				fmt.Sprintf("%.0f", row.pacers), row.errors)
+			res.AddRow(fmt.Sprintf("sessions=%d/mode=%s", n, mode),
+				M("frames", float64(row.frames), "count", ""),
+				M("frames_per_sec", row.rate, "1/s", BetterHigher).WithTolerance(0.3),
+				DurMetric("gap_p50", row.p50Gap, ""),
+				DurMetric("jitter_p99", row.p99Jitter, ""),
+				M("bytes_per_frame", row.bytesPerFrame, "B", BetterLower),
+				M("pacer_goroutines", row.pacers, "count", BetterLower),
+				M("errors", float64(row.errors), "count", ""),
+			)
+		}
+		// The headline: fraction of streaming wire bytes the delta encoding
+		// removes at this scale. Directed — a codec or keyframe-cadence
+		// regression that claws bytes back fails the perf gate.
+		if bpf[0] > 0 {
+			reduction := 1 - bpf[1]/bpf[0]
+			res.AddRow(fmt.Sprintf("sessions=%d/summary", n),
+				M("delta_reduction", reduction, "frac", BetterHigher).WithTolerance(0.2))
+		}
+	}
+	res.CaptureRSS()
+	return &Report{Table: t, Result: res}
+}
+
+type deltaStreamResult struct {
+	frames        int64
+	rate          float64
+	p50Gap        time.Duration
+	p99Jitter     time.Duration
+	bytesPerFrame float64
+	pacers        float64
+	errors        int64
+}
+
+func runDeltaStream(sessions, numPOIs int, duration, interval time.Duration, maxProto uint32) deltaStreamResult {
+	discard := log.New(io.Discard, "", 0)
+	p, err := core.NewPlatform(core.Config{
+		Seed: 19,
+		City: geo.CityConfig{Center: benchCenter, RadiusM: 2000, NumPOIs: numPOIs, TallRatio: 0.2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := server.NewWithOptions(p, discard,
+		server.Options{Scheduler: server.SchedulerConfig{Deadline: 2 * time.Second}})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = srv.Close() }()
+	pacerGauge := p.Metrics().Gauge("server.stream.pacers")
+
+	var (
+		frames  metrics.Counter
+		errsCtr metrics.Counter
+		bytes   atomic.Int64
+		reads   atomic.Int64
+		gapMu   sync.Mutex
+		gaps    []time.Duration
+		wg      sync.WaitGroup
+	)
+	rng := sim.NewRand(19)
+	positions := make([]geo.Point, sessions)
+	headings := make([]float64, sessions)
+	for i := range positions {
+		positions[i] = geo.Destination(benchCenter, rng.Uniform(0, 360), rng.Float64()*1500)
+		headings[i] = rng.Uniform(0, 360)
+	}
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			cl, err := server.NewClient(context.Background(),
+				&countingConn{Conn: raw, bytes: &bytes, reads: &reads},
+				server.DialOptions{MaxProto: maxProto})
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			defer cl.Close()
+			pos := positions[c]
+			if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 5}); err != nil {
+				errsCtr.Inc()
+				return
+			}
+			ch, err := cl.Subscribe(context.Background(),
+				server.SubscribeOptions{Interval: interval, Budget: 16})
+			if err != nil {
+				errsCtr.Inc()
+				return
+			}
+			stop := time.NewTimer(time.Until(deadline))
+			defer stop.Stop()
+			// A pedestrian stroll (~1 m/s, fix every 500ms) keeps the scene
+			// honest: frames that straddle a step carry real masked-field
+			// updates and occasional annotation churn, frames between steps
+			// diff to near-empty — the mix an AR browser actually produces.
+			walk := time.NewTicker(500 * time.Millisecond)
+			defer walk.Stop()
+			var local []time.Duration
+			defer func() {
+				gapMu.Lock()
+				gaps = append(gaps, local...)
+				gapMu.Unlock()
+			}()
+			last := time.Time{}
+			for {
+				select {
+				case _, ok := <-ch:
+					if !ok {
+						errsCtr.Inc()
+						return
+					}
+					now := time.Now()
+					if !last.IsZero() {
+						local = append(local, now.Sub(last))
+					}
+					last = now
+					frames.Inc()
+				case <-walk.C:
+					pos = geo.Destination(pos, headings[c], 0.5)
+					if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: pos, AccuracyM: 5}); err != nil {
+						errsCtr.Inc()
+						return
+					}
+				case <-stop.C:
+					_ = cl.Unsubscribe()
+					return
+				}
+			}
+		}(c)
+	}
+	// Sample the pacer gauge mid-run, while every stream is live: the whole
+	// point is that it reads 1 — one shared wheel goroutine — not one per
+	// subscription.
+	var pacers float64
+	halfway := time.NewTimer(duration / 2)
+	defer halfway.Stop()
+	<-halfway.C
+	pacers = pacerGauge.Value()
+	wg.Wait()
+	wall := time.Since(start)
+
+	p50, p99j := gapStats(gaps)
+	res := deltaStreamResult{
+		frames:    frames.Value(),
+		rate:      float64(frames.Value()) / wall.Seconds(),
+		p50Gap:    p50,
+		p99Jitter: p99j,
+		pacers:    pacers,
+		errors:    errsCtr.Value(),
+	}
+	if n := frames.Value(); n > 0 {
+		res.bytesPerFrame = float64(bytes.Load()) / float64(n)
+	}
+	return res
+}

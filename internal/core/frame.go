@@ -68,6 +68,239 @@ func EncodeFrameInto(buf *wire.Buffer, f *Frame) {
 	buf.Uvarint(uint64(f.Elapsed.Nanoseconds()))
 }
 
+// frameDeltaKey is the flag bit (leading payload byte) marking a
+// MsgFrameDelta payload as a keyframe: a full EncodeFrameInto body follows
+// instead of a diff.
+const frameDeltaKey = 1 << 0
+
+// Per-annotation field mask bits of the delta encoding, in encode order. A
+// set bit means the field's new value follows; a clear bit means the value
+// carries over from the base frame's annotation with the same ID.
+const (
+	deltaX = 1 << iota
+	deltaY
+	deltaW
+	deltaH
+	deltaLat
+	deltaLon
+	deltaXRay
+	deltaLabel
+	deltaAll = deltaX | deltaY | deltaW | deltaH | deltaLat | deltaLon | deltaXRay | deltaLabel
+)
+
+// ErrDeltaBase reports a delta payload that cannot be applied because the
+// caller holds no base frame (or the wrong one). Clients recover by
+// requesting a keyframe (wire.FrameAck.WantKeyframe).
+var ErrDeltaBase = fmt.Errorf("core: frame delta without a matching base frame")
+
+// FrameDeltaIsKeyframe reports whether a MsgFrameDelta payload is a
+// keyframe — applicable with no base — rather than a diff.
+func FrameDeltaIsKeyframe(p []byte) bool {
+	return len(p) > 0 && p[0]&frameDeltaKey != 0
+}
+
+// EncodeFrameDeltaInto appends the frame's delta wire encoding (protocol
+// v4, MsgFrameDelta payload) to buf. With keyframe set — or when the frame
+// carries no usable base — the payload is a flagged full frame. Otherwise
+// it diffs f.Annotations against f.PrevAnnotations, the session's previous
+// layout still resident in the frame-scratch double-buffer: per annotation
+// a field mask selects only the values that moved, and annotations absent
+// from the new frame are dropped implicitly by the walk. Applying the delta
+// to the base reproduces the full encoding byte for byte (the walk
+// preserves annotation order), which is what keeps keyframes and deltas
+// interchangeable downstream.
+//
+// The caller decides keyframe cadence; the encoder only forces one when
+// f.PrevAnnotations is nil — a session's first frame, or scratch disabled.
+func EncodeFrameDeltaInto(buf *wire.Buffer, f *Frame, keyframe bool) {
+	if keyframe || f.PrevAnnotations == nil {
+		buf.Byte(frameDeltaKey)
+		EncodeFrameInto(buf, f)
+		return
+	}
+	buf.Byte(0)
+	buf.Uvarint(uint64(len(f.Annotations)))
+	cursor := 0
+	for i := range f.Annotations {
+		a := &f.Annotations[i]
+		buf.Uvarint(a.ID)
+		var mask byte
+		p, ok := findAnn(f.PrevAnnotations, &cursor, a.ID)
+		if !ok {
+			mask = deltaAll
+		} else {
+			if a.X != p.X {
+				mask |= deltaX
+			}
+			if a.Y != p.Y {
+				mask |= deltaY
+			}
+			if a.W != p.W {
+				mask |= deltaW
+			}
+			if a.H != p.H {
+				mask |= deltaH
+			}
+			if a.Anchor.Lat != p.Anchor.Lat {
+				mask |= deltaLat
+			}
+			if a.Anchor.Lon != p.Anchor.Lon {
+				mask |= deltaLon
+			}
+			if a.XRay != p.XRay {
+				mask |= deltaXRay
+			}
+			if a.Label != p.Label {
+				mask |= deltaLabel
+			}
+		}
+		buf.Byte(mask)
+		if mask&deltaX != 0 {
+			buf.Float64(a.X)
+		}
+		if mask&deltaY != 0 {
+			buf.Float64(a.Y)
+		}
+		if mask&deltaW != 0 {
+			buf.Float64(a.W)
+		}
+		if mask&deltaH != 0 {
+			buf.Float64(a.H)
+		}
+		if mask&deltaLat != 0 {
+			buf.Float64(a.Anchor.Lat)
+		}
+		if mask&deltaLon != 0 {
+			buf.Float64(a.Anchor.Lon)
+		}
+		if mask&deltaXRay != 0 {
+			buf.Bool(a.XRay)
+		}
+		if mask&deltaLabel != 0 {
+			buf.String(a.Label)
+		}
+	}
+	buf.Uvarint(uint64(f.Level))
+	buf.Uvarint(uint64(f.Elapsed.Nanoseconds()))
+}
+
+// findAnn locates the annotation with the given ID in prev, scanning from a
+// rolling cursor: consecutive frames keep annotations in nearly the same
+// order, so the match is usually the very next element and the scan stays
+// O(1) amortised without an ID map.
+func findAnn(prev []render.Annotation, cursor *int, id uint64) (*render.Annotation, bool) {
+	n := len(prev)
+	for k := 0; k < n; k++ {
+		i := *cursor + k
+		if i >= n {
+			i -= n
+		}
+		if prev[i].ID == id {
+			*cursor = i + 1
+			return &prev[i], true
+		}
+	}
+	return nil, false
+}
+
+// ApplyFrameDelta decodes a MsgFrameDelta payload against the previously
+// applied frame. Keyframe payloads decode standalone (prev may be nil);
+// diff payloads start each annotation from prev's annotation with the same
+// ID and overwrite only the masked fields. The caller is responsible for
+// seq continuity — applying a diff across a push gap silently resurrects
+// stale values, which is why clients must request a keyframe on any gap.
+func ApplyFrameDelta(prev *DecodedFrame, p []byte) (*DecodedFrame, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("core: empty frame delta payload")
+	}
+	if p[0]&frameDeltaKey != 0 {
+		return DecodeFrame(p[1:])
+	}
+	if prev == nil {
+		return nil, ErrDeltaBase
+	}
+	r := wire.NewReader(p[1:])
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, r.Err(err, "delta count")
+	}
+	if n > 10000 {
+		return nil, fmt.Errorf("core: implausible annotation count %d", n)
+	}
+	out := &DecodedFrame{Annotations: make([]render.Annotation, 0, n)}
+	cursor := 0
+	for i := uint64(0); i < n; i++ {
+		id, err := r.Uvarint()
+		if err != nil {
+			return nil, r.Err(err, "delta id")
+		}
+		mask, err := r.Byte()
+		if err != nil {
+			return nil, r.Err(err, "delta mask")
+		}
+		var a render.Annotation
+		if base, ok := findAnn(prev.Annotations, &cursor, id); ok {
+			a = *base
+		} else if mask != deltaAll {
+			// A partial mask against a base we don't hold would fill the
+			// unmasked fields with zeroes — a corrupt overlay. Fail typed.
+			return nil, ErrDeltaBase
+		}
+		a.ID = id
+		if mask&deltaX != 0 {
+			if a.X, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaY != 0 {
+			if a.Y, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaW != 0 {
+			if a.W, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaH != 0 {
+			if a.H, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaLat != 0 {
+			if a.Anchor.Lat, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaLon != 0 {
+			if a.Anchor.Lon, err = r.Float64(); err != nil {
+				return nil, r.Err(err, "delta geometry")
+			}
+		}
+		if mask&deltaXRay != 0 {
+			if a.XRay, err = r.Bool(); err != nil {
+				return nil, r.Err(err, "delta flags")
+			}
+		}
+		if mask&deltaLabel != 0 {
+			if a.Label, err = r.String(); err != nil {
+				return nil, r.Err(err, "delta label")
+			}
+		}
+		a.Placed = true
+		out.Annotations = append(out.Annotations, a)
+	}
+	lvl, err := r.Uvarint()
+	if err != nil {
+		return nil, r.Err(err, "delta level")
+	}
+	out.Level = DegradeLevel(lvl)
+	if out.ElapsedNs, err = r.Uvarint(); err != nil {
+		return nil, r.Err(err, "delta elapsed")
+	}
+	return out, nil
+}
+
 // DecodedFrame is the client-side view of an encoded frame.
 type DecodedFrame struct {
 	Annotations []render.Annotation

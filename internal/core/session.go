@@ -256,6 +256,16 @@ type Frame struct {
 	Elapsed     time.Duration
 	Level       DegradeLevel
 	JitterPx    float64
+	// Index counts the session's frames: the Nth rendered frame has Index N.
+	// Delta encoders key off it — two frames diff cleanly only when their
+	// indices are consecutive (an interleaved render for another consumer
+	// advances the scratch buffers and invalidates PrevAnnotations as a
+	// delta base).
+	Index uint64
+	// PrevAnnotations is the previous frame's laid-out overlay — the other
+	// half of the scratch double-buffer. Valid under the same aliasing rules
+	// as Annotations: consume before the session's next Frame call.
+	PrevAnnotations []render.Annotation
 }
 
 // Frame runs the per-frame pipeline at the fused pose and returns the
@@ -364,7 +374,8 @@ func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	if len(laid) > maxAnn {
 		laid = laid[:maxAnn]
 	}
-	jitter := render.Jitter(s.lastLayout, laid)
+	prevLayout := s.lastLayout
+	jitter := render.Jitter(prevLayout, laid)
 	sc.laid[next] = laid
 	sc.cur = next
 	s.lastLayout = laid
@@ -380,14 +391,16 @@ func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	// steady-state heap allocation of the hot path.
 	f := &sc.frame
 	*f = Frame{
-		Time:        now,
-		Pose:        pose,
-		Annotations: laid,
-		TagsFor:     tags,
-		Recommended: recommended,
-		Elapsed:     elapsed,
-		Level:       s.level,
-		JitterPx:    jitter,
+		Time:            now,
+		Pose:            pose,
+		Annotations:     laid,
+		TagsFor:         tags,
+		Recommended:     recommended,
+		Elapsed:         elapsed,
+		Level:           s.level,
+		JitterPx:        jitter,
+		Index:           s.frames,
+		PrevAnnotations: prevLayout,
 	}
 	return f, nil
 }

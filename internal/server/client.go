@@ -37,6 +37,11 @@ type DialOptions struct {
 	// a v1 server then fails the handshake with a *wire.VersionError
 	// instead of failing later, mid-session, on the first Subscribe.
 	MinProto uint32
+	// MaxProto caps the version the client announces (default
+	// wire.ProtoMax). Benchmarks pin older versions here to compare wire
+	// formats — a v3-capped client subscribes without the delta flag and
+	// keeps receiving full MsgFramePush frames.
+	MaxProto uint32
 	// Name labels the client in the server's logs (default "client").
 	Name string
 }
@@ -108,7 +113,25 @@ type clientSub struct {
 	// that moves backwards shifts base up to where the old epoch ended.
 	// Touched only by the demux goroutine.
 	lastRaw, base, lastOut uint64
+
+	// Delta reconstruction state (protocol v4; demux goroutine only).
+	// prev is the last reconstructed frame — it doubles as the consumer's
+	// delivered frame, so streamed frames must be treated as read-only —
+	// and prevSeq is its wire seq; a delta applies only to the push
+	// immediately after it. needKey latches after a gap or a corrupt
+	// delta: pushes drop (and one resync ack goes out) until the next
+	// keyframe. applied counts pushes since the last progress ack.
+	prev    *core.DecodedFrame
+	prevSeq uint64
+	needKey bool
+	nkDrops int
+	applied int
 }
+
+// ackEvery is the progress-ack cadence: one lightweight MsgAck per this
+// many applied pushes keeps the server's view of the stream fresh without
+// measurable upstream traffic.
+const ackEvery = 8
 
 // rebase maps a raw wire push counter onto the channel's monotonic Seq.
 func (s *clientSub) rebase(raw uint64) uint64 {
@@ -183,6 +206,9 @@ func NewClient(ctx context.Context, conn net.Conn, opts DialOptions) (*Client, e
 	if opts.MinProto == 0 {
 		opts.MinProto = wire.ProtoV1
 	}
+	if opts.MaxProto == 0 {
+		opts.MaxProto = wire.ProtoMax
+	}
 	if opts.Name == "" {
 		opts.Name = "client"
 	}
@@ -210,7 +236,7 @@ func (c *Client) handshake(ctx context.Context, opts DialOptions) error {
 		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
 	}
 	var hello wire.Buffer
-	wire.EncodeHelloInto(&hello, wire.Hello{Name: opts.Name, Version: wire.ProtoMax})
+	wire.EncodeHelloInto(&hello, wire.Hello{Name: opts.Name, Version: opts.MaxProto})
 	seq := c.seq.Add(1)
 	if err := c.writeEnvelope(&wire.Envelope{Type: wire.MsgHello, Seq: seq, Payload: hello.Bytes()}); err != nil {
 		return fmt.Errorf("client: handshake: %w", err)
@@ -230,7 +256,7 @@ func (c *Client) handshake(ctx context.Context, opts DialOptions) error {
 	if err != nil {
 		return fmt.Errorf("client: handshake: %w", err)
 	}
-	proto, err := wire.Negotiate(wire.ProtoMax, peer.Version, opts.MinProto)
+	proto, err := wire.Negotiate(opts.MaxProto, peer.Version, opts.MinProto)
 	if err != nil {
 		return err // *wire.VersionError: typed, fails closed
 	}
@@ -292,7 +318,7 @@ func (c *Client) readLoop() {
 			return
 		}
 		switch {
-		case env.Type == wire.MsgFramePush:
+		case env.Type == wire.MsgFramePush, env.Type == wire.MsgFrameDelta:
 			c.deliverPush(env)
 		case env.Type == wire.MsgError && env.Seq == 0:
 			// Seq 0 is never a reply: it is the server's stream obituary
@@ -320,14 +346,70 @@ func (c *Client) deliverPush(env *wire.Envelope) {
 	if sub == nil {
 		return // push raced an unsubscribe: drop
 	}
-	f, err := core.DecodeFrame(env.Payload)
-	if err != nil {
-		return // corrupt push: drop rather than kill the stream
+	var f *core.DecodedFrame
+	var err error
+	switch {
+	case env.Type == wire.MsgFramePush:
+		f, err = core.DecodeFrame(env.Payload)
+	case len(env.Payload) > 0 && core.FrameDeltaIsKeyframe(env.Payload):
+		// A keyframe always applies — it is a full frame, and it clears
+		// any pending resync.
+		f, err = core.ApplyFrameDelta(nil, env.Payload)
+	case sub.prev == nil || sub.needKey || env.Seq != sub.prevSeq+1:
+		// Delta against a base we don't hold: a push was dropped somewhere
+		// on the path (drop-oldest outbox, slow local consumer of the wire)
+		// or an earlier delta was corrupt. Ask for one keyframe and drop
+		// deltas until it arrives.
+		sub.requestKeyframe(c)
+		return
+	default:
+		f, err = core.ApplyFrameDelta(sub.prev, env.Payload)
+	}
+	if err != nil || f == nil {
+		// Corrupt push: drop rather than kill the stream. A corrupt delta
+		// additionally poisons the base, so resync.
+		if env.Type == wire.MsgFrameDelta {
+			sub.requestKeyframe(c)
+		}
+		return
+	}
+	if env.Type == wire.MsgFrameDelta {
+		sub.prev, sub.prevSeq = f, env.Seq
+		sub.needKey = false
+		sub.applied++
+		if sub.applied >= ackEvery {
+			sub.applied = 0
+			c.sendAck(wire.FrameAck{AppliedSeq: env.Seq})
+		}
 	}
 	f.Seq = sub.rebase(env.Seq)
 	if !sub.deliver(f) {
 		c.pushesDrop.Add(1)
 	}
+}
+
+// requestKeyframe sends one WantKeyframe ack per gap: the first
+// undecodable delta asks, subsequent ones wait for the keyframe already
+// requested. The requested keyframe can itself be shed by a drop-oldest
+// outbox on the return path, so the latch re-asks every few discarded
+// deltas rather than waiting out the server's keyframe cadence.
+func (s *clientSub) requestKeyframe(c *Client) {
+	if s.needKey {
+		s.nkDrops++
+		if s.nkDrops < ackEvery {
+			return
+		}
+	}
+	s.needKey = true
+	s.nkDrops = 0
+	c.sendAck(wire.FrameAck{AppliedSeq: s.prevSeq, WantKeyframe: true})
+}
+
+// sendAck fire-and-forgets a frame-ack (protocol v4). Errors are ignored:
+// an ack lost to a dying connection is moot, and the read loop will learn
+// of the death first.
+func (c *Client) sendAck(a wire.FrameAck) {
+	_ = c.send(wire.MsgAck, func(b *wire.Buffer) { wire.EncodeFrameAckInto(b, a) })
 }
 
 // endSub closes the active subscription, recording why. Without an active
@@ -519,6 +601,11 @@ func (c *Client) Subscribe(ctx context.Context, opts SubscribeOptions) (<-chan *
 	// different cadence — the codec enforces the same rule on decode.
 	const maxU32 = 1<<32 - 1
 	sub := wire.Subscribe{}
+	if c.proto >= wire.ProtoV4 {
+		// Negotiated delta pushes: the server diffs consecutive frames and
+		// deliverPush reconstructs — transparent to the channel's consumer.
+		sub.Flags = wire.SubFlagDelta
+	}
 	if opts.Interval > 0 {
 		ms := opts.Interval.Milliseconds()
 		if ms < 1 {

@@ -403,7 +403,7 @@ func TestOutboxDropsOldestWhenFull(t *testing.T) {
 	bw := &blockingWriter{release: make(chan struct{})}
 	var reg metrics.Registry
 	dropped := reg.Counter("dropped")
-	ob := newOutbox(&lockedWriter{fw: wire.NewFrameWriter(bw)}, 4, dropped)
+	ob := newOutbox(&lockedWriter{fw: wire.NewFrameWriter(bw)}, 4, dropped, nil)
 
 	released := make(map[uint64]bool)
 	var mu sync.Mutex

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/sensor"
+	"arbd/internal/wire"
+)
+
+// TestDeltaStreamAckGapForcesKeyframe is the wire-level acceptance check for
+// protocol v4 streaming: a delta subscription opens with a keyframe, settles
+// into diff pushes that apply cleanly in sequence, and answers a
+// WantKeyframe ack — the resync a client sends after a push gap — with a
+// fresh keyframe instead of leaving the client decoding against a stale
+// base forever.
+func TestDeltaStreamAckGapForcesKeyframe(t *testing.T) {
+	_, addr := startServer(t)
+	rc := dialRaw(t, addr)
+	peer := rc.hello(t, "raw-v4", wire.ProtoMax)
+	if peer.Version < wire.ProtoV4 {
+		t.Fatalf("server announced v%d, want >= v%d", peer.Version, wire.ProtoV4)
+	}
+	rc.sendGPS(t, 0, center)
+	var sb wire.Buffer
+	wire.EncodeSubscribeInto(&sb, wire.Subscribe{IntervalMS: 2, Budget: 16, Flags: wire.SubFlagDelta})
+	subSeq := rc.send(t, wire.MsgSubscribe, 0, sb.Bytes())
+	if env := rc.read(t); env.Type != wire.MsgAck || env.Seq != subSeq {
+		t.Fatalf("subscribe reply = %v seq %d", env.Type, env.Seq)
+	}
+
+	env := rc.read(t)
+	if env.Type != wire.MsgFrameDelta {
+		t.Fatalf("first push type = %v, want MsgFrameDelta", env.Type)
+	}
+	if !core.FrameDeltaIsKeyframe(env.Payload) {
+		t.Fatal("first push of a delta stream must be a keyframe")
+	}
+	base, err := core.ApplyFrameDelta(nil, env.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := env.Seq
+	sawDiff := false
+	for i := 0; i < 5; i++ {
+		env = rc.read(t)
+		if env.Type != wire.MsgFrameDelta {
+			t.Fatalf("push %d: type %v", i, env.Type)
+		}
+		if env.Seq <= last {
+			t.Fatalf("push seq went %d -> %d", last, env.Seq)
+		}
+		last = env.Seq
+		if !core.FrameDeltaIsKeyframe(env.Payload) {
+			sawDiff = true
+		}
+		if base, err = core.ApplyFrameDelta(base, env.Payload); err != nil {
+			t.Fatalf("push %d: apply: %v", i, err)
+		}
+	}
+	if !sawDiff {
+		t.Fatal("no diff push among the first 5 — every push is a keyframe, deltas buy nothing")
+	}
+
+	// The resync path: a client that lost a push acks with WantKeyframe.
+	// Pushes already queued server-side may still arrive as diffs; a
+	// keyframe must follow promptly.
+	var ab wire.Buffer
+	wire.EncodeFrameAckInto(&ab, wire.FrameAck{AppliedSeq: last, WantKeyframe: true})
+	rc.send(t, wire.MsgAck, 0, ab.Bytes())
+	for i := 0; i < 32; i++ {
+		env = rc.read(t)
+		if env.Type != wire.MsgFrameDelta {
+			t.Fatalf("post-ack push type = %v", env.Type)
+		}
+		if core.FrameDeltaIsKeyframe(env.Payload) {
+			if _, err := core.ApplyFrameDelta(nil, env.Payload); err != nil {
+				t.Fatalf("forced keyframe corrupt: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("no keyframe within 32 pushes of a WantKeyframe ack")
+}
+
+// TestV3PinnedClientStreamsFullFrames pins backward compatibility: a client
+// capped at protocol v3 subscribes without the delta flag and keeps
+// receiving decodable full-frame pushes from a v4 server, end to end
+// through the public client API.
+func TestV3PinnedClientStreamsFullFrames(t *testing.T) {
+	_, addr := startServer(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(context.Background(), raw, DialOptions{MaxProto: wire.ProtoV3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendGPS(sensor.GPSFix{Time: time.Now(), Position: center, AccuracyM: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Subscribe(context.Background(),
+		SubscribeOptions{Interval: 2 * time.Millisecond, Budget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 5; i++ {
+		f, ok := <-ch
+		if !ok {
+			t.Fatalf("stream died after %d frames: %v", i, cl.StreamErr())
+		}
+		if len(f.Annotations) == 0 {
+			t.Fatalf("frame %d: empty overlay", i)
+		}
+		if f.Seq <= last {
+			t.Fatalf("frame seq went %d -> %d", last, f.Seq)
+		}
+		last = f.Seq
+	}
+}

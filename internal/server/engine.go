@@ -27,6 +27,9 @@ import (
 type Engine struct {
 	platform *core.Platform
 	sched    *FrameScheduler
+	// wheel is the shared pacing clock for every subscription stream the
+	// engine serves: one goroutine regardless of subscriber count.
+	wheel *pacerWheel
 	// bufs pools frame-response encode buffers: a frame is encoded once
 	// into a pooled wire.Buffer handed to the framed writer, then the
 	// buffer returns to the pool — no per-response allocations.
@@ -52,6 +55,7 @@ func NewEngine(p *core.Platform, opts Options) *Engine {
 		platform: p,
 		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
 	}
+	e.wheel = newPacerWheel(p.Metrics().Gauge("server.stream.pacers"))
 	e.bufs.New = func() any { return wire.NewBuffer(1024) }
 	return e
 }
@@ -62,8 +66,12 @@ func (e *Engine) Platform() *core.Platform { return e.platform }
 // Scheduler exposes the engine's frame scheduler (for stats).
 func (e *Engine) Scheduler() *FrameScheduler { return e.sched }
 
-// Close stops the frame scheduler. Roles close their listeners first.
-func (e *Engine) Close() { e.sched.Close() }
+// Close stops the pacing wheel and the frame scheduler. Roles close their
+// listeners (and stop their streams) first.
+func (e *Engine) Close() {
+	e.wheel.close()
+	e.sched.Close()
+}
 
 // handle applies one inbound envelope against sess. When hasReply is true,
 // reply has been filled in; pooled (when non-nil) backs reply.Payload and
@@ -96,6 +104,22 @@ func (e *Engine) encodeFrameReply(reply *wire.Envelope, session, seq uint64, f *
 	core.EncodeFrameInto(buf, f)
 	*reply = wire.Envelope{
 		Type: wire.MsgAnnotations, Seq: seq, Session: session,
+		Payload: buf.Bytes(),
+	}
+	return buf
+}
+
+// encodeFrameDeltaReply encodes f into a pooled buffer as a MsgFrameDelta
+// push for (session, seq) — a full keyframe body when keyframe is set (or
+// the frame has no previous layout), a diff against the session's previous
+// frame otherwise. The returned buffer backs reply.Payload; release it
+// after the write.
+func (e *Engine) encodeFrameDeltaReply(reply *wire.Envelope, session, seq uint64, f *core.Frame, keyframe bool) *wire.Buffer {
+	buf := e.bufs.Get().(*wire.Buffer)
+	buf.Reset()
+	core.EncodeFrameDeltaInto(buf, f, keyframe)
+	*reply = wire.Envelope{
+		Type: wire.MsgFrameDelta, Seq: seq, Session: session,
 		Payload: buf.Bytes(),
 	}
 	return buf
@@ -140,8 +164,9 @@ func answerHello(w *lockedWriter, env *wire.Envelope, id uint64, name string, lo
 type lockedWriter struct {
 	mu      sync.Mutex
 	fw      *wire.FrameWriter
-	conn    net.Conn      // optional: deadline target
+	conn    net.Conn      // optional: deadline target and writev sink
 	timeout time.Duration // optional: per-write deadline
+	batch   wire.EnvelopeBatch
 }
 
 func (w *lockedWriter) write(env *wire.Envelope) error {
@@ -156,6 +181,40 @@ func (w *lockedWriter) write(env *wire.Envelope) error {
 		return err
 	}
 	return w.fw.Flush()
+}
+
+// writeBatch frames and writes a backlog of queued pushes as one vectored
+// write straight to the connection — one syscall for the whole batch
+// instead of an encode+flush round per envelope. The buffered writer is
+// flushed first so any partially-staged reply precedes the batch on the
+// wire. Single-message batches (and writers without a raw conn, as in
+// tests over in-memory pipes) take the ordinary buffered path.
+func (w *lockedWriter) writeBatch(msgs []outMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn != nil && w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	if w.conn == nil || len(msgs) == 1 {
+		for i := range msgs {
+			if err := w.fw.WriteEnvelope(&msgs[i].env); err != nil {
+				return err
+			}
+		}
+		return w.fw.Flush()
+	}
+	w.batch.Reset()
+	for i := range msgs {
+		if err := w.batch.Add(&msgs[i].env); err != nil {
+			return err
+		}
+	}
+	if err := w.fw.Flush(); err != nil {
+		return err
+	}
+	bufs := net.Buffers(w.batch.Buffers())
+	_, err := bufs.WriteTo(w.conn)
+	return err
 }
 
 // connServer owns a role's accept loop and connection lifecycle; roles plug

@@ -665,7 +665,12 @@ func (r *Router) deliver(env *wire.Envelope) {
 		r.reg.Counter("router.replies.orphaned").Inc()
 		return
 	}
-	if env.Type == wire.MsgFramePush {
+	if env.Type == wire.MsgFramePush || env.Type == wire.MsgFrameDelta {
+		// Delta pushes ride the same path as full pushes, payload opaque:
+		// rebasing shifts every seq by the same constant within an epoch,
+		// so the seq-contiguity rule delta application depends on is
+		// preserved, and an epoch restart's first push is always a
+		// keyframe (a fresh server-side stream keys its push 1).
 		// Rebase the stream's push counter: a migrated (or replayed)
 		// server-side stream restarts at 1, but the wire contract toward
 		// the client is a strictly increasing seq. Two stale cases drop
@@ -774,8 +779,11 @@ func (r *Router) untrackSub(session uint64) {
 // nodes.
 func (r *Router) serveClient(conn net.Conn) {
 	id := r.nextSess.Add(1)
-	cl := &routerClient{lockedWriter: lockedWriter{fw: wire.NewFrameWriter(conn)}}
-	cl.out = newOutbox(&cl.lockedWriter, routerPushQueue, r.reg.Counter("router.pushes.dropped"))
+	cl := &routerClient{lockedWriter: lockedWriter{fw: wire.NewFrameWriter(conn), conn: conn}}
+	// No onDrop hook on this hop: a dropped delta reaches the client as a
+	// seq gap, and its keyframe-request ack forwards to the shard like any
+	// other envelope.
+	cl.out = newOutbox(&cl.lockedWriter, routerPushQueue, r.reg.Counter("router.pushes.dropped"), nil)
 	r.sessMu.Lock()
 	r.sessions[id] = cl
 	r.sessMu.Unlock()

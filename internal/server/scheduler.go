@@ -86,6 +86,19 @@ type FrameScheduler struct {
 	loadAt  time.Time
 	loadSig core.LoadSignal
 
+	// Overflow FIFO for visit jobs admitted past the channel's capacity
+	// (QueueVisit): at most one per paced stream, drained in order by
+	// workers as they finish queued work. It preserves the blocking
+	// submitter's fairness — every admitted job eventually runs, oldest
+	// first — without ever blocking the shared pacing goroutine.
+	ovMu sync.Mutex
+	ov   []frameJob
+	// ovKick wakes an idle worker when a job parks on the overflow: the
+	// drain is normally completion-driven, but a job parked in the moment
+	// the channel ran dry would otherwise wait for traffic that may never
+	// come.
+	ovKick chan struct{}
+
 	wg        sync.WaitGroup
 	quit      chan struct{}
 	closeOnce sync.Once
@@ -118,11 +131,12 @@ func NewFrameScheduler(cfg SchedulerConfig, reg *metrics.Registry) *FrameSchedul
 		reg = metrics.NewRegistry()
 	}
 	fs := &FrameScheduler{
-		cfg:  cfg,
-		gate: loadGate{deadline: cfg.Deadline, flushLatencyRef: cfg.FlushLatencyRef, backlogRef: cfg.BacklogRef},
-		reg:  reg,
-		jobs: make(chan frameJob, cfg.QueueDepth),
-		quit: make(chan struct{}),
+		cfg:    cfg,
+		gate:   loadGate{deadline: cfg.Deadline, flushLatencyRef: cfg.FlushLatencyRef, backlogRef: cfg.BacklogRef},
+		reg:    reg,
+		jobs:   make(chan frameJob, cfg.QueueDepth),
+		ovKick: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		fs.wg.Add(1)
@@ -142,9 +156,37 @@ func (fs *FrameScheduler) worker() {
 		case <-fs.quit:
 			return
 		case job := <-fs.jobs:
+			// Refill before the render: the receive just freed a channel
+			// slot, and handing it to the overflow head now (rather than
+			// after the render) keeps the queue's order intact and the
+			// channel hot for the other workers.
+			fs.refillFromOverflow()
 			fs.run(job)
+		case <-fs.ovKick:
+			fs.refillFromOverflow()
 		}
 	}
+}
+
+// refillFromOverflow tops the channel up from the overflow FIFO, in order.
+// It only MOVES jobs — it never runs one inline: a worker that rendered
+// overflow jobs while the channel sat full would stop receiving, and with
+// every worker doing that the channel's own jobs freeze — exactly the
+// streams whose jobs won a channel slot would starve, and a stopStream
+// waiting on one of them would wedge connection teardown behind it.
+func (fs *FrameScheduler) refillFromOverflow() {
+	fs.ovMu.Lock()
+	defer fs.ovMu.Unlock()
+	for len(fs.ov) > 0 {
+		select {
+		case fs.jobs <- fs.ov[0]:
+			fs.ov[0] = frameJob{}
+			fs.ov = fs.ov[1:]
+		default:
+			return
+		}
+	}
+	fs.ov = nil // release the drained backing array
 }
 
 // currentLoad returns the most recent backend-load sample, refreshing it
@@ -218,6 +260,60 @@ func (fs *FrameScheduler) SubmitVisit(sess *core.Session, visit func(*core.Frame
 	})
 }
 
+// QueueVisit is SubmitVisit without the blocking admission: the streaming
+// pacer wheel uses it, because one shared goroutine paces every stream
+// and must never block on a saturated queue. A full channel parks the job
+// on the overflow FIFO instead of rejecting it — admission never fails
+// (except after Close), every admitted job is answered exactly once, and
+// overflow jobs run oldest-first as workers free up, so a saturated
+// scheduler degrades every stream's cadence fairly instead of starving
+// whichever streams the pacing order happens to disfavour. Jobs that
+// wait past the effective deadline still shed in the worker, surfacing
+// ErrFrameShed through done.
+func (fs *FrameScheduler) QueueVisit(sess *core.Session, visit func(*core.Frame), done func(error)) error {
+	fs.closeMu.RLock()
+	defer fs.closeMu.RUnlock()
+	if fs.closed {
+		return ErrSchedulerClosed
+	}
+	job := frameJob{
+		sess:  sess,
+		enq:   time.Now(),
+		visit: visit,
+		done:  func(_ *core.Frame, err error) { done(err) },
+	}
+	park := func() {
+		fs.ovMu.Lock()
+		fs.ov = append(fs.ov, job)
+		fs.ovMu.Unlock()
+		// The channel may have drained (every worker idle) between the
+		// failed send and the park: kick one worker to come pull it.
+		select {
+		case fs.ovKick <- struct{}{}:
+		default:
+		}
+	}
+	// A non-empty overflow means jobs are already waiting behind the
+	// channel: park behind them rather than jumping the line, so a
+	// saturated scheduler stays globally FIFO across every stream.
+	fs.ovMu.Lock()
+	waiting := len(fs.ov) > 0
+	fs.ovMu.Unlock()
+	if waiting {
+		park()
+		return nil
+	}
+	select {
+	case fs.jobs <- job:
+		return nil
+	case <-fs.quit:
+		return ErrSchedulerClosed
+	default:
+		park()
+		return nil
+	}
+}
+
 func (fs *FrameScheduler) submit(job frameJob) error {
 	fs.closeMu.RLock()
 	defer fs.closeMu.RUnlock()
@@ -261,6 +357,13 @@ func (fs *FrameScheduler) Close() {
 			case job := <-fs.jobs:
 				job.done(nil, ErrSchedulerClosed)
 			default:
+				fs.ovMu.Lock()
+				ov := fs.ov
+				fs.ov = nil
+				fs.ovMu.Unlock()
+				for _, job := range ov {
+					job.done(nil, ErrSchedulerClosed)
+				}
 				return
 			}
 		}

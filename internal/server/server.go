@@ -90,7 +90,7 @@ func (s *Server) Close() error {
 func (s *Server) serveConn(conn net.Conn) {
 	sess := s.eng.platform.NewSession()
 	fr := wire.NewFrameReader(conn)
-	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
+	w := &lockedWriter{fw: wire.NewFrameWriter(conn), conn: conn}
 
 	// Streaming state (protocol v2): at most one subscription for the
 	// connection's single session, its pushes queued on a drop-oldest
@@ -164,14 +164,27 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			if ob == nil {
-				ob = newOutbox(w, pushBudget(sub), s.eng.sched.Metrics().Counter("server.stream.dropped"))
+				// Outbox drops feed back into the stream: a delta subscriber
+				// whose push was dropped needs its next push keyed.
+				ob = newOutbox(w, pushBudget(sub), s.eng.sched.Metrics().Counter("server.stream.dropped"),
+					streams.forceKeyframe)
 			}
 			// Ack before the first push so the subscribe round-trip
 			// completes ahead of the stream on the wire.
 			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: env.Seq, Session: sess.ID}) != nil {
 				return
 			}
-			streams.add(sess.ID, s.eng.startStream(sess, sub, ob))
+			// Delta pushes only for v4 subscribers that asked: older clients
+			// (and older servers ignoring the flag) keep full MsgFramePush.
+			delta := proto >= wire.ProtoV4 && sub.Flags&wire.SubFlagDelta != 0
+			streams.add(sess.ID, s.eng.startStream(sess, sub, ob, delta))
+			continue
+		case wire.MsgAck:
+			// Client frame-ack (protocol v4): fire-and-forget progress +
+			// resync requests; never answered, no-op when the stream is gone.
+			if a, err := wire.DecodeFrameAck(env.Payload); err == nil {
+				streams.ack(sess.ID, a)
+			}
 			continue
 		case wire.MsgUnsubscribe:
 			streams.remove(sess.ID) // idempotent: unsubscribing twice acks twice

@@ -124,7 +124,7 @@ func (sh *Shard) Close() error {
 
 func (sh *Shard) serveConn(conn net.Conn) {
 	fr := wire.NewFrameReader(conn)
-	w := &lockedWriter{fw: wire.NewFrameWriter(conn)}
+	w := &lockedWriter{fw: wire.NewFrameWriter(conn), conn: conn}
 
 	// Handshake: the dialer (a router) speaks first; we answer with our
 	// identity and protocol version. A deadline bounds how long a silent
@@ -266,6 +266,15 @@ func (sh *Shard) serveConn(conn net.Conn) {
 				Session: in.Session, Payload: []byte{MigImported}})
 			continue
 		}
+		if in.Type == wire.MsgAck {
+			// Client frame-ack forwarded by the router (protocol v4):
+			// fire-and-forget, and resolved before SessionOrNew — an ack
+			// racing its stream's teardown must not materialise a session.
+			if a, err := wire.DecodeFrameAck(in.Payload); err == nil {
+				streams.ack(in.Session, a)
+			}
+			continue
+		}
 		switch in.Type {
 		case wire.MsgSensorEvent, wire.MsgFrameRequest, wire.MsgControl:
 		case wire.MsgSubscribe, wire.MsgUnsubscribe:
@@ -312,12 +321,17 @@ func (sh *Shard) serveConn(conn net.Conn) {
 				if capacity < backendPushQueue {
 					capacity = backendPushQueue
 				}
-				ob = newOutbox(w, capacity, sh.eng.sched.Metrics().Counter("server.stream.dropped"))
+				ob = newOutbox(w, capacity, sh.eng.sched.Metrics().Counter("server.stream.dropped"),
+					streams.forceKeyframe)
 			}
 			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session}) != nil {
 				return
 			}
-			streams.add(in.Session, sh.eng.startStream(sess, sub, ob))
+			// The flag rides the forwarded Subscribe payload: only a v4
+			// client sets it, and the router-shard link must also speak v4
+			// for MsgFrameDelta envelopes to be legal on this connection.
+			delta := proto >= wire.ProtoV4 && sub.Flags&wire.SubFlagDelta != 0
+			streams.add(in.Session, sh.eng.startStream(sess, sub, ob, delta))
 		case wire.MsgControl:
 			_ = w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session})
 		}

@@ -1,9 +1,10 @@
 // Subscription streaming: the protocol-v2 push path. A client subscribes
-// once with a target cadence and the server owns the frame clock — a
-// per-session ticker drives frames through the shared FrameScheduler, the
-// reply is encoded under the session lock via the pooled encode path, and
-// finished pushes queue on a per-connection drop-oldest outbox so a slow
-// reader loses stale frames instead of stalling a scheduler worker. Load
+// once with a target cadence and the server owns the frame clock — the
+// engine's shared pacing wheel drives frames through the FrameScheduler,
+// the reply is encoded under the session lock via the pooled encode path
+// (a full MsgFramePush, or a MsgFrameDelta diff for v4 subscribers), and
+// finished pushes queue on a per-connection drop-oldest outbox whose
+// writer coalesces each wakeup's backlog into one vectored write. Load
 // degrades cadence before it sheds: a tick that fires while the previous
 // frame is still in flight is skipped outright.
 package server
@@ -11,6 +12,7 @@ package server
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arbd/internal/core"
@@ -25,6 +27,11 @@ const (
 	minPushInterval     = time.Millisecond
 	defaultPushBudget   = 8
 	maxPushBudget       = 1024
+	// keyframeEvery bounds how many delta pushes a stream sends between
+	// full keyframes: even a loss-free client re-syncs at worst 64 pushes
+	// after a corrupt base, and a freshly joined observer of a long-lived
+	// stream waits at most ~2s at 30 Hz for a decodable frame.
+	keyframeEvery = 64
 )
 
 // pushInterval clamps a wire-requested cadence to the server's bounds.
@@ -62,17 +69,25 @@ type outMsg struct {
 // pushes and request/reply traffic interleave at envelope granularity),
 // and when the queue is full the oldest push is dropped. It exists so that
 // scheduler workers — which enqueue from frame callbacks — are never
-// coupled to a client's read speed.
+// coupled to a client's read speed. Each writer wakeup drains the whole
+// backlog into a single vectored write: a burst of pushes costs one
+// syscall, not one per message.
 type outbox struct {
 	w       *lockedWriter
 	dropped *metrics.Counter
+	// onDrop, when set, is told the session whose oldest push was just
+	// dropped under backpressure. Delta streams use it to key their next
+	// push: the client never saw the dropped seq, so the next diff would
+	// apply against a base the client doesn't hold.
+	onDrop func(session uint64)
 
-	mu     sync.Mutex
-	q      []outMsg // FIFO; live entries are q[head:]
-	head   int      // index of the oldest entry: pops are O(1), not a memmove
-	cap    int
-	closed bool
-	wake   chan struct{} // 1-buffered: writer nudge
+	mu      sync.Mutex
+	q       []outMsg // FIFO; live entries are q[head:]
+	head    int      // index of the oldest entry: pops are O(1), not a memmove
+	cap     int
+	reserve int // sum of live streams' budgets (addReserve); capacity floor
+	closed  bool
+	wake    chan struct{} // 1-buffered: writer nudge
 
 	done chan struct{} // closed when the writer goroutine exits
 }
@@ -108,14 +123,16 @@ func (ob *outbox) pushLocked(msg outMsg) {
 	ob.q = append(ob.q, msg)
 }
 
-// newOutbox starts the writer goroutine. capacity is the drop-oldest bound.
-func newOutbox(w *lockedWriter, capacity int, dropped *metrics.Counter) *outbox {
+// newOutbox starts the writer goroutine. capacity is the drop-oldest
+// bound; onDrop (optional) observes backpressure drops per session.
+func newOutbox(w *lockedWriter, capacity int, dropped *metrics.Counter, onDrop func(session uint64)) *outbox {
 	if capacity < 1 {
 		capacity = 1
 	}
 	ob := &outbox{
 		w:       w,
 		dropped: dropped,
+		onDrop:  onDrop,
 		cap:     capacity,
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -135,6 +152,26 @@ func (ob *outbox) grow(capacity int) {
 	ob.mu.Unlock()
 }
 
+// addReserve adjusts the capacity floor contributed by live streams
+// (negative on stream stop). A connection multiplexing many streams — a
+// shard's router link — needs room for the SUM of its streams' budgets:
+// the shared wheel fires same-cadence streams in the same bucket, and a
+// queue sized to the largest single budget would shed most of every
+// synchronized burst, starving whichever streams enqueue earliest.
+func (ob *outbox) addReserve(n int) {
+	ob.mu.Lock()
+	ob.reserve += n
+	ob.mu.Unlock()
+}
+
+// capLocked is the effective drop-oldest bound; callers hold mu.
+func (ob *outbox) capLocked() int {
+	if ob.reserve > ob.cap {
+		return ob.reserve
+	}
+	return ob.cap
+}
+
 // enqueue queues one push, dropping the oldest queued push when full.
 // Safe from any goroutine; never blocks. After close it releases msg
 // immediately and reports false.
@@ -147,7 +184,9 @@ func (ob *outbox) enqueue(msg outMsg) bool {
 		}
 		return false
 	}
-	if ob.queueLenLocked() >= ob.cap {
+	var droppedSession uint64
+	droppedOne := false
+	if ob.queueLenLocked() >= ob.capLocked() {
 		old := ob.popLocked()
 		if ob.dropped != nil {
 			ob.dropped.Inc()
@@ -155,21 +194,32 @@ func (ob *outbox) enqueue(msg outMsg) bool {
 		if old.release != nil {
 			old.release()
 		}
+		droppedSession, droppedOne = old.env.Session, true
 	}
+	wasEmpty := ob.queueLenLocked() == 0
 	ob.pushLocked(msg)
 	ob.mu.Unlock()
-	select {
-	case ob.wake <- struct{}{}:
-	default:
+	if droppedOne && ob.onDrop != nil {
+		ob.onDrop(droppedSession)
+	}
+	// The writer only parks on an empty queue, so only the empty→nonempty
+	// transition needs a nudge: a burst of enqueues costs one wakeup.
+	if wasEmpty {
+		select {
+		case ob.wake <- struct{}{}:
+		default:
+		}
 	}
 	return true
 }
 
 func (ob *outbox) writeLoop() {
 	defer close(ob.done)
+	var batch []outMsg
 	for {
 		ob.mu.Lock()
-		if ob.queueLenLocked() == 0 {
+		n := ob.queueLenLocked()
+		if n == 0 {
 			closed := ob.closed
 			ob.mu.Unlock()
 			if closed {
@@ -178,11 +228,20 @@ func (ob *outbox) writeLoop() {
 			<-ob.wake
 			continue
 		}
-		msg := ob.popLocked()
+		// Drain the whole backlog under one lock hold and write it as one
+		// batch: everything queued since the last write goes out in a
+		// single writev instead of one write+flush per message.
+		batch = batch[:0]
+		for i := 0; i < n; i++ {
+			batch = append(batch, ob.popLocked())
+		}
 		ob.mu.Unlock()
-		err := ob.w.write(&msg.env)
-		if msg.release != nil {
-			msg.release()
+		err := ob.w.writeBatch(batch)
+		for i := range batch {
+			if batch[i].release != nil {
+				batch[i].release()
+			}
+			batch[i] = outMsg{}
 		}
 		if err != nil {
 			// Connection dead: the conn's read loop will tear everything
@@ -247,143 +306,424 @@ func (ob *outbox) close() {
 	<-ob.done
 }
 
-// frameStream is one active subscription: a ticker goroutine that submits
-// frame jobs at the subscribed cadence. At most one frame is in flight per
-// stream — a tick that fires while the previous frame is still rendering
-// (or queued) is skipped, which is the cadence-degradation half of the
-// timeliness loop: under load the client's frame rate drops smoothly
-// before the scheduler starts shedding outright.
+// Pacing-wheel geometry: 500µs buckets over 1024 slots give a ~512ms
+// horizon per revolution; longer intervals ride the per-entry rounds
+// counter. The granularity sits well under the 1ms minimum push interval,
+// so quantisation error stays a fraction of the tightest cadence.
+const (
+	wheelTick  = 500 * time.Microsecond
+	wheelSlots = 1024
+)
+
+// wheelEntry is one armed tick: the stream to fire and how many more full
+// revolutions must pass first.
+type wheelEntry struct {
+	st     *frameStream
+	rounds int
+}
+
+// pacerWheel is the engine's shared pacing clock: a hashed timing wheel
+// walked by a single goroutine, replacing the goroutine-plus-timer every
+// subscription used to own. 512 streams previously meant 512 independent
+// pacer wakeups per interval; the wheel batches every stream due in the
+// same 500µs bucket into one wakeup, and the engine's pacer-goroutine
+// count stays O(1) regardless of subscription count (the
+// server.stream.pacers gauge, which E19 asserts on). Streams are armed
+// one tick at a time — relative pacing, as before: each tick schedules
+// the next relative to when it actually ran, so a late tick stretches the
+// gap instead of snapping back and pairing over/under gaps.
+type pacerWheel struct {
+	mu     sync.Mutex
+	slots  [][]wheelEntry
+	cur    int       // slot the walk last visited
+	base   time.Time // wall time of slot cur's tick
+	armed  int       // live entries across all slots
+	parked bool      // goroutine is waiting on wake, no timer armed
+	nextAt time.Time // deadline the goroutine's timer is armed for
+	fired  []*frameStream
+
+	wake     chan struct{} // 1-buffered: earlier-deadline (or unpark) nudge
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	gauge    *metrics.Gauge // server.stream.pacers: 1 while running
+}
+
+func newPacerWheel(gauge *metrics.Gauge) *pacerWheel {
+	w := &pacerWheel{
+		slots: make([][]wheelEntry, wheelSlots),
+		base:  time.Now(),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		gauge: gauge,
+	}
+	go w.run()
+	return w
+}
+
+func (w *pacerWheel) close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// schedule arms one tick for st, delay from now. Ticks round up to the
+// wheel granularity — a stream never fires early, preserving the "at the
+// requested rate or slower, never faster" cadence contract.
+func (w *pacerWheel) schedule(st *frameStream, delay time.Duration) {
+	if delay < wheelTick {
+		delay = wheelTick
+	}
+	w.mu.Lock()
+	now := time.Now()
+	if w.armed == 0 {
+		// Nothing in flight: base may be stale from an idle stretch.
+		w.base = now
+	}
+	target := now.Add(delay)
+	ticks := int((target.Sub(w.base) + wheelTick - 1) / wheelTick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	idx := (w.cur + ticks) % wheelSlots
+	w.slots[idx] = append(w.slots[idx], wheelEntry{st: st, rounds: (ticks - 1) / wheelSlots})
+	w.armed++
+	// Nudge the walker only when this entry beats its armed deadline (or
+	// it is parked): the common case — a stream rescheduling its next
+	// interval — re-arms behind already-armed work and costs nothing.
+	nudge := w.parked || target.Before(w.nextAt)
+	w.mu.Unlock()
+	if nudge {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (w *pacerWheel) run() {
+	defer close(w.done)
+	if w.gauge != nil {
+		w.gauge.Set(1)
+		defer w.gauge.Set(0)
+	}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		now := time.Now()
+		for _, st := range w.advance(now) {
+			st.tick(now)
+		}
+		w.mu.Lock()
+		d, any := w.nextDelayLocked(time.Now())
+		w.parked = !any
+		if any {
+			w.nextAt = time.Now().Add(d)
+		}
+		w.mu.Unlock()
+		if !any {
+			select {
+			case <-w.stop:
+				return
+			case <-w.wake:
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d)
+		select {
+		case <-w.stop:
+			return
+		case <-w.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// advance walks the wheel up to now, collecting every due stream. Entries
+// with rounds left are decremented in place and kept for a later pass.
+func (w *pacerWheel) advance(now time.Time) []*frameStream {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fired = w.fired[:0]
+	if w.armed == 0 {
+		w.base = now
+		return nil
+	}
+	steps := int(now.Sub(w.base) / wheelTick)
+	// Bound one sweep; after a clock jump the remainder is caught up by
+	// the next loop iteration instead of spinning here.
+	if steps > 4*wheelSlots {
+		steps = 4 * wheelSlots
+	}
+	for s := 0; s < steps; s++ {
+		w.base = w.base.Add(wheelTick)
+		w.cur++
+		if w.cur == wheelSlots {
+			w.cur = 0
+		}
+		slot := w.slots[w.cur]
+		if len(slot) == 0 {
+			continue
+		}
+		keep := slot[:0]
+		for i := range slot {
+			if slot[i].rounds > 0 {
+				slot[i].rounds--
+				keep = append(keep, slot[i])
+				continue
+			}
+			w.fired = append(w.fired, slot[i].st)
+			w.armed--
+		}
+		for i := len(keep); i < len(slot); i++ {
+			slot[i] = wheelEntry{} // don't retain stream pointers
+		}
+		w.slots[w.cur] = keep
+		if w.armed == 0 {
+			w.base = now
+			break
+		}
+	}
+	return w.fired
+}
+
+// nextDelayLocked returns how long until the nearest due slot; callers
+// hold mu. With only rounds-bearing entries left, one full revolution is
+// the answer (their rounds tick down as the walk passes them).
+func (w *pacerWheel) nextDelayLocked(now time.Time) (time.Duration, bool) {
+	if w.armed == 0 {
+		return 0, false
+	}
+	for k := 1; k <= wheelSlots; k++ {
+		i := w.cur + k
+		if i >= wheelSlots {
+			i -= wheelSlots
+		}
+		for j := range w.slots[i] {
+			if w.slots[i][j].rounds == 0 {
+				d := w.base.Add(time.Duration(k) * wheelTick).Sub(now)
+				if d < 0 {
+					d = 0
+				}
+				return d, true
+			}
+		}
+	}
+	return wheelSlots * wheelTick, true
+}
+
+// frameStream is one active subscription, paced by the engine's shared
+// wheel. At most one frame is in flight per stream — a tick that fires
+// while the previous frame is still rendering (or queued) marks the
+// stream awaiting instead of piling up jobs, and the frame's completion
+// submits the owed tick immediately. That keeps the degraded stream
+// completion-paced, exactly as the old blocking-token pacer did: under
+// load gaps stretch smoothly with render time rather than snapping to
+// interval multiples.
 type frameStream struct {
 	eng      *Engine
 	sess     *core.Session
 	session  uint64 // wire session ID (equals sess.ID today; kept explicit)
 	interval time.Duration
 	out      *outbox
+	budget   int  // outbox slots reserved for this stream (released on stop)
+	delta    bool // v4 subscriber: push MsgFrameDelta instead of MsgFramePush
 
-	// slot is a 1-buffered channel holding the stream's single submission
-	// token: a tick must take the token to submit and the done callback
-	// returns it, so "at most one frame in flight" is token conservation,
-	// not a flag/signal pair that could drift apart under preemption.
-	slot    chan struct{}
-	pushSeq uint64 // written only inside visit callbacks, ordered by the token
+	pushes, skipped, sheds, renderErrs, keyframes *metrics.Counter
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	ticking  sync.WaitGroup
-	jobs     sync.WaitGroup // outstanding scheduler submissions
+	// forceKey schedules a keyframe for the next push: set by client acks
+	// requesting resync, and by the outbox when it drops one of this
+	// session's pushes (the client never saw that seq, so the next diff
+	// would be against a base it doesn't hold).
+	forceKey atomic.Bool
+	ackedSeq atomic.Uint64 // highest client-acked push seq (observability)
+
+	mu       sync.Mutex
+	stopped  bool
+	inFlight bool      // the single submission token
+	awaiting bool      // a tick fired while in flight; owed on completion
+	awaitAt  time.Time // when the owed tick fired
+	jobs     sync.WaitGroup
+
+	// Written only inside visit callbacks, ordered by the in-flight token.
+	pushSeq   uint64
+	lastIndex uint64 // core frame index of the last pushed frame
+	sinceKey  int    // delta pushes since the last keyframe
 }
 
 // startStream begins pushing frames for sess on out at the subscription's
-// cadence. The caller owns the stream and must stopStream it when the
-// subscription ends or the connection dies.
-func (e *Engine) startStream(sess *core.Session, sub wire.Subscribe, out *outbox) *frameStream {
+// cadence. delta selects MsgFrameDelta encoding (the caller has verified
+// the subscriber negotiated protocol v4 and asked for it). The caller owns
+// the stream and must stopStream it when the subscription ends or the
+// connection dies.
+func (e *Engine) startStream(sess *core.Session, sub wire.Subscribe, out *outbox, delta bool) *frameStream {
+	reg := e.sched.Metrics()
 	st := &frameStream{
-		eng:      e,
-		sess:     sess,
-		session:  sess.ID,
-		interval: pushInterval(sub),
-		out:      out,
-		slot:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+		eng:        e,
+		sess:       sess,
+		session:    sess.ID,
+		interval:   pushInterval(sub),
+		out:        out,
+		budget:     pushBudget(sub),
+		delta:      delta,
+		pushes:     reg.Counter("server.stream.pushes"),
+		skipped:    reg.Counter("server.stream.skipped"),
+		sheds:      reg.Counter("server.stream.shed"),
+		renderErrs: reg.Counter("server.stream.render_errors"),
+		keyframes:  reg.Counter("server.stream.keyframes"),
 	}
-	st.slot <- struct{}{} // the one submission token
-	out.grow(pushBudget(sub))
-	st.ticking.Add(1)
-	go st.run()
+	out.addReserve(st.budget)
+	e.wheel.schedule(st, st.interval)
 	return st
 }
 
-// stopStream halts the ticker and waits for it and for any frame still in
-// the scheduler, so the caller may safely end the session afterwards. The
-// last frame's push lands in the outbox (or is released if the outbox has
-// closed).
+// stopStream halts pacing and waits for any frame still in the scheduler,
+// so the caller may safely end the session afterwards. The last frame's
+// push lands in the outbox (or is released if the outbox has closed). A
+// wheel entry still armed for the stream fires as a no-op and is not
+// waited for.
 func (st *frameStream) stopStream() {
-	st.stopOnce.Do(func() { close(st.stop) })
-	st.ticking.Wait()
+	st.mu.Lock()
+	already := st.stopped
+	st.stopped = true
+	st.mu.Unlock()
+	if !already {
+		st.out.addReserve(-st.budget)
+	}
 	st.jobs.Wait()
 }
 
-func (st *frameStream) run() {
-	defer st.ticking.Done()
-	reg := st.eng.sched.Metrics()
-	pushes := reg.Counter("server.stream.pushes")
-	skipped := reg.Counter("server.stream.skipped")
-	sheds := reg.Counter("server.stream.shed")
-	renderErrs := reg.Counter("server.stream.render_errors")
+// ack applies a client frame-ack: record progress, force a keyframe when
+// the client says its delta base is gone.
+func (st *frameStream) ack(a wire.FrameAck) {
+	st.ackedSeq.Store(a.AppliedSeq)
+	if a.WantKeyframe {
+		st.forceKey.Store(true)
+	}
+}
 
-	// Relative pacing, not time.Ticker: a ticker keeps an absolute schedule
-	// and compensates a late fire with a short next interval, which shows
-	// up at the client as paired over/under gaps (measured ~1-3 ms p99
-	// jitter against ~0.2 ms for relative pacing). An AR overlay cares
-	// about even spacing, not long-run tick count, so each tick schedules
-	// the next one relative to when it actually ran.
-	timer := time.NewTimer(st.interval)
-	defer timer.Stop()
-	for {
-		select {
-		case <-st.stop:
-			return
-		case <-timer.C:
+// tick is the wheel's fire callback: submit a frame if the stream is
+// idle, otherwise mark the tick owed (cadence degradation). Runs on the
+// wheel goroutine — everything here is non-blocking.
+func (st *frameStream) tick(now time.Time) {
+	st.mu.Lock()
+	if st.stopped {
+		st.mu.Unlock()
+		return
+	}
+	if st.inFlight {
+		// Previous frame still queued or rendering: degrade cadence rather
+		// than pile up jobs the scheduler would shed anyway. The owed tick
+		// is submitted the moment the frame completes — completion pacing.
+		if !st.awaiting {
+			st.awaiting = true
+			st.awaitAt = now
+			st.skipped.Inc()
 		}
-		tickAt := time.Now()
-		next := func() {
-			d := st.interval - time.Since(tickAt)
-			if d < minPushInterval {
-				d = minPushInterval
+		st.mu.Unlock()
+		return
+	}
+	st.inFlight = true
+	st.jobs.Add(1)
+	st.mu.Unlock()
+	st.submit()
+	st.scheduleNext(now)
+}
+
+// scheduleNext arms the next wheel tick relative to when the previous one
+// actually ran, clamped to the minimum interval.
+func (st *frameStream) scheduleNext(tickAt time.Time) {
+	d := st.interval - time.Since(tickAt)
+	if d < minPushInterval {
+		d = minPushInterval
+	}
+	st.eng.wheel.schedule(st, d)
+}
+
+// submit hands one frame job to the scheduler. The caller holds the
+// in-flight token and has bumped jobs; both are settled by complete (or
+// here, when the scheduler rejects the job synchronously).
+func (st *frameStream) submit() {
+	var reply wire.Envelope
+	var pooled *wire.Buffer
+	err := st.eng.sched.QueueVisit(st.sess, func(f *core.Frame) {
+		// Under the session lock: the scratch-backed frame cannot be
+		// clobbered by a concurrent Frame call mid-encode.
+		st.pushSeq++
+		if st.delta {
+			// Keyframe on the first push, on request (ack resync, outbox
+			// drop), every Nth push, and whenever the session rendered for
+			// someone else in between — f.PrevAnnotations is then not the
+			// frame this stream last pushed, so a diff would corrupt.
+			key := st.forceKey.Swap(false) || st.pushSeq == 1 ||
+				st.sinceKey >= keyframeEvery-1 || f.Index != st.lastIndex+1
+			pooled = st.eng.encodeFrameDeltaReply(&reply, st.session, st.pushSeq, f, key)
+			if key {
+				st.sinceKey = 0
+				st.keyframes.Inc()
+			} else {
+				st.sinceKey++
 			}
-			timer.Reset(d)
-		}
-		select {
-		case <-st.slot: // token free: the previous frame completed in time
-		default:
-			// Previous frame still queued or rendering: degrade cadence
-			// rather than pile up jobs the scheduler would shed anyway.
-			// Waiting for the token (instead of dropping to the next tick
-			// boundary) keeps the degraded stream completion-paced — gaps
-			// stretch smoothly with load rather than snapping to
-			// multiples of the interval.
-			skipped.Inc()
-			select {
-			case <-st.stop:
-				return
-			case <-st.slot:
-			}
-		}
-		st.jobs.Add(1)
-		var reply wire.Envelope
-		var pooled *wire.Buffer
-		err := st.eng.sched.SubmitVisit(st.sess, func(f *core.Frame) {
-			// Under the session lock: the scratch-backed frame cannot be
-			// clobbered by a concurrent Frame call mid-encode.
-			st.pushSeq++
+		} else {
 			pooled = st.eng.encodeFrameReply(&reply, st.session, st.pushSeq, f)
 			reply.Type = wire.MsgFramePush
-		}, func(err error) {
-			defer st.jobs.Done()
-			defer func() { st.slot <- struct{}{} }() // return the token
-			switch {
-			case err == nil:
-				pushes.Inc()
-				buf := pooled
-				st.out.enqueue(outMsg{env: reply, release: func() { st.eng.release(buf) }})
-			case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
-				sheds.Inc()
-			default:
-				// Render errors (no pose yet, session ended) are not
-				// pushed: an AR stream with nothing to show stays silent
-				// until the device's sensors give it something. Counted so
-				// a persistently failing stream is visible in metrics.
-				renderErrs.Inc()
-			}
-		})
-		if err != nil {
-			// Scheduler closed: the server is going down; stop ticking.
-			st.jobs.Done()
-			st.slot <- struct{}{}
-			return
 		}
-		next()
+		st.lastIndex = f.Index
+	}, func(err error) {
+		switch {
+		case err == nil:
+			st.pushes.Inc()
+			buf := pooled
+			st.out.enqueue(outMsg{env: reply, release: func() { st.eng.release(buf) }})
+		case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
+			st.sheds.Inc()
+		default:
+			// Render errors (no pose yet, session ended) are not pushed: an
+			// AR stream with nothing to show stays silent until the
+			// device's sensors give it something. Counted so a persistently
+			// failing stream is visible in metrics.
+			st.renderErrs.Inc()
+		}
+		st.complete()
+	})
+	if err != nil {
+		// Scheduler closed (QueueVisit admits everything else): the server
+		// is going down; stop pacing. done will not fire for this job.
+		st.mu.Lock()
+		st.stopped = true
+		st.inFlight = false
+		st.awaiting = false
+		st.mu.Unlock()
+		st.jobs.Done()
 	}
+}
+
+// complete returns the in-flight token after a frame job settled. A tick
+// that fired while the frame was in flight is owed: the next frame is
+// submitted immediately and the following tick is scheduled relative to
+// the starved tick, matching the old token-blocking pacer's behaviour.
+func (st *frameStream) complete() {
+	st.mu.Lock()
+	if st.awaiting && !st.stopped {
+		tickAt := st.awaitAt
+		st.awaiting = false
+		st.jobs.Add(1) // the owed job, added before this one's Done
+		st.mu.Unlock()
+		st.submit()
+		st.scheduleNext(tickAt)
+		st.jobs.Done()
+		return
+	}
+	st.awaiting = false
+	st.inFlight = false
+	st.mu.Unlock()
+	st.jobs.Done()
 }
 
 // streamSet tracks the live subscriptions on one connection, keyed by wire
@@ -406,6 +746,29 @@ func (ss *streamSet) add(session uint64, st *frameStream) {
 	ss.mu.Unlock()
 	if prev != nil {
 		prev.stopStream()
+	}
+}
+
+// get returns the session's live stream, if any.
+func (ss *streamSet) get(session uint64) *frameStream {
+	ss.mu.Lock()
+	st := ss.streams[session]
+	ss.mu.Unlock()
+	return st
+}
+
+// ack routes a client frame-ack to the session's live stream. Acks are
+// fire-and-forget and race teardown, so a missing stream is a no-op.
+func (ss *streamSet) ack(session uint64, a wire.FrameAck) {
+	if st := ss.get(session); st != nil {
+		st.ack(a)
+	}
+}
+
+// forceKeyframe keys the session's next push (outbox-drop self-heal).
+func (ss *streamSet) forceKeyframe(session uint64) {
+	if st := ss.get(session); st != nil && st.delta {
+		st.forceKey.Store(true)
 	}
 }
 

@@ -163,6 +163,16 @@ func (d *Reader) Float64() (float64, error) {
 	return math.Float64frombits(bits), nil
 }
 
+// Byte decodes one raw byte (protocol discriminators, flag bytes).
+func (d *Reader) Byte() (byte, error) {
+	if d.Remaining() < 1 {
+		return 0, ErrShortBuffer
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
 // Bool decodes a single byte as a boolean.
 func (d *Reader) Bool() (bool, error) {
 	if d.Remaining() < 1 {

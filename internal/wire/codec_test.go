@@ -187,6 +187,7 @@ func TestMsgTypeValuesPinned(t *testing.T) {
 		{MsgLeaveShard, 15, "leave_shard"},
 		{MsgMembership, 16, "membership"},
 		{MsgMigrateSession, 17, "migrate_session"},
+		{MsgFrameDelta, 18, "frame_delta"},
 	}
 	for _, p := range pinned {
 		if uint8(p.typ) != p.val {

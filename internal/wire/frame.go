@@ -69,6 +69,15 @@ const (
 	// Router→shard with a snapshot payload imports it on the new owner.
 	// Shard→router replies carry a leading status byte (see server.Mig*).
 	MsgMigrateSession
+	// MsgFrameDelta (protocol v4) is one server-pushed overlay frame encoded
+	// as a diff against the previous frame the stream delivered (see
+	// core.EncodeFrameDeltaInto): a leading flags byte distinguishes
+	// keyframes (full frame body) from deltas (per-annotation field masks).
+	// Seq is the same push counter MsgFramePush uses — a delta applies only
+	// when the client holds the frame at Seq-1; any gap forces a keyframe
+	// resync via MsgAck. Sent only to subscribers that asked for deltas
+	// (SubFlagDelta) on a v4 connection.
+	MsgFrameDelta
 
 	// maxMsgType is one past the last valid message type. Every new type
 	// goes above this comment and below the last enum value, so Valid()
@@ -113,6 +122,8 @@ func (m MsgType) String() string {
 		return "membership"
 	case MsgMigrateSession:
 		return "migrate_session"
+	case MsgFrameDelta:
+		return "frame_delta"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(m))
 	}
@@ -256,6 +267,62 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 func (fw *FrameWriter) WriteEnvelope(env *Envelope) error {
 	fw.env = EncodeEnvelope(fw.env[:0], env)
 	return fw.WriteFrame(fw.env)
+}
+
+// EnvelopeBatch stages many envelopes for one vectored write: each Add
+// encodes an envelope into an internal arena and its 8-byte frame header
+// into another, and Buffers lays the pair sequence out as alternating
+// header/body slices — ready to hand to net.Buffers for a single writev
+// syscall. The batch keeps no per-envelope allocations alive across Reset,
+// so a writer loop can reuse one batch for its lifetime. Not safe for
+// concurrent use.
+type EnvelopeBatch struct {
+	hdrs  []byte // 8-byte frame headers, one per staged envelope
+	body  []byte // concatenated encoded envelope bytes
+	spans []int  // body end offset per staged envelope
+	vecs  [][]byte
+}
+
+// Len returns the number of staged envelopes.
+func (b *EnvelopeBatch) Len() int { return len(b.spans) }
+
+// Reset drops staged envelopes, retaining capacity.
+func (b *EnvelopeBatch) Reset() {
+	b.hdrs = b.hdrs[:0]
+	b.body = b.body[:0]
+	b.spans = b.spans[:0]
+}
+
+// Add encodes env and stages it for the next Buffers call.
+func (b *EnvelopeBatch) Add(env *Envelope) error {
+	start := len(b.body)
+	b.body = EncodeEnvelope(b.body, env)
+	n := len(b.body) - start
+	if n > MaxFrameSize {
+		b.body = b.body[:start]
+		return ErrTooLarge
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(b.body[start:], castagnoli))
+	b.hdrs = append(b.hdrs, hdr[:]...)
+	b.spans = append(b.spans, len(b.body))
+	return nil
+}
+
+// Buffers returns the staged frames as alternating header/body byte slices.
+// The slices alias the batch's arenas (built only here, after all Adds, so
+// arena growth can never invalidate them) and are valid until the next Add
+// or Reset. Callers on a net.Conn typically wrap the result in net.Buffers
+// and WriteTo it for one writev.
+func (b *EnvelopeBatch) Buffers() [][]byte {
+	b.vecs = b.vecs[:0]
+	start := 0
+	for i, end := range b.spans {
+		b.vecs = append(b.vecs, b.hdrs[i*8:i*8+8], b.body[start:end])
+		start = end
+	}
+	return b.vecs
 }
 
 // ReadEnvelope reads one frame and decodes it as an envelope. The envelope's

@@ -19,9 +19,15 @@ const (
 	// router→shard connections (live session migration during join/drain).
 	// Client-facing traffic is unchanged from v2.
 	ProtoV3 uint32 = 3
+	// ProtoV4 adds delta frame pushes: a subscriber may set SubFlagDelta in
+	// MsgSubscribe, after which the server interleaves MsgFrameDelta diffs
+	// between MsgFramePush-style keyframes and the client acks applied
+	// frames with MsgAck (see PROTOCOL.md §8). Fail-soft: a v2/v3 peer never
+	// sets the flag and keeps receiving full MsgFramePush frames.
+	ProtoV4 uint32 = 4
 	// ProtoMin and ProtoMax bound what this build speaks.
 	ProtoMin = ProtoV1
-	ProtoMax = ProtoV3
+	ProtoMax = ProtoV4
 )
 
 // VersionError is the typed handshake failure: the two sides share no

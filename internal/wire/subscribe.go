@@ -1,5 +1,13 @@
 package wire
 
+// Subscription flags carried in Subscribe.Flags.
+const (
+	// SubFlagDelta (protocol v4) asks the server to push delta-encoded
+	// frames (MsgFrameDelta) between keyframes instead of a full
+	// MsgFramePush per tick. Servers ignore it below v4.
+	SubFlagDelta uint32 = 1 << 0
+)
+
 // Subscribe is the payload of a MsgSubscribe envelope: the client asks the
 // server to own the frame clock and push MsgFramePush envelopes at a target
 // cadence, replacing the per-frame MsgFrameRequest round-trip.
@@ -15,15 +23,21 @@ type Subscribe struct {
 	// could least use) rather than stalling the server. Zero takes the
 	// server default.
 	Budget uint32
+	// Flags carries subscription options (SubFlag*). The field is additive:
+	// pre-v4 encoders omit it and pre-v4 decoders ignore it as trailing
+	// bytes, so it decodes as 0 from old peers.
+	Flags uint32
 }
 
 // EncodeSubscribeInto appends s's wire form to buf.
 func EncodeSubscribeInto(buf *Buffer, s Subscribe) {
 	buf.Uvarint(uint64(s.IntervalMS))
 	buf.Uvarint(uint64(s.Budget))
+	buf.Uvarint(uint64(s.Flags))
 }
 
-// DecodeSubscribe parses a subscribe payload.
+// DecodeSubscribe parses a subscribe payload. A payload ending after the
+// budget — the pre-v4 layout — decodes with Flags 0.
 func DecodeSubscribe(p []byte) (Subscribe, error) {
 	r := NewReader(p)
 	var s Subscribe
@@ -35,11 +49,60 @@ func DecodeSubscribe(p []byte) (Subscribe, error) {
 	if err != nil {
 		return s, r.Err(err, "subscribe budget")
 	}
+	var flags uint64
+	if r.Remaining() > 0 {
+		if flags, err = r.Uvarint(); err != nil {
+			return s, r.Err(err, "subscribe flags")
+		}
+	}
 	const maxU32 = 1<<32 - 1
-	if iv > maxU32 || bud > maxU32 {
+	if iv > maxU32 || bud > maxU32 || flags > maxU32 {
 		return s, r.Err(ErrOverflow, "subscribe fields")
 	}
 	s.IntervalMS = uint32(iv)
 	s.Budget = uint32(bud)
+	s.Flags = uint32(flags)
 	return s, nil
+}
+
+// FrameAck is the payload of a client→server MsgAck on a delta-streaming
+// subscription (protocol v4): the highest push seq the client has applied,
+// plus a keyframe request when the client detected a gap and must resync.
+// Fire-and-forget — the server never replies; it only advances its view of
+// the subscriber's base frame and schedules a keyframe when asked.
+type FrameAck struct {
+	// AppliedSeq is the stream push seq of the last frame the client
+	// decoded and applied.
+	AppliedSeq uint64
+	// WantKeyframe asks the server to send the next push as a keyframe
+	// (set after a seq gap or a failed delta apply).
+	WantKeyframe bool
+}
+
+// frameAck flag bits (leading byte of the payload).
+const frameAckWantKey = 1 << 0
+
+// EncodeFrameAckInto appends a's wire form to buf.
+func EncodeFrameAckInto(buf *Buffer, a FrameAck) {
+	var flags byte
+	if a.WantKeyframe {
+		flags |= frameAckWantKey
+	}
+	buf.Byte(flags)
+	buf.Uvarint(a.AppliedSeq)
+}
+
+// DecodeFrameAck parses a frame-ack payload.
+func DecodeFrameAck(p []byte) (FrameAck, error) {
+	r := NewReader(p)
+	var a FrameAck
+	flags, err := r.Byte()
+	if err != nil {
+		return a, r.Err(err, "frame ack flags")
+	}
+	a.WantKeyframe = flags&frameAckWantKey != 0
+	if a.AppliedSeq, err = r.Uvarint(); err != nil {
+		return a, r.Err(err, "frame ack seq")
+	}
+	return a, nil
 }
