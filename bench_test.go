@@ -1,5 +1,5 @@
 // Package arbd's root benchmarks wrap the experiment harness (DESIGN.md §3):
-// one testing.B benchmark per derived experiment E1-E17, so
+// one testing.B benchmark per derived experiment E1-E20, so
 // `go test -bench=. -benchmem` regenerates every table in EXPERIMENTS.md.
 // The rendered tables themselves come from `go run ./cmd/arbd-bench`.
 // TestExperimentsSmoke additionally runs every experiment at tiny scale in
@@ -66,6 +66,16 @@ func BenchmarkE18ShardChurn(b *testing.B) { runExperiment(b, "E18") }
 // server-pushed frames) against request/reply polling at 1/64/512
 // sessions: frames/s, p99 inter-frame jitter, and wire cost per frame.
 func BenchmarkE17StreamVsPoll(b *testing.B) { runExperiment(b, "E17") }
+
+// BenchmarkE19DeltaStream compares protocol v4 delta-frame streaming
+// against full-frame pushes: bytes per push and encode cost.
+func BenchmarkE19DeltaStream(b *testing.B) { runExperiment(b, "E19") }
+
+// BenchmarkE20IngestThroughput drives the zero-copy ingest plane at
+// 512-session telemetry shape (24-byte values, batch 256, 8 producers over
+// 4 partitions): produce/consume records per second, allocs and bytes per
+// record, partition skew, and end-to-end consumer lag percentiles.
+func BenchmarkE20IngestThroughput(b *testing.B) { runExperiment(b, "E20") }
 
 // TestExperimentsSmoke runs every registered experiment once at smoke scale:
 // a broken experiment fails plain `go test` instead of hiding until the next

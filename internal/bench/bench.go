@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per derived
-// experiment E1-E19 (see DESIGN.md §3 — the paper is a vision paper with no
+// experiment E1-E20 (see DESIGN.md §3 — the paper is a vision paper with no
 // measured evaluation, so each experiment quantifies one of its qualitative
 // claims). Each run produces a Report: a rendered table for humans plus a
 // typed Result record for the BENCH_*.json perf trajectory. cmd/arbd-bench
@@ -86,6 +86,7 @@ func All() []Experiment {
 		{ID: "E17", Title: "stream vs poll frame delivery", Run: E17StreamVsPoll, Smoke: e17StreamVsPollSmoke},
 		{ID: "E18", Title: "shard churn under streaming", Run: E18ShardChurn, Smoke: e18ShardChurnSmoke},
 		{ID: "E19", Title: "delta vs full streaming", Run: E19DeltaStream, Smoke: e19DeltaStreamSmoke},
+		{ID: "E20", Title: "ingest plane throughput", Run: E20IngestThroughput, Smoke: e20IngestSmoke},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return exps

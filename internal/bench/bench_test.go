@@ -8,17 +8,17 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
-		t.Fatalf("registered %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registered %d experiments, want 20", len(exps))
 	}
 	for i, e := range exps {
 		if e.Run == nil || e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %d incomplete: %+v", i, e)
 		}
 	}
-	// Sorted E1..E19.
-	if exps[0].ID != "E1" || exps[18].ID != "E19" {
-		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[18].ID)
+	// Sorted E1..E20.
+	if exps[0].ID != "E1" || exps[19].ID != "E20" {
+		t.Fatalf("order: first=%s last=%s", exps[0].ID, exps[19].ID)
 	}
 }
 

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"arbd/internal/metrics"
+	"arbd/internal/mq"
+	"arbd/internal/stream"
+)
+
+// E20 workload shape: unkeyed telemetry-sized records against the platform's
+// 4-partition topic layout. Values are 24 bytes — the size of an encoded
+// location fix (uvarint session ID + two float64s) — and batches are 256
+// records, the adaptive batching ceiling the telemetry load tracker settles
+// at under sustained 512-session ingest (8 × the 32-record base).
+const (
+	e20Partitions = 4
+	e20Producers  = 8
+	e20BatchSize  = 256
+	e20ValueBytes = 24
+	e20Retention  = 32 << 20 // per-partition, matches a bounded deployment
+)
+
+// E20IngestThroughput measures the ingestion plane end to end at 512-session
+// telemetry rates: concurrent unkeyed batch produce through cached Topic
+// handles (records/s, allocs/record, bytes/record, per-partition skew), a
+// reuse-buffer consumer drain, and a combined produce+consume pipeline
+// feeding a windowed stream stage, with consumer lag sampled throughout.
+func E20IngestThroughput() *Report {
+	return e20Ingest(512, 8, 3, "full")
+}
+
+// e20IngestSmoke is the tiny-parameter variant for plain `go test` and the
+// CI perf gate; see e14MultiSessionSmoke for the best-of-trials rationale.
+func e20IngestSmoke() *Report {
+	return e20Ingest(64, 4, 3, "smoke")
+}
+
+func e20Ingest(sessions, batchesPerSession, trials int, config string) *Report {
+	totalBatches := sessions * batchesPerSession
+	totalRecords := totalBatches * e20BatchSize
+	title := fmt.Sprintf("E20: ingest throughput (%s records, %dB values, batch %d, %d producers, %d partitions)",
+		countLabel(totalRecords), e20ValueBytes, e20BatchSize, e20Producers, e20Partitions)
+	t := metrics.NewTable(title, "mode", "records", "records/s", "allocs/rec", "bytes/rec", "skew", "lag p50", "lag p99")
+	res := NewResult("E20", title, config)
+
+	values := make([][]byte, e20BatchSize)
+	for i := range values {
+		values[i] = make([]byte, e20ValueBytes)
+		for j := range values[i] {
+			values[i][j] = byte(i + j)
+		}
+	}
+
+	// mode=produce: concurrent unkeyed batch produce, best of trials.
+	var prodRate float64
+	var skew float64
+	for trial := 0; trial < trials; trial++ {
+		rate, s := e20Produce(totalBatches, values)
+		if rate > prodRate {
+			prodRate = rate
+			skew = s
+		}
+	}
+	allocsPerRec, bytesPerRec := e20ProduceAllocs(values, trials)
+	t.AddRow("produce", totalRecords, fmt.Sprintf("%.0f", prodRate),
+		fmt.Sprintf("%.4f", allocsPerRec), fmt.Sprintf("%.1f", bytesPerRec),
+		fmt.Sprintf("%.2f", skew), "—", "—")
+	res.AddRow("mode=produce",
+		M("records", float64(totalRecords), "count", ""),
+		// Wall-clock rate on a shared host: gate only on gross collapse,
+		// like E14's frames/s.
+		M("records_per_sec", prodRate, "1/s", BetterHigher).WithTolerance(0.75),
+		// Deterministic within a small jitter floor: a reintroduced
+		// per-record allocation moves this 50-100x, far past the gate.
+		M("allocs_per_record", allocsPerRec, "count", BetterLower).WithTolerance(0.5),
+		M("bytes_per_record", bytesPerRec, "B", BetterLower).WithTolerance(0.5),
+		// Round-robin spreads unkeyed batches exactly; a return of the
+		// hot-partition bug reads as skew >> 1.
+		M("partition_skew", skew, "ratio", BetterLower),
+	)
+
+	// mode=consume: drain a pre-filled log through PollInto with a reused
+	// buffer, best of trials.
+	var consRate, consAllocs float64
+	for trial := 0; trial < trials; trial++ {
+		rate, apr := e20Consume(totalBatches, values)
+		if rate > consRate {
+			consRate = rate
+		}
+		if trial == 0 || apr < consAllocs {
+			consAllocs = apr
+		}
+	}
+	t.AddRow("consume", totalRecords, fmt.Sprintf("%.0f", consRate),
+		fmt.Sprintf("%.4f", consAllocs), "—", "—", "—", "—")
+	res.AddRow("mode=consume",
+		M("records_per_sec", consRate, "1/s", BetterHigher).WithTolerance(0.75),
+		M("allocs_per_record", consAllocs, "count", BetterLower).WithTolerance(0.5),
+	)
+
+	// mode=pipeline: concurrent produce + consume, the consumer feeding a
+	// windowed stream stage (the platform's analytics shape), lag sampled
+	// while both run. Single trial: lag percentiles are a distribution over
+	// the whole run, not a best-of rate.
+	pipeRate, lagP50, lagP99 := e20Pipeline(totalBatches, values)
+	t.AddRow("pipeline", totalRecords, fmt.Sprintf("%.0f", pipeRate), "—", "—", "—",
+		fmt.Sprintf("%.0f", lagP50), fmt.Sprintf("%.0f", lagP99))
+	res.AddRow("mode=pipeline",
+		M("records_per_sec", pipeRate, "1/s", BetterHigher).WithTolerance(0.75),
+		// Lag depends on goroutine interleaving; informational.
+		M("lag_p50", lagP50, "records", ""),
+		M("lag_p99", lagP99, "records", ""),
+	)
+
+	res.CaptureRSS()
+	return &Report{Table: t, Result: res}
+}
+
+func e20Broker() (*mq.Broker, *mq.Topic) {
+	b := mq.NewBroker()
+	if err := b.CreateTopic("telemetry", mq.TopicConfig{
+		Partitions:     e20Partitions,
+		RetentionBytes: e20Retention,
+	}); err != nil {
+		panic(err)
+	}
+	tp, err := b.Topic("telemetry")
+	if err != nil {
+		panic(err)
+	}
+	return b, tp
+}
+
+// e20Produce runs totalBatches unkeyed batch produces across e20Producers
+// goroutines and reports (records/s, partition skew = max/min newest offset).
+func e20Produce(totalBatches int, values [][]byte) (rate, skew float64) {
+	b, tp := e20Broker()
+	runtime.GC()
+	perProducer := totalBatches / e20Producers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < e20Producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, err := tp.ProduceBatch(nil, values); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	n := perProducer * e20Producers * len(values)
+
+	minNew, maxNew := int64(-1), int64(0)
+	for pi := 0; pi < e20Partitions; pi++ {
+		_, newest, err := b.Offsets("telemetry", pi)
+		if err != nil {
+			panic(err)
+		}
+		if minNew < 0 || newest < minNew {
+			minNew = newest
+		}
+		if newest > maxNew {
+			maxNew = newest
+		}
+	}
+	skew = float64(maxNew)
+	if minNew > 0 {
+		skew = float64(maxNew) / float64(minNew)
+	}
+	return float64(n) / wall.Seconds(), skew
+}
+
+// e20ProduceAllocs measures steady-state allocations and heap bytes per
+// produced record on a single goroutine (MemStats deltas are only exact
+// without concurrent mutators), taking the min over trials to shed stray
+// runtime allocations.
+func e20ProduceAllocs(values [][]byte, trials int) (allocsPerRec, bytesPerRec float64) {
+	const batches = 200
+	recs := float64(batches * len(values))
+	for trial := 0; trial < trials; trial++ {
+		_, tp := e20Broker()
+		// Warm up past the first segments so arena growth is steady-state.
+		for i := 0; i < 8; i++ {
+			if _, err := tp.ProduceBatch(nil, values); err != nil {
+				panic(err)
+			}
+		}
+		var m1, m2 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		for i := 0; i < batches; i++ {
+			if _, err := tp.ProduceBatch(nil, values); err != nil {
+				panic(err)
+			}
+		}
+		runtime.ReadMemStats(&m2)
+		apr := float64(m2.Mallocs-m1.Mallocs) / recs
+		bpr := float64(m2.TotalAlloc-m1.TotalAlloc) / recs
+		if trial == 0 || apr < allocsPerRec {
+			allocsPerRec = apr
+		}
+		if trial == 0 || bpr < bytesPerRec {
+			bytesPerRec = bpr
+		}
+	}
+	return allocsPerRec, bytesPerRec
+}
+
+// e20Consume fills a log, then drains it through a consumer group with a
+// reused record buffer, reporting (records/s, allocs/record).
+func e20Consume(totalBatches int, values [][]byte) (rate, allocsPerRec float64) {
+	b, tp := e20Broker()
+	for i := 0; i < totalBatches; i++ {
+		if _, err := tp.ProduceBatch(nil, values); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.NewGroup("telemetry")
+	if err != nil {
+		panic(err)
+	}
+	const pollMax = 512
+	buf := make([]mq.Record, 0, pollMax)
+	var m1, m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	start := time.Now()
+	consumed := 0
+	var last [e20Partitions]int64
+	for {
+		recs, err := g.PollInto(buf[:0], pollMax)
+		if err != nil {
+			panic(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		consumed += len(recs)
+		for i := range recs {
+			last[recs[i].Partition] = recs[i].Offset + 1
+		}
+		for pi, off := range last {
+			if off > 0 {
+				g.Commit(pi, off)
+			}
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m2)
+	return float64(consumed) / wall.Seconds(),
+		float64(m2.Mallocs-m1.Mallocs) / float64(consumed)
+}
+
+// e20Pipeline produces and consumes concurrently, the consumer pushing every
+// record into a windowed stream pipeline (per-key tumbling sum — the shape
+// of the platform's crowd analytics), while a sampler polls consumer lag.
+// Returns (consumed records/s, lag p50, lag p99).
+func e20Pipeline(totalBatches int, values [][]byte) (rate, lagP50, lagP99 float64) {
+	b, tp := e20Broker()
+	g, err := b.NewGroup("telemetry")
+	if err != nil {
+		panic(err)
+	}
+
+	pipe := stream.NewPipeline("e20")
+	pipe.Source("records").
+		Window("per-key-1s", 2, stream.Tumbling(time.Second), stream.Sum()).
+		Sink("null", func(stream.Event) {})
+	if err := pipe.Start(); err != nil {
+		panic(err)
+	}
+
+	perProducer := totalBatches / e20Producers
+	total := perProducer * e20Producers * len(values)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < e20Producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, err := tp.ProduceBatch(nil, values); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+
+	var (
+		lagMu   sync.Mutex
+		lags    []float64
+		stopLag = make(chan struct{})
+		lagDone = make(chan struct{})
+	)
+	go func() {
+		defer close(lagDone)
+		for {
+			select {
+			case <-stopLag:
+				return
+			default:
+			}
+			if lag, err := g.Lag(); err == nil {
+				lagMu.Lock()
+				lags = append(lags, float64(lag))
+				lagMu.Unlock()
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const pollMax = 512
+	buf := make([]mq.Record, 0, pollMax)
+	consumed := 0
+	var last [e20Partitions]int64
+	producersDone := make(chan struct{})
+	go func() { wg.Wait(); close(producersDone) }()
+	done := false
+	for consumed < total && !done {
+		recs, err := g.PollInto(buf[:0], pollMax)
+		if err != nil {
+			panic(err)
+		}
+		if len(recs) == 0 {
+			select {
+			case <-producersDone:
+				// One last poll below the select catches the tail; if it is
+				// empty too, retention dropped the remainder.
+				if tail, err := g.PollInto(buf[:0], pollMax); err != nil || len(tail) == 0 {
+					done = true
+				} else {
+					recs = tail
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+			if done {
+				break
+			}
+		}
+		consumed += len(recs)
+		for i := range recs {
+			r := &recs[i]
+			last[r.Partition] = r.Offset + 1
+			if err := pipe.Push("records", stream.Event{
+				Key:   "poi-" + string(rune('a'+r.Offset%16)),
+				Time:  r.Time,
+				Value: 1,
+			}); err != nil {
+				panic(err)
+			}
+		}
+		for pi, off := range last {
+			if off > 0 {
+				g.Commit(pi, off)
+			}
+		}
+	}
+	wall := time.Since(start)
+	close(stopLag)
+	<-lagDone
+	if err := pipe.Drain(); err != nil {
+		panic(err)
+	}
+
+	sort.Float64s(lags)
+	if n := len(lags); n > 0 {
+		lagP50 = lags[n/2]
+		lagP99 = lags[(n*99)/100]
+	}
+	return float64(consumed) / wall.Seconds(), lagP50, lagP99
+}

@@ -155,6 +155,13 @@ type Platform struct {
 	// load aggregates telemetry flush latency across sessions and derives
 	// the adaptive batch size; LoadSignal exposes it to frame admission.
 	load *loadTracker
+	// telemTopics holds cached broker handles for the telemetry topics,
+	// indexed by the telemetry* constants: every session's batcher flushes
+	// through them, skipping the broker's per-call topic and counter lookups.
+	telemTopics [numTelemetryTopics]*mq.Topic
+	// suppressedCtr is resolved once: OnGPS increments it per suppressed
+	// fix and must not pay a registry lookup on that path.
+	suppressedCtr *metrics.Counter
 
 	// sessions is the sharded live-session registry; nextSess hands out
 	// IDs without touching any lock.
@@ -200,11 +207,17 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		load:     newLoadTracker(cfg.TelemetryBatchSize, cfg.TelemetryMaxBatchSize),
 		sessions: newSessionRegistry(cfg.SessionShards),
 	}
+	p.suppressedCtr = p.reg.Counter("core.privacy.suppressed")
 	p.occluders = render.OccludersFromPOIs(p.pois.All(), 30)
-	for _, topic := range []string{TopicLocations, TopicInteractions} {
+	for i, topic := range telemetryTopicNames {
 		if err := p.broker.CreateTopic(topic, mq.TopicConfig{Partitions: 4}); err != nil {
 			return nil, err
 		}
+		tp, err := p.broker.Topic(topic)
+		if err != nil {
+			return nil, err
+		}
+		p.telemTopics[i] = tp
 	}
 	return p, nil
 }
@@ -271,27 +284,46 @@ func (p *Platform) Start() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
 	p.done = make(chan struct{})
+	consumedCtr := p.reg.Counter("core.interactions.consumed")
+	badCtr := p.reg.Counter("core.interactions.bad")
 	go func() {
 		defer close(p.done)
+		// Decoded events accumulate in a scratch slice reused across polls so
+		// the sketch updates take ONE hotMu acquisition per batch — under
+		// sustained ingest, per-record lock traffic on hotMu was contending
+		// directly with every frame's TopK reads.
+		type decoded struct {
+			evt interaction
+			at  time.Time
+		}
+		var scratch []decoded
 		_ = group.Consume(ctx, 256, func(recs []mq.Record) error {
+			scratch = scratch[:0]
 			for _, r := range recs {
 				evt, err := decodeInteraction(r.Value)
 				if err != nil {
-					p.reg.Counter("core.interactions.bad").Inc()
+					badCtr.Inc()
 					continue
 				}
+				scratch = append(scratch, decoded{evt: evt, at: r.Time})
+			}
+			if len(scratch) > 0 {
 				p.hotMu.Lock()
-				p.hot.Add(evt.POIKey)
+				for i := range scratch {
+					p.hot.Add(scratch[i].evt.POIKey)
+				}
 				p.hotMu.Unlock()
+			}
+			for i := range scratch {
 				if err := p.pipe.Push("interactions", stream.Event{
-					Key:   evt.POIKey,
-					Time:  r.Time,
-					Value: evt.Weight,
+					Key:   scratch[i].evt.POIKey,
+					Time:  scratch[i].at,
+					Value: scratch[i].evt.Weight,
 				}); err != nil {
 					return err
 				}
 			}
-			p.reg.Counter("core.interactions.consumed").Add(int64(len(recs)))
+			consumedCtr.Add(int64(len(recs)))
 			return nil
 		})
 	}()

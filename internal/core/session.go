@@ -131,7 +131,7 @@ func (p *Platform) buildSession(id uint64) *Session {
 		ID:        id,
 		platform:  p,
 		rng:       p.rng.Child(principal),
-		telem:     newTelemetryBatcher(principal, p.load, p.cfg.TelemetryMaxDelay),
+		telem:     newTelemetryBatcher(principal, p.load, p.cfg.TelemetryMaxDelay, &p.telemTopics),
 		fuser:     tracking.NewFuser(p.cfg.City.Center, p.pois),
 		gaze:      make(map[uint64]float64),
 		camera:    render.DefaultCamera,
@@ -156,7 +156,7 @@ func (s *Session) OnGPS(fix sensor.GPSFix) error {
 	p := s.platform
 	if p.cfg.LocationEpsilon > 0 {
 		if err := p.acct.Spend(s.principal, p.cfg.LocationEpsilon); err != nil {
-			p.reg.Counter("core.privacy.suppressed").Inc()
+			p.suppressedCtr.Inc()
 			return nil //nolint:nilerr // suppression is the intended behaviour
 		}
 		noisy, err := privacy.PlanarLaplace(s.rng, fix.Position, p.cfg.LocationEpsilon)
@@ -171,7 +171,7 @@ func (s *Session) OnGPS(fix sensor.GPSFix) error {
 	buf.Uvarint(s.ID)
 	buf.Float64(reported.Lat)
 	buf.Float64(reported.Lon)
-	return s.telem.enqueue(p.broker, telemetryLocations, buf.Bytes())
+	return s.telem.enqueue(telemetryLocations, buf.Bytes())
 }
 
 // OnIMU feeds an inertial sample into tracking.
@@ -211,7 +211,7 @@ func (s *Session) RecordInteraction(poiID uint64, weight float64) error {
 		User:   s.ID,
 		Weight: weight,
 	})
-	return s.telem.enqueue(s.platform.broker, telemetryInteractions, payload)
+	return s.telem.enqueue(telemetryInteractions, payload)
 }
 
 // Pose returns the fused pose estimate.

@@ -149,11 +149,14 @@ func (lt *loadTracker) batchSize() int {
 // when they reach the effective batch size — the configured size, scaled up
 // by the platform's load tracker when flushes run slow — and the platform's
 // background flusher sweeps out anything older than the max delay so quiet
-// sessions still surface promptly.
+// sessions still surface promptly. Flushes go through the platform's cached
+// mq.Topic handles, so a flush never pays the broker's per-call topic-map
+// lookup or counter resolution.
 type telemetryBatcher struct {
 	key      []byte // broker routing key: the session principal
 	load     *loadTracker
 	maxDelay time.Duration
+	topics   *[numTelemetryTopics]*mq.Topic
 
 	mu      sync.Mutex
 	buffers [numTelemetryTopics]topicBuffer
@@ -164,8 +167,8 @@ type topicBuffer struct {
 	oldestAt time.Time // enqueue time of values[0]
 }
 
-func newTelemetryBatcher(principal string, load *loadTracker, maxDelay time.Duration) *telemetryBatcher {
-	return &telemetryBatcher{key: []byte(principal), load: load, maxDelay: maxDelay}
+func newTelemetryBatcher(principal string, load *loadTracker, maxDelay time.Duration, topics *[numTelemetryTopics]*mq.Topic) *telemetryBatcher {
+	return &telemetryBatcher{key: []byte(principal), load: load, maxDelay: maxDelay, topics: topics}
 }
 
 // enqueue buffers one record for the topic, flushing the buffer to the
@@ -173,7 +176,7 @@ func newTelemetryBatcher(principal string, load *loadTracker, maxDelay time.Dura
 // clock, not the platform clock: the flush-delay bound is about real
 // elapsed time, and the sweeper's ticker is wall-clock anyway — a virtual
 // platform clock must not freeze age-based flushing.
-func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) error {
+func (tb *telemetryBatcher) enqueue(topic int, value []byte) error {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	now := time.Now()
@@ -188,7 +191,7 @@ func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) 
 	// overdue buffer, so a quiet topic cannot strand a record behind a
 	// busy one.
 	if len(buf.values) >= tb.load.batchSize() {
-		if err := tb.flushLocked(broker, topic); err != nil {
+		if err := tb.flushLocked(topic); err != nil {
 			return err
 		}
 	}
@@ -197,7 +200,7 @@ func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) 
 		if len(b.values) == 0 || now.Sub(b.oldestAt) < tb.maxDelay {
 			continue
 		}
-		if err := tb.flushLocked(broker, t); err != nil {
+		if err := tb.flushLocked(t); err != nil {
 			return err
 		}
 	}
@@ -206,14 +209,14 @@ func (tb *telemetryBatcher) enqueue(broker *mq.Broker, topic int, value []byte) 
 
 // flushOlderThan publishes any buffer whose oldest record was enqueued at or
 // before cutoff. The background flusher calls it on every sweep.
-func (tb *telemetryBatcher) flushOlderThan(broker *mq.Broker, cutoff time.Time) error {
+func (tb *telemetryBatcher) flushOlderThan(cutoff time.Time) error {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	for topic := range tb.buffers {
 		if len(tb.buffers[topic].values) == 0 || tb.buffers[topic].oldestAt.After(cutoff) {
 			continue
 		}
-		if err := tb.flushLocked(broker, topic); err != nil {
+		if err := tb.flushLocked(topic); err != nil {
 			return err
 		}
 	}
@@ -221,26 +224,26 @@ func (tb *telemetryBatcher) flushOlderThan(broker *mq.Broker, cutoff time.Time) 
 }
 
 // flushAll publishes every non-empty buffer.
-func (tb *telemetryBatcher) flushAll(broker *mq.Broker) error {
+func (tb *telemetryBatcher) flushAll() error {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
 	for topic := range tb.buffers {
 		if len(tb.buffers[topic].values) == 0 {
 			continue
 		}
-		if err := tb.flushLocked(broker, topic); err != nil {
+		if err := tb.flushLocked(topic); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (tb *telemetryBatcher) flushLocked(broker *mq.Broker, topic int) error {
+func (tb *telemetryBatcher) flushLocked(topic int) error {
 	buf := &tb.buffers[topic]
 	values := buf.values
 	buf.values = nil
 	start := time.Now()
-	_, err := broker.ProduceBatch(telemetryTopicNames[topic], tb.key, values)
+	_, err := tb.topics[topic].ProduceBatch(tb.key, values)
 	// A slow failure is still backend pressure: observe the latency either
 	// way so admission and batch sizing see a struggling broker.
 	tb.load.observeFlush(time.Since(start))
@@ -256,7 +259,7 @@ func (tb *telemetryBatcher) flushLocked(broker *mq.Broker, topic int) error {
 // that need records visible on the broker immediately (tests, shutdown)
 // use it; steady-state traffic flushes by size and age.
 func (s *Session) FlushTelemetry() error {
-	return s.telem.flushAll(s.platform.broker)
+	return s.telem.flushAll()
 }
 
 // FlushTelemetry publishes the buffered telemetry of every live session.
@@ -288,7 +291,7 @@ func (p *Platform) flushLoop(stop <-chan struct{}) {
 		case <-ticker.C:
 			cutoff := time.Now().Add(-p.cfg.TelemetryMaxDelay)
 			p.sessions.forEach(func(s *Session) bool {
-				if err := s.telem.flushOlderThan(p.broker, cutoff); err != nil {
+				if err := s.telem.flushOlderThan(cutoff); err != nil {
 					p.reg.Counter("core.telemetry.flush_errors").Inc()
 				}
 				return true

@@ -311,3 +311,26 @@ func TestTableFloatFormatting(t *testing.T) {
 		t.Errorf("float not rounded to 4 decimals:\n%s", out)
 	}
 }
+
+// BenchmarkCounterLookup quantifies why hot paths cache *Counter handles at
+// construction instead of calling Registry.Counter per event: the by-name
+// path pays a string concat plus a map lookup under RWMutex on every call,
+// the cached path is a single atomic add.
+func BenchmarkCounterLookup(b *testing.B) {
+	b.Run("by-name", func(b *testing.B) {
+		r := NewRegistry()
+		topic := "interactions"
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Counter("mq.produced." + topic).Inc()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("mq.produced.interactions")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}

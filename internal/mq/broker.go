@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"arbd/internal/metrics"
 	"arbd/internal/sim"
@@ -17,7 +18,63 @@ type Broker struct {
 
 	mu     sync.RWMutex
 	topics map[string]*topic
-	closed bool
+	// closed is also readable without b.mu so Topic handles and consumer
+	// groups — which skip the topic map entirely — can fail fast after Close.
+	closed atomic.Bool
+}
+
+// topic holds a topic's partitions plus everything the produce/fetch hot
+// paths would otherwise resolve per call: the produced/fetched counters are
+// interned once at CreateTopic (a per-call Registry.Counter lookup costs a
+// string concat allocation plus a registry mutex acquisition), and rr is the
+// sticky round-robin cursor spreading unkeyed records across partitions.
+type topic struct {
+	name     string
+	cfg      TopicConfig
+	parts    []*partition
+	produced *metrics.Counter
+	fetched  *metrics.Counter
+	rr       atomic.Uint64 // next unkeyed partition assignment
+
+	// notify is armed lazily: nil until a consumer subscribes, closed (and
+	// reset to nil) by the next produce. Producers with no waiters pay a
+	// mutex round-trip and a nil check — no channel allocation per produce.
+	notify chan struct{}
+	mu     sync.Mutex
+}
+
+func (t *topic) wake() {
+	t.mu.Lock()
+	if t.notify != nil {
+		close(t.notify)
+		t.notify = nil
+	}
+	t.mu.Unlock()
+}
+
+func (t *topic) waitCh() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.notify == nil {
+		t.notify = make(chan struct{})
+	}
+	return t.notify
+}
+
+// partitionFor routes one record or batch: keyed records hash for stable
+// per-key ordering; unkeyed records rotate round-robin so producers without
+// keys spread across every partition (hashing the empty key is a constant,
+// which used to land ALL unkeyed traffic on one partition). Each call
+// advances the cursor, so a batch sticks to one partition — keeping its
+// records contiguous — and the next batch moves on.
+func (t *topic) partitionFor(key []byte) int {
+	if len(t.parts) <= 1 {
+		return 0
+	}
+	if len(key) == 0 {
+		return int((t.rr.Add(1) - 1) % uint64(len(t.parts)))
+	}
+	return PartitionFor(key, len(t.parts))
 }
 
 // Option configures a Broker.
@@ -56,17 +113,18 @@ func (b *Broker) CreateTopic(name string, cfg TopicConfig) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
+	if b.closed.Load() {
 		return ErrClosed
 	}
 	if _, ok := b.topics[name]; ok {
 		return fmt.Errorf("%w: %q", ErrTopicExists, name)
 	}
 	t := &topic{
-		name:   name,
-		cfg:    cfg,
-		parts:  make([]*partition, cfg.Partitions),
-		notify: make(chan struct{}),
+		name:     name,
+		cfg:      cfg,
+		parts:    make([]*partition, cfg.Partitions),
+		produced: b.reg.Counter("mq.produced." + name),
+		fetched:  b.reg.Counter("mq.fetched." + name),
 	}
 	for i := range t.parts {
 		t.parts[i] = &partition{}
@@ -98,7 +156,7 @@ func (b *Broker) Partitions(topicName string) (int, error) {
 func (b *Broker) topic(name string) (*topic, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	if b.closed {
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
 	t, ok := b.topics[name]
@@ -108,7 +166,8 @@ func (b *Broker) topic(name string) (*topic, error) {
 	return t, nil
 }
 
-// PartitionFor returns the partition a key routes to.
+// PartitionFor returns the partition a non-empty key routes to. Unkeyed
+// records do not use key hashing: the broker assigns them round-robin.
 func PartitionFor(key []byte, numPartitions int) int {
 	if numPartitions <= 1 {
 		return 0
@@ -118,50 +177,126 @@ func PartitionFor(key []byte, numPartitions int) int {
 	return int(h.Sum32() % uint32(numPartitions))
 }
 
-// Produce appends a record to the topic, routing by key hash (or partition 0
-// for empty keys on unkeyed topics). It returns the assigned partition and
-// offset.
+// Topic resolves a produce/fetch handle: the topic-map lookup under the
+// broker lock and the metric-counter resolution happen once, here, instead
+// of on every call. Handles are valid for the life of the broker and safe
+// for concurrent use; after Close their operations fail with ErrClosed.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	t, err := b.topic(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Topic{b: b, t: t}, nil
+}
+
+// Topic is a cached handle to one topic — the allocation-free fast path for
+// hot producers and consumers.
+type Topic struct {
+	b *Broker
+	t *topic
+}
+
+// Name returns the topic name.
+func (tp *Topic) Name() string { return tp.t.name }
+
+// Partitions returns the topic's partition count.
+func (tp *Topic) Partitions() int { return len(tp.t.parts) }
+
+// Produce appends one record through the handle.
+func (tp *Topic) Produce(key, value []byte) (partitionIdx int, offset int64, err error) {
+	if tp.b.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	return tp.b.produce(tp.t, key, value)
+}
+
+// ProduceBatch appends a batch through the handle; see Broker.ProduceBatch.
+func (tp *Topic) ProduceBatch(key []byte, values [][]byte) (int64, error) {
+	if tp.b.closed.Load() {
+		return 0, ErrClosed
+	}
+	return tp.b.produceBatch(tp.t, key, values)
+}
+
+// FetchInto reads up to max records from one partition starting at offset,
+// appending them to dst — the reuse variant that keeps a hot consumer loop
+// from allocating a fresh slice per poll.
+func (tp *Topic) FetchInto(dst []Record, partitionIdx int, offset int64, max int) ([]Record, error) {
+	if tp.b.closed.Load() {
+		return dst, ErrClosed
+	}
+	return tp.b.fetchInto(tp.t, dst, partitionIdx, offset, max)
+}
+
+// Offsets returns the oldest retained and next-to-assign offsets of a
+// partition.
+func (tp *Topic) Offsets(partitionIdx int) (oldest, newest int64, err error) {
+	if tp.b.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if partitionIdx < 0 || partitionIdx >= len(tp.t.parts) {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(tp.t.parts))
+	}
+	return tp.t.parts[partitionIdx].oldest(), tp.t.parts[partitionIdx].newest(), nil
+}
+
+// WaitProduce returns a channel closed on the topic's next produce.
+func (tp *Topic) WaitProduce() (<-chan struct{}, error) {
+	if tp.b.closed.Load() {
+		return nil, ErrClosed
+	}
+	ch := tp.t.waitCh()
+	// Re-check after arming: Close's wake can run between the check above
+	// and waitCh, and a lazily-armed channel it never saw would block its
+	// waiter forever.
+	if tp.b.closed.Load() {
+		tp.t.wake()
+	}
+	return ch, nil
+}
+
+// Produce appends a record to the topic: keyed records route by key hash,
+// unkeyed records round-robin across partitions. It returns the assigned
+// partition and offset.
 func (b *Broker) Produce(topicName string, key, value []byte) (partitionIdx int, offset int64, err error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return 0, 0, err
 	}
+	return b.produce(t, key, value)
+}
+
+func (b *Broker) produce(t *topic, key, value []byte) (int, int64, error) {
 	if t.cfg.Keyed && len(key) == 0 {
 		return 0, 0, ErrEmptyKey
 	}
-	partitionIdx = PartitionFor(key, len(t.parts))
-	offset = t.parts[partitionIdx].append(b.clock.Now(), key, value)
-	if t.cfg.RetentionBytes > 0 {
-		t.parts[partitionIdx].truncate(t.cfg.RetentionBytes)
-	}
-	b.reg.Counter("mq.produced." + topicName).Inc()
+	pi := t.partitionFor(key)
+	off := t.parts[pi].append(b.clock.Now(), key, value, t.cfg.RetentionBytes)
+	t.produced.Inc()
 	t.wake()
-	return partitionIdx, offset, nil
+	return pi, off, nil
 }
 
-// ProduceBatch appends several values with the same key routing rules,
-// returning the offset of the first record of the batch.
+// ProduceBatch appends several values with the same key routing rules under
+// one partition-lock acquisition, returning the offset of the first record
+// of the batch. The whole batch lands contiguously on one partition (unkeyed
+// batches stick to the round-robin cursor's current partition; the next
+// batch rotates onward).
 func (b *Broker) ProduceBatch(topicName string, key []byte, values [][]byte) (int64, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return 0, err
 	}
+	return b.produceBatch(t, key, values)
+}
+
+func (b *Broker) produceBatch(t *topic, key []byte, values [][]byte) (int64, error) {
 	if t.cfg.Keyed && len(key) == 0 {
 		return 0, ErrEmptyKey
 	}
-	pi := PartitionFor(key, len(t.parts))
-	var first int64 = -1
-	now := b.clock.Now()
-	for _, v := range values {
-		off := t.parts[pi].append(now, key, v)
-		if first < 0 {
-			first = off
-		}
-	}
-	if t.cfg.RetentionBytes > 0 {
-		t.parts[pi].truncate(t.cfg.RetentionBytes)
-	}
-	b.reg.Counter("mq.produced." + topicName).Add(int64(len(values)))
+	pi := t.partitionFor(key)
+	first := t.parts[pi].appendBatch(b.clock.Now(), key, values, t.cfg.RetentionBytes)
+	t.produced.Add(int64(len(values)))
 	t.wake()
 	return first, nil
 }
@@ -172,18 +307,32 @@ func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int
 	if err != nil {
 		return nil, err
 	}
-	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
-		return nil, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
-	}
-	recs, err := t.parts[partitionIdx].read(offset, max)
+	return b.fetchInto(t, nil, partitionIdx, offset, max)
+}
+
+// FetchInto is Fetch appending into dst; see Topic.FetchInto.
+func (b *Broker) FetchInto(dst []Record, topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	for i := range recs {
-		recs[i].Partition = partitionIdx
+	return b.fetchInto(t, dst, partitionIdx, offset, max)
+}
+
+func (b *Broker) fetchInto(t *topic, dst []Record, partitionIdx int, offset int64, max int) ([]Record, error) {
+	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		return dst, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
 	}
-	b.reg.Counter("mq.fetched." + topicName).Add(int64(len(recs)))
-	return recs, nil
+	start := len(dst)
+	dst, err := t.parts[partitionIdx].readInto(dst, offset, max)
+	if err != nil {
+		return dst, err
+	}
+	for i := start; i < len(dst); i++ {
+		dst[i].Partition = partitionIdx
+	}
+	t.fetched.Add(int64(len(dst) - start))
+	return dst, nil
 }
 
 // Offsets returns the oldest retained and next-to-assign offsets of a
@@ -206,17 +355,20 @@ func (b *Broker) WaitProduce(topicName string) (<-chan struct{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.waitCh(), nil
+	ch := t.waitCh()
+	if b.closed.Load() {
+		t.wake() // see Topic.WaitProduce
+	}
+	return ch, nil
 }
 
 // Close shuts the broker; subsequent operations fail with ErrClosed.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
+	if b.closed.Swap(true) {
 		return
 	}
-	b.closed = true
 	for _, t := range b.topics {
 		t.wake() // release blocked consumers
 	}

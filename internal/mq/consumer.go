@@ -7,26 +7,26 @@ import (
 
 // Group tracks committed offsets per partition for one consumer group on one
 // topic, giving at-least-once delivery: a record is redelivered until its
-// offset is committed.
+// offset is committed. The group holds a resolved Topic handle, so polling
+// never pays the per-call topic-map lookup.
 type Group struct {
-	broker *Broker
-	topic  string
+	tp *Topic
 
 	mu        sync.Mutex
-	committed map[int]int64
+	committed []int64
 	next      int // Poll's round-robin starting partition
 }
 
 // NewGroup returns a consumer group positioned at the oldest retained offset
 // of every partition.
 func (b *Broker) NewGroup(topicName string) (*Group, error) {
-	t, err := b.topic(topicName)
+	tp, err := b.Topic(topicName)
 	if err != nil {
 		return nil, err
 	}
-	g := &Group{broker: b, topic: topicName, committed: make(map[int]int64, len(t.parts))}
-	for pi := range t.parts {
-		g.committed[pi] = t.parts[pi].oldest()
+	g := &Group{tp: tp, committed: make([]int64, len(tp.t.parts))}
+	for pi := range g.committed {
+		g.committed[pi] = tp.t.parts[pi].oldest()
 	}
 	return g, nil
 }
@@ -34,6 +34,9 @@ func (b *Broker) NewGroup(topicName string) (*Group, error) {
 // Committed returns the committed offset for a partition (records below it
 // are consumed).
 func (g *Group) Committed(partitionIdx int) int64 {
+	if partitionIdx < 0 || partitionIdx >= len(g.committed) {
+		return 0
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.committed[partitionIdx]
@@ -42,6 +45,9 @@ func (g *Group) Committed(partitionIdx int) int64 {
 // Commit marks all records below offset in the partition as consumed.
 // Offsets only move forward.
 func (g *Group) Commit(partitionIdx int, offset int64) {
+	if partitionIdx < 0 || partitionIdx >= len(g.committed) {
+		return
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if offset > g.committed[partitionIdx] {
@@ -53,7 +59,14 @@ func (g *Group) Commit(partitionIdx int, offset int64) {
 // offsets and the topic head across all partitions — the backlog signal
 // lag-aware admission control watches.
 func (g *Group) Lag() (int64, error) {
-	return g.broker.Lag(g.topic, g)
+	if g.tp.b.closed.Load() {
+		return 0, ErrClosed
+	}
+	var lag int64
+	for pi := range g.tp.t.parts {
+		lag += g.tp.t.parts[pi].newest() - g.Committed(pi)
+	}
+	return lag, nil
 }
 
 // Poll fetches up to max uncommitted records across all partitions, without
@@ -64,53 +77,65 @@ func (g *Group) Lag() (int64, error) {
 // partitions 1..N-1 indefinitely under sustained load, so their lag never
 // drains and the Lag()-driven admission signal is skewed.
 func (g *Group) Poll(max int) ([]Record, error) {
-	n, err := g.broker.Partitions(g.topic)
-	if err != nil {
-		return nil, err
+	return g.PollInto(nil, max)
+}
+
+// PollInto is Poll appending into dst — the reuse variant for consumer loops
+// that would otherwise allocate a fresh []Record per poll. Appended records'
+// Key/Value bytes alias the log's segment arenas and are read-only.
+func (g *Group) PollInto(dst []Record, max int) ([]Record, error) {
+	if g.tp.b.closed.Load() {
+		return dst, ErrClosed
 	}
+	n := len(g.committed)
 	g.mu.Lock()
 	start := g.next % n
 	g.next = (start + 1) % n
 	g.mu.Unlock()
-	var out []Record
-	for k := 0; k < n && len(out) < max; k++ {
+	base := len(dst)
+	for k := 0; k < n && len(dst)-base < max; k++ {
 		pi := (start + k) % n
 		from := g.Committed(pi)
 		// Skip forward if retention truncated below our committed position.
-		oldest, _, err := g.broker.Offsets(g.topic, pi)
+		oldest, _, err := g.tp.Offsets(pi)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if from < oldest {
 			from = oldest
 			g.Commit(pi, oldest)
 		}
-		recs, err := g.broker.Fetch(g.topic, pi, from, max-len(out))
+		dst, err = g.tp.FetchInto(dst, pi, from, max-(len(dst)-base))
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, recs...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // PollWait behaves like Poll but blocks until at least one record is
 // available, the context is cancelled, or the broker closes.
 func (g *Group) PollWait(ctx context.Context, max int) ([]Record, error) {
+	return g.PollWaitInto(ctx, nil, max)
+}
+
+// PollWaitInto is PollWait appending into dst.
+func (g *Group) PollWaitInto(ctx context.Context, dst []Record, max int) ([]Record, error) {
+	base := len(dst)
 	for {
 		// Subscribe before polling so a produce between poll and wait is not
 		// lost.
-		ch, err := g.broker.WaitProduce(g.topic)
+		ch, err := g.tp.WaitProduce()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		recs, err := g.Poll(max)
-		if err != nil || len(recs) > 0 {
-			return recs, err
+		dst, err = g.PollInto(dst, max)
+		if err != nil || len(dst) > base {
+			return dst, err
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return dst, ctx.Err()
 		case <-ch:
 		}
 	}
@@ -119,20 +144,25 @@ func (g *Group) PollWait(ctx context.Context, max int) ([]Record, error) {
 // Consume runs fn over batches of records until ctx is cancelled or the
 // broker closes, committing after each successful batch. If fn returns an
 // error the batch is not committed and Consume returns the error.
+//
+// The batch slice is reused across iterations: fn must finish with it (or
+// copy what it keeps) before returning.
 func (g *Group) Consume(ctx context.Context, batch int, fn func([]Record) error) error {
+	buf := make([]Record, 0, batch)
 	for {
-		recs, err := g.PollWait(ctx, batch)
+		recs, err := g.PollWaitInto(ctx, buf[:0], batch)
 		if err != nil {
 			return err
 		}
+		buf = recs
 		if len(recs) == 0 {
 			continue
 		}
 		if err := fn(recs); err != nil {
 			return err
 		}
-		for _, r := range recs {
-			g.Commit(r.Partition, r.Offset+1)
+		for i := range recs {
+			g.Commit(recs[i].Partition, recs[i].Offset+1)
 		}
 	}
 }

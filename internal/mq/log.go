@@ -4,6 +4,19 @@
 // the paper assumes. Records are durable for the life of the process and
 // subject to size-based retention, which is sufficient for the simulated
 // deployments this repository targets (see DESIGN.md substitution table).
+//
+// Storage layout: each partition is a sequence of fixed-record-count
+// segments, and each segment owns a byte arena — one backing array holding
+// every record's Key and Value bytes. Appends copy payloads into the arena
+// and store a pointer-free per-record descriptor (timestamp plus arena
+// offsets), so the produce path costs ~2 allocations per segment instead of
+// 2 per record, and a retained segment costs the garbage collector O(1)
+// mark work regardless of how many records it holds. Record structs are
+// materialized at read time, with Key/Value subslicing the arena. A
+// segment's arena lives exactly as long as the segment (the unit of
+// retention), and fetched records keep the arena reachable, so records
+// handed to consumers stay valid even after retention drops their segment
+// from the log.
 package mq
 
 import (
@@ -22,7 +35,9 @@ var (
 	ErrEmptyKey       = errors.New("mq: record key must not be empty when topic is keyed")
 )
 
-// Record is one message in a partition log.
+// Record is one message in a partition log. Key and Value alias the log's
+// per-segment arena: they stay valid indefinitely (retention keeps the arena
+// alive through the record), but consumers must treat them as read-only.
 type Record struct {
 	Offset    int64
 	Time      time.Time
@@ -36,10 +51,59 @@ type Record struct {
 // exceeds its retention budget.
 const segmentSize = 1024
 
-// segment is a fixed-capacity run of consecutive records.
+// recordOverhead is the per-record bookkeeping cost charged against the
+// retention budget on top of key+value bytes.
+const recordOverhead = 32
+
+// minArenaBytes seeds a fresh segment's arena capacity; subsequent segments
+// inherit the previous segment's final arena size so a steady workload
+// settles at one arena allocation per segment.
+const minArenaBytes = 4096
+
+// maxArenaBytes caps one segment's arena so recMeta's uint32 offsets always
+// address it; a payload that would overflow rolls a new segment early.
+const maxArenaBytes = 1<<32 - 1
+
+// recMeta locates one record inside its segment. It is deliberately
+// pointer-free — the garbage collector never scans inside a retained
+// segment, so mark cost is O(segments), not O(records) — and Record structs
+// are materialized from it at read time.
+type recMeta struct {
+	sec    int64  // timestamp seconds
+	nsec   int32  // timestamp nanoseconds into sec
+	pos    uint32 // start of key+value bytes in the arena
+	keyLen uint32
+	valLen uint32
+}
+
+// segment is a fixed-capacity run of consecutive records plus the arena
+// backing their payload bytes. Record i has offset base+i.
 type segment struct {
-	base    int64 // offset of records[0]
-	records []Record
+	base  int64
+	meta  []recMeta
+	data  []byte // arena: every record's Key and Value bytes, in append order
+	bytes int64  // retention-accounted bytes of this segment
+}
+
+// record materializes record i. The full slice expressions pin capacity so
+// appending to a fetched record's Key/Value reallocates instead of
+// clobbering the next record's bytes; zero-length fields come back nil.
+func (s *segment) record(i int) Record {
+	m := &s.meta[i]
+	rec := Record{
+		Offset: s.base + int64(i),
+		Time:   time.Unix(m.sec, int64(m.nsec)),
+	}
+	if m.keyLen > 0 {
+		end := m.pos + m.keyLen
+		rec.Key = s.data[m.pos:end:end]
+	}
+	if m.valLen > 0 {
+		vp := m.pos + m.keyLen
+		end := vp + m.valLen
+		rec.Value = s.data[vp:end:end]
+	}
+	return rec
 }
 
 // partition is a sequence of segments plus the next offset to assign.
@@ -50,26 +114,132 @@ type partition struct {
 	bytes    int64
 }
 
-func (p *partition) append(now time.Time, key, value []byte) int64 {
+// tailLocked returns the segment the next payload-byte append lands in,
+// rolling a new one when the tail is full (or would outgrow uint32 arena
+// addressing).
+func (p *partition) tailLocked(payload int) *segment {
+	if n := len(p.segments); n > 0 {
+		seg := p.segments[n-1]
+		if len(seg.meta) < segmentSize &&
+			(len(seg.meta) == 0 || int64(len(seg.data))+int64(payload) <= maxArenaBytes) {
+			return seg
+		}
+	}
+	arenaCap := minArenaBytes
+	if n := len(p.segments); n > 0 {
+		if prev := len(p.segments[n-1].data); prev > arenaCap {
+			arenaCap = prev
+		}
+	}
+	seg := &segment{
+		base: p.next,
+		meta: make([]recMeta, 0, segmentSize),
+		data: make([]byte, 0, arenaCap),
+	}
+	p.segments = append(p.segments, seg)
+	return seg
+}
+
+// appendLocked adds one record to the tail segment. The timestamp arrives
+// pre-split so batch appends pay the time.Time decomposition once, not per
+// record. p.mu must be held.
+func (p *partition) appendLocked(sec int64, nsec int32, key, value []byte) int64 {
+	seg := p.tailLocked(len(key) + len(value))
+	pos := uint32(len(seg.data))
+	seg.data = append(seg.data, key...)
+	seg.data = append(seg.data, value...)
+	seg.meta = append(seg.meta, recMeta{
+		sec:    sec,
+		nsec:   nsec,
+		pos:    pos,
+		keyLen: uint32(len(key)),
+		valLen: uint32(len(value)),
+	})
+	cost := int64(len(key)+len(value)) + recordOverhead
+	seg.bytes += cost
+	p.bytes += cost
+	off := p.next
+	p.next++
+	return off
+}
+
+// append adds one record and applies retention under a single lock
+// acquisition.
+func (p *partition) append(now time.Time, key, value []byte, retention int64) int64 {
+	sec, nsec := now.Unix(), int32(now.Nanosecond())
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.segments) == 0 || len(p.segments[len(p.segments)-1].records) >= segmentSize {
-		p.segments = append(p.segments, &segment{
-			base:    p.next,
-			records: make([]Record, 0, segmentSize),
-		})
+	off := p.appendLocked(sec, nsec, key, value)
+	if retention > 0 {
+		p.truncateLocked(retention)
 	}
-	seg := p.segments[len(p.segments)-1]
-	rec := Record{
-		Offset: p.next,
-		Time:   now,
-		Key:    append([]byte(nil), key...),
-		Value:  append([]byte(nil), value...),
+	return off
+}
+
+// appendBatch adds every value under ONE lock acquisition and runs retention
+// truncation once at the end — a batch's records are always contiguous, and
+// concurrent batch producers interleave at batch granularity, not record
+// granularity. Returns the offset of the batch's first record (-1 for an
+// empty batch).
+//
+// The fast path reserves each segment's meta slots up front and fills them
+// by index, so the per-record cost is the payload copy plus one struct
+// store — no per-record function calls, capacity checks, or bookkeeping.
+// Batches big enough to threaten uint32 arena addressing (≥4 GiB) take the
+// per-record path, which rolls segments as needed.
+func (p *partition) appendBatch(now time.Time, key []byte, values [][]byte, retention int64) int64 {
+	if len(values) == 0 {
+		return -1
 	}
-	seg.records = append(seg.records, rec)
-	p.next++
-	p.bytes += int64(len(key) + len(value) + 32)
-	return rec.Offset
+	sec, nsec := now.Unix(), int32(now.Nanosecond())
+	kl := uint32(len(key))
+	total := int64(0)
+	for _, v := range values {
+		total += int64(len(key) + len(v))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	first := p.next
+	tailLen := 0
+	if n := len(p.segments); n > 0 {
+		tailLen = len(p.segments[n-1].data)
+	}
+	if int64(tailLen)+total > maxArenaBytes {
+		for _, v := range values {
+			p.appendLocked(sec, nsec, key, v)
+		}
+	} else {
+		i := 0
+		for i < len(values) {
+			seg := p.tailLocked(0)
+			chunk := segmentSize - len(seg.meta)
+			if rem := len(values) - i; chunk > rem {
+				chunk = rem
+			}
+			m := len(seg.meta)
+			seg.meta = seg.meta[:m+chunk]
+			data := seg.data
+			payload := int64(0)
+			for k := 0; k < chunk; k++ {
+				v := values[i+k]
+				pos := uint32(len(data))
+				data = append(data, key...)
+				data = append(data, v...)
+				seg.meta[m+k] = recMeta{sec: sec, nsec: nsec, pos: pos, keyLen: kl, valLen: uint32(len(v))}
+				payload += int64(len(v))
+			}
+			cost := payload + int64(chunk)*(int64(len(key))+recordOverhead)
+			seg.data = data
+			seg.bytes += cost
+			p.bytes += cost
+			i += chunk
+		}
+		p.next = first + int64(len(values))
+	}
+	if retention > 0 {
+		p.truncateLocked(retention)
+	}
+	return first
 }
 
 // oldest returns the lowest retained offset (== next when empty).
@@ -88,15 +258,17 @@ func (p *partition) newest() int64 {
 	return p.next
 }
 
-// read copies up to max records starting at offset into out.
-func (p *partition) read(offset int64, max int) ([]Record, error) {
+// readInto appends up to max records starting at offset to dst. The record
+// structs are materialized fresh; their Key/Value bytes alias the segment
+// arenas.
+func (p *partition) readInto(dst []Record, offset int64, max int) ([]Record, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if len(p.segments) > 0 && offset < p.segments[0].base {
-		return nil, ErrOffsetOutOfLog
+		return dst, ErrOffsetOutOfLog
 	}
 	if offset >= p.next || max <= 0 {
-		return nil, nil
+		return dst, nil
 	}
 	// Binary search over segments: find the segment containing offset.
 	lo, hi := 0, len(p.segments)-1
@@ -108,35 +280,30 @@ func (p *partition) read(offset int64, max int) ([]Record, error) {
 			hi = mid - 1
 		}
 	}
-	out := make([]Record, 0, max)
-	for si := lo; si < len(p.segments) && len(out) < max; si++ {
+	taken := 0
+	for si := lo; si < len(p.segments) && taken < max; si++ {
 		seg := p.segments[si]
 		start := 0
 		if offset > seg.base {
 			start = int(offset - seg.base)
 		}
-		for i := start; i < len(seg.records) && len(out) < max; i++ {
-			out = append(out, seg.records[i])
+		for i := start; i < len(seg.meta) && taken < max; i++ {
+			dst = append(dst, seg.record(i))
+			taken++
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
-// truncate drops whole segments until retained bytes <= budget, always
-// keeping the newest segment. Returns the number of records dropped.
-func (p *partition) truncate(budget int64) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	dropped := 0
+// truncateLocked drops whole segments until retained bytes <= budget, always
+// keeping the newest segment. Per-segment byte totals make this O(dropped
+// segments), not O(dropped records). p.mu must be held.
+func (p *partition) truncateLocked(budget int64) {
 	for len(p.segments) > 1 && p.bytes > budget {
-		seg := p.segments[0]
-		for _, r := range seg.records {
-			p.bytes -= int64(len(r.Key) + len(r.Value) + 32)
-		}
-		dropped += len(seg.records)
+		p.bytes -= p.segments[0].bytes
+		p.segments[0] = nil // release the segment (and its arena) promptly
 		p.segments = p.segments[1:]
 	}
-	return dropped
 }
 
 // TopicConfig configures a topic at creation.
@@ -144,26 +311,4 @@ type TopicConfig struct {
 	Partitions     int   // number of partitions; default 1
 	RetentionBytes int64 // per-partition retention budget; <=0 means unlimited
 	Keyed          bool  // if true, Produce requires a non-empty key
-}
-
-// topic holds a topic's partitions.
-type topic struct {
-	name   string
-	cfg    TopicConfig
-	parts  []*partition
-	notify chan struct{} // closed-and-replaced on each produce to wake pollers
-	mu     sync.Mutex
-}
-
-func (t *topic) wake() {
-	t.mu.Lock()
-	close(t.notify)
-	t.notify = make(chan struct{})
-	t.mu.Unlock()
-}
-
-func (t *topic) waitCh() <-chan struct{} {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.notify
 }

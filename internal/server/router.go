@@ -167,6 +167,12 @@ type Router struct {
 	gate loadGate
 	reg  *metrics.Registry
 
+	// Per-message instruments, resolved once at construction: the forward
+	// and push hot paths must not pay a registry map lookup per envelope.
+	framesShed  *metrics.Counter
+	forwardErrs *metrics.Counter
+	pushesStale *metrics.Counter
+
 	// shards maps member ID → slot. Mutable since membership went dynamic:
 	// Join installs, Drain removes.
 	shardsMu sync.RWMutex
@@ -362,6 +368,10 @@ func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts
 		sessions:   make(map[uint64]*routerClient),
 		subs:       make(map[uint64]*subEntry),
 		migrations: make(map[uint64]*migration),
+
+		framesShed:  reg.Counter("router.frames.shed"),
+		forwardErrs: reg.Counter("router.forward.errors"),
+		pushesStale: reg.Counter("router.pushes.stale"),
 	}
 	r.bufs.New = func() any { return wire.NewBuffer(1024) }
 	r.cs = newConnServer(logger, r.serveClient)
@@ -685,13 +695,13 @@ func (r *Router) deliver(env *wire.Envelope) {
 			if e.restart && e.lastRaw > 0 && env.Seq > e.lastRaw &&
 				time.Since(e.rebasedAt) < stragglerWindow {
 				r.subsMu.Unlock()
-				r.reg.Counter("router.pushes.stale").Inc()
+				r.pushesStale.Inc()
 				return
 			}
 			seq = e.base + env.Seq
 			if seq <= e.last {
 				r.subsMu.Unlock()
-				r.reg.Counter("router.pushes.stale").Inc()
+				r.pushesStale.Inc()
 				return
 			}
 			e.restart = false
@@ -924,13 +934,13 @@ func (r *Router) forwardGated(cl *routerClient, id uint64, env *wire.Envelope, p
 	}
 	if env.Type == wire.MsgFrameRequest {
 		if r.shedNow(ss) {
-			r.reg.Counter("router.frames.shed").Inc()
+			r.framesShed.Inc()
 			return errReply(ErrRouterShed.Error()), true
 		}
 		ss.pend.add(id, env.Seq, time.Now())
 	}
 	if err := ss.forward(env); err != nil {
-		r.reg.Counter("router.forward.errors").Inc()
+		r.forwardErrs.Inc()
 		if env.Type == wire.MsgFrameRequest {
 			ss.pend.done(id, env.Seq)
 		}

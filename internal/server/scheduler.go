@@ -80,6 +80,14 @@ type FrameScheduler struct {
 	reg  *metrics.Registry
 	jobs chan frameJob
 
+	// Per-frame instruments, resolved once at construction: the run hot
+	// path must not pay a name concat + registry map lookup per frame.
+	queueWait   *metrics.Histogram
+	frameLat    *metrics.Histogram
+	framesDone  *metrics.Counter
+	framesShed  *metrics.Counter
+	framesShedL *metrics.Counter
+
 	// loadMu guards the cached backend-load sample; cfg.Load is polled at
 	// most every cfg.LoadPollEvery.
 	loadMu  sync.Mutex
@@ -137,6 +145,12 @@ func NewFrameScheduler(cfg SchedulerConfig, reg *metrics.Registry) *FrameSchedul
 		jobs:   make(chan frameJob, cfg.QueueDepth),
 		ovKick: make(chan struct{}, 1),
 		quit:   make(chan struct{}),
+
+		queueWait:   reg.Histogram("server.frame.queue_wait"),
+		frameLat:    reg.Histogram("server.frame.latency"),
+		framesDone:  reg.Counter("server.frames.done"),
+		framesShed:  reg.Counter("server.frames.shed"),
+		framesShedL: reg.Counter("server.frames.shed_lag"),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		fs.wg.Add(1)
@@ -214,13 +228,13 @@ func (fs *FrameScheduler) EffectiveDeadline() time.Duration {
 
 func (fs *FrameScheduler) run(job frameJob) {
 	wait := time.Since(job.enq)
-	fs.reg.Histogram("server.frame.queue_wait").Observe(wait)
+	fs.queueWait.Observe(wait)
 	if deadline := fs.EffectiveDeadline(); deadline > 0 && wait > deadline {
-		fs.reg.Counter("server.frames.shed").Inc()
+		fs.framesShed.Inc()
 		if wait <= fs.cfg.Deadline {
 			// Inside the base deadline: this frame was shed only because
 			// backend pressure tightened admission.
-			fs.reg.Counter("server.frames.shed_lag").Inc()
+			fs.framesShedL.Inc()
 		}
 		job.done(nil, ErrFrameShed)
 		return
@@ -233,8 +247,8 @@ func (fs *FrameScheduler) run(job frameJob) {
 	} else {
 		f, err = job.sess.Frame(start)
 	}
-	fs.reg.Histogram("server.frame.latency").Observe(time.Since(start))
-	fs.reg.Counter("server.frames.done").Inc()
+	fs.frameLat.Observe(time.Since(start))
+	fs.framesDone.Inc()
 	job.done(f, err)
 }
 
