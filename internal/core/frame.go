@@ -51,6 +51,8 @@ func EncodeFrame(f *Frame) []byte {
 // bytes (buf.Bytes) alias buf's storage and are valid until buf is reset or
 // reused, which lets the server encode each response into a pooled buffer
 // and hand it to the framed writer without allocating per frame.
+//
+//arbd:hotpath
 func EncodeFrameInto(buf *wire.Buffer, f *Frame) {
 	buf.Uvarint(uint64(len(f.Annotations)))
 	for _, a := range f.Annotations {
@@ -112,6 +114,8 @@ func FrameDeltaIsKeyframe(p []byte) bool {
 //
 // The caller decides keyframe cadence; the encoder only forces one when
 // f.PrevAnnotations is nil — a session's first frame, or scratch disabled.
+//
+//arbd:hotpath
 func EncodeFrameDeltaInto(buf *wire.Buffer, f *Frame, keyframe bool) {
 	if keyframe || f.PrevAnnotations == nil {
 		buf.Byte(frameDeltaKey)

@@ -162,6 +162,11 @@ type Platform struct {
 	// suppressedCtr is resolved once: OnGPS increments it per suppressed
 	// fix and must not pay a registry lookup on that path.
 	suppressedCtr *metrics.Counter
+	// flushErrs and frameLat are likewise resolved once: the flush loop
+	// bumps flushErrs per failed session flush and every Frame call
+	// observes frameLat, so neither may pay a registry lookup.
+	flushErrs *metrics.Counter
+	frameLat  *metrics.Histogram
 
 	// sessions is the sharded live-session registry; nextSess hands out
 	// IDs without touching any lock.
@@ -208,6 +213,8 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		sessions: newSessionRegistry(cfg.SessionShards),
 	}
 	p.suppressedCtr = p.reg.Counter("core.privacy.suppressed")
+	p.flushErrs = p.reg.Counter("core.telemetry.flush_errors")
+	p.frameLat = p.reg.Histogram("core.frame.latency")
 	p.occluders = render.OccludersFromPOIs(p.pois.All(), 30)
 	for i, topic := range telemetryTopicNames {
 		if err := p.broker.CreateTopic(topic, mq.TopicConfig{Partitions: 4}); err != nil {
@@ -355,7 +362,7 @@ func (p *Platform) Stop() error {
 	// Surface any still-buffered telemetry before the consumer goes away so
 	// shutdown does not silently drop the tail of every session's stream.
 	if err := p.FlushTelemetry(); err != nil {
-		p.reg.Counter("core.telemetry.flush_errors").Inc()
+		p.flushErrs.Inc()
 	}
 	p.cancel()
 	<-p.done
@@ -373,6 +380,7 @@ func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
 		return err
 	}
 	deadline := time.Now().Add(timeout)
+	consumedCtr := p.reg.Counter("core.interactions.consumed")
 	for {
 		lag := int64(0)
 		for pi := 0; pi < 4; pi++ {
@@ -382,7 +390,7 @@ func (p *Platform) WaitAnalyticsIdle(timeout time.Duration) error {
 			}
 			lag += newest
 		}
-		consumed := p.reg.Counter("core.interactions.consumed").Value()
+		consumed := consumedCtr.Value()
 		if consumed >= lag {
 			return nil
 		}

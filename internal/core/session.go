@@ -276,6 +276,8 @@ type Frame struct {
 // aliases per-session buffers that subsequent Frame calls on the same
 // session reuse: consume (or deep-copy) a frame before requesting the next
 // one. Config.DisableFrameScratch restores fully allocating frames.
+//
+//arbd:hotpath
 func (s *Session) Frame(now time.Time) (*Frame, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -289,6 +291,8 @@ func (s *Session) Frame(now time.Time) (*Frame, error) {
 // the lock, a pipelined second frame request could re-enter Frame on
 // another worker and overwrite the shared scratch mid-encode. visit must
 // not call back into the session.
+//
+//arbd:hotpath
 func (s *Session) FrameVisit(now time.Time, visit func(*Frame)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -301,6 +305,8 @@ func (s *Session) FrameVisit(now time.Time, visit func(*Frame)) error {
 }
 
 // frameLocked is the frame pipeline; callers hold s.mu.
+//
+//arbd:hotpath
 func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	start := s.platform.cfg.Clock.Now()
 	pose := s.fuser.Pose()
@@ -366,6 +372,7 @@ func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	for i := range anns {
 		if t, ok := tags[anns[i].ID]; ok {
 			anns[i].Priority *= 1.5 // tagged content is more relevant
+			//arbd:alloc-ok fires only on interpretation-tag hits, and Label is a string by API contract
 			anns[i].Label = anns[i].Label + " [" + t[0].Value + "]"
 		}
 	}
@@ -383,7 +390,7 @@ func (s *Session) frameLocked(now time.Time) (*Frame, error) {
 	elapsed := s.platform.cfg.Clock.Since(start)
 	s.frames++
 	s.adapt(elapsed)
-	s.platform.reg.Histogram("core.frame.latency").Observe(elapsed)
+	s.platform.frameLat.Observe(elapsed)
 
 	// The Frame struct itself lives in scratch too: with the scratch
 	// enabled the same *Frame is returned every call (fresh per call when
@@ -424,6 +431,8 @@ func (s *Session) adapt(elapsed time.Duration) {
 // analytics views, reusing the scratch key buffer and metric map across
 // POIs. hottest is the frame's shared HotPOIs(1) snapshot. The returned map
 // is valid until the next contextMetrics call on the same scratch.
+//
+//arbd:hotpath
 func (s *Session) contextMetrics(sc *frameScratch, poi *geo.POI, hottest []analytics.HeavyHitter) map[string]float64 {
 	sc.key = appendPOIKey(sc.key[:0], poi.ID)
 	stats, ok := s.platform.crowd.GetKey(sc.key)
@@ -462,6 +471,8 @@ func poiKey(id uint64) string {
 }
 
 // appendPOIKey appends the poi-<id> analytics key to dst.
+//
+//arbd:hotpath
 func appendPOIKey(dst []byte, id uint64) []byte {
 	dst = append(dst, "poi-"...)
 	return strconv.AppendUint(dst, id, 10)

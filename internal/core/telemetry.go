@@ -292,7 +292,7 @@ func (p *Platform) flushLoop(stop <-chan struct{}) {
 			cutoff := time.Now().Add(-p.cfg.TelemetryMaxDelay)
 			p.sessions.forEach(func(s *Session) bool {
 				if err := s.telem.flushOlderThan(cutoff); err != nil {
-					p.reg.Counter("core.telemetry.flush_errors").Inc()
+					p.flushErrs.Inc()
 				}
 				return true
 			})

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// analyzeHotpath flags allocating constructs inside functions annotated
+// //arbd:hotpath. The rules mirror what the Go compiler actually allocates
+// on the steady-state path, so the zero-alloc guarantees pinned by the
+// frame-loop benchmarks can't silently regress:
+//
+//   - map and slice composite literals, &T{...}, make, new
+//   - append to a slice declared in the same function without capacity
+//     (the "grow from nil every call" pattern)
+//   - func literals that capture enclosing variables (non-capturing
+//     literals compile to static closures and stay)
+//   - fmt.* calls (variadic any boxing plus formatting state)
+//   - string concatenation and string<->[]byte conversions
+//   - implicit interface boxing of non-pointer-shaped values at call sites
+//
+// Plain struct literal *values* (scratch resets like `*f = Frame{...}`)
+// are deliberately not flagged — they do not allocate.
+func analyzeHotpath(fset *token.FileSet, p *pkgInfo, dirs *directives) []Finding {
+	var out []Finding
+	for _, file := range p.files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasDirective(fd, "hotpath") {
+				continue
+			}
+			h := &hotChecker{fset: fset, p: p, fn: fd}
+			h.collectLocalSlices()
+			h.check()
+			out = append(out, h.findings...)
+		}
+	}
+	return out
+}
+
+type hotChecker struct {
+	fset     *token.FileSet
+	p        *pkgInfo
+	fn       *ast.FuncDecl
+	findings []Finding
+
+	// unpresized holds function-local slice variables declared with no
+	// capacity (var x []T, x := []T{}, x := make([]T, 0), x = nil).
+	unpresized map[types.Object]bool
+	// flaggedFmt marks fmt.* calls already reported so their `any` args
+	// don't double-report as interface boxing.
+	flaggedFmt map[*ast.CallExpr]bool
+	// concatSeen dedupes a+b+c chains to one finding at the top.
+	concatSeen map[ast.Expr]bool
+}
+
+func (h *hotChecker) report(pos token.Pos, format string, args ...any) {
+	h.findings = append(h.findings, Finding{
+		Pos:      h.fset.Position(pos),
+		Analyzer: "hotpath",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (h *hotChecker) typeOf(e ast.Expr) types.Type {
+	if h.p.info == nil {
+		return nil
+	}
+	return h.p.info.TypeOf(e)
+}
+
+// collectLocalSlices records slice variables declared in this function
+// whose backing array starts empty, so appends to them are growth.
+func (h *hotChecker) collectLocalSlices() {
+	h.unpresized = make(map[types.Object]bool)
+	h.flaggedFmt = make(map[*ast.CallExpr]bool)
+	h.concatSeen = make(map[ast.Expr]bool)
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := h.p.info.Defs[name]
+					if obj != nil && isSlice(obj.Type()) {
+						h.unpresized[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := h.p.info.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				if emptyBackedSlice(st.Rhs[i]) {
+					h.unpresized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// emptyBackedSlice reports whether the initializer yields a zero-capacity
+// slice: nil, []T{}, or make([]T, 0) with no cap argument.
+func emptyBackedSlice(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name == "nil"
+	case *ast.CompositeLit:
+		_, isArr := v.Type.(*ast.ArrayType)
+		return isArr && len(v.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(v.Args) != 2 {
+			return false
+		}
+		lit, ok := v.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+func (h *hotChecker) check() {
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			h.checkComposite(node)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := node.X.(*ast.CompositeLit); ok {
+					h.report(node.Pos(), "&composite literal allocates on the heap")
+				}
+			}
+		case *ast.CallExpr:
+			h.checkCall(node)
+		case *ast.BinaryExpr:
+			h.checkConcat(node)
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isString(h.typeOf(node.Lhs[0])) {
+				h.report(node.Pos(), "string concatenation allocates; build into a reused []byte")
+			}
+		case *ast.FuncLit:
+			if name, pos, ok := h.captures(node); ok {
+				h.report(pos, "closure captures %q; hoist to a pre-bound method value or struct field", name)
+			}
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) checkComposite(cl *ast.CompositeLit) {
+	t := h.typeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		h.report(cl.Pos(), "map literal allocates; hoist to a reused field")
+	case *types.Slice:
+		h.report(cl.Pos(), "slice literal allocates; hoist to a reused buffer")
+	}
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	// Conversions: only string<->[]byte/[]rune copies allocate.
+	if tv, ok := h.p.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, h.typeOf(call.Args[0])
+		if (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src)) {
+			// Constant-foldable conversions (e.g. []byte("lit")) still
+			// allocate at runtime when they escape; flag uniformly.
+			h.report(call.Pos(), "string conversion copies and allocates")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := h.p.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.report(call.Pos(), "make allocates; hoist to construction or reuse scratch")
+			case "new":
+				h.report(call.Pos(), "new allocates; hoist to construction or reuse scratch")
+			case "append":
+				h.checkAppend(call)
+			}
+			return
+		}
+	}
+	// fmt.* — one finding per call, args excluded from boxing checks.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := h.p.info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				h.flaggedFmt[call] = true
+				h.report(call.Pos(), "fmt.%s allocates (boxing + formatting state); use strconv into a reused buffer or an error sentinel", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	h.checkBoxing(call)
+}
+
+// checkAppend flags append growth on slices that start with no capacity in
+// this function. Appends to parameters, fields, and presized locals pass —
+// their capacity is the caller's amortization contract.
+func (h *hotChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := h.p.info.Uses[id]
+	if obj != nil && h.unpresized[obj] {
+		h.report(call.Pos(), "append grows un-presized local slice %q; presize with capacity or reuse a field", id.Name)
+	}
+}
+
+// checkBoxing flags non-pointer-shaped values passed to interface
+// parameters: the conversion heap-allocates the boxed copy.
+func (h *hotChecker) checkBoxing(call *ast.CallExpr) {
+	if h.flaggedFmt[call] {
+		return
+	}
+	sigT := h.typeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := h.typeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if isUntypedNil(at) || pointerShaped(at) {
+			continue
+		}
+		// Small constants are handled by the runtime's static boxes only
+		// for some values; treat all non-pointer-shaped boxing as a hit.
+		h.report(arg.Pos(), "argument %s boxes into interface %s (heap allocation)", exprString(h.fset, arg), pt.String())
+	}
+}
+
+// checkConcat flags runtime string concatenation, reporting once per chain.
+func (h *hotChecker) checkConcat(be *ast.BinaryExpr) {
+	if be.Op != token.ADD || !isString(h.typeOf(be)) {
+		return
+	}
+	if h.concatSeen[be] {
+		return
+	}
+	// Constant folding: a + b where both are constants costs nothing.
+	if tv, ok := h.p.info.Types[be]; ok && tv.Value != nil {
+		return
+	}
+	// Mark sub-chains so nested ADDs don't re-report.
+	ast.Inspect(be, func(n ast.Node) bool {
+		if sub, ok := n.(*ast.BinaryExpr); ok && sub.Op == token.ADD {
+			h.concatSeen[sub] = true
+		}
+		return true
+	})
+	h.report(be.Pos(), "string concatenation allocates; build into a reused []byte")
+}
+
+// captures reports whether the func literal captures a variable declared in
+// the enclosing function, returning one offending name for the message.
+func (h *hotChecker) captures(fl *ast.FuncLit) (string, token.Pos, bool) {
+	inner := make(map[types.Object]bool)
+	ast.Inspect(fl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := h.p.info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+		return true
+	})
+	var name string
+	var pos token.Pos
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := h.p.info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || inner[obj] || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal. Package-level vars have positions outside fn.
+		if obj.Pos() >= h.fn.Pos() && obj.Pos() <= h.fn.End() &&
+			(obj.Pos() < fl.Pos() || obj.Pos() > fl.End()) {
+			name, pos = id.Name, fl.Pos()
+		}
+		return true
+	})
+	return name, pos, name != ""
+}
+
+func isSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t convert to interface without a
+// heap copy (the value already is a single pointer word).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	s := buf.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

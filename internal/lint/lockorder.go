@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzeLockorder enforces the PR-5 rule that blocking operations never
+// happen while a sync.Mutex/RWMutex acquired in the same function is held:
+// no net.Conn method calls or net.Conn-valued arguments, no sends on
+// provably-unbuffered local channels, no time.Sleep. It also reports a
+// Lock/RLock with no matching Unlock/RUnlock anywhere in the function.
+//
+// The held region is intra-procedural and textual: from the lock call to
+// the first matching unlock on the same receiver expression (a deferred
+// unlock extends the region to the end of the function). That
+// under-approximates multi-branch unlock flows, which is the right bias
+// for a gating linter: it misses some paths but does not cry wolf.
+func analyzeLockorder(fset *token.FileSet, p *pkgInfo) []Finding {
+	var out []Finding
+	for _, file := range p.files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc := &lockChecker{fset: fset, p: p, fn: fd}
+			out = append(out, lc.check()...)
+		}
+	}
+	return out
+}
+
+type lockChecker struct {
+	fset *token.FileSet
+	p    *pkgInfo
+	fn   *ast.FuncDecl
+}
+
+// lockEvent is one Lock/Unlock call site on a mutex-valued expression.
+type lockEvent struct {
+	key     string // printed receiver expression, e.g. "s.mu"
+	method  string // Lock, RLock, Unlock, RUnlock
+	pos     token.Pos
+	defered bool
+}
+
+func (lc *lockChecker) check() []Finding {
+	events := lc.collectEvents()
+	if len(events) == 0 {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      lc.fset.Position(pos),
+			Analyzer: "lockorder",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	unlockFor := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+	type span struct{ from, to token.Pos }
+	var held []span
+	for _, ev := range events {
+		want, isLock := unlockFor[ev.method]
+		if !isLock {
+			continue
+		}
+		end := token.NoPos
+		for _, other := range events {
+			if other.key == ev.key && other.method == want && other.pos > ev.pos {
+				if other.defered {
+					end = lc.fn.End()
+				} else {
+					end = other.pos
+				}
+				break
+			}
+		}
+		if end == token.NoPos {
+			report(ev.pos, "%s.%s() has no matching %s in this function", ev.key, ev.method, want)
+			continue
+		}
+		held = append(held, span{ev.pos, end})
+	}
+	if len(held) == 0 {
+		return out
+	}
+	inHeld := func(pos token.Pos) bool {
+		for _, s := range held {
+			if pos > s.from && pos < s.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	connIface := lc.netConnType()
+	unbuffered := lc.unbufferedChans()
+
+	ast.Inspect(lc.fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if !inHeld(node.Pos()) {
+				return true
+			}
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := lc.p.info.Uses[x].(*types.PkgName); ok {
+						if pn.Imported().Path() == "time" && sel.Sel.Name == "Sleep" {
+							report(node.Pos(), "time.Sleep while a mutex is held")
+						}
+						return true // package-qualified call, not a conn method
+					}
+				}
+				if connIface != nil && !nonBlockingConnMethod(sel.Sel.Name) {
+					if xt := lc.p.info.TypeOf(sel.X); xt != nil && assignableToConn(xt, connIface) {
+						report(node.Pos(), "net.Conn call %s.%s while a mutex is held; move I/O outside the lock", exprString(lc.fset, sel.X), sel.Sel.Name)
+					}
+				}
+			}
+			if connIface != nil && !isBuiltinCall(lc.p, node) {
+				for _, arg := range node.Args {
+					if at := lc.p.info.TypeOf(arg); at != nil && assignableToConn(at, connIface) {
+						report(arg.Pos(), "net.Conn %s passed to a call while a mutex is held; move I/O outside the lock", exprString(lc.fset, arg))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if !inHeld(node.Pos()) {
+				return true
+			}
+			if id, ok := node.Chan.(*ast.Ident); ok {
+				if obj := lc.p.info.Uses[id]; obj != nil && unbuffered[obj] {
+					report(node.Pos(), "send on unbuffered channel %q while a mutex is held can block forever", id.Name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectEvents finds Lock/RLock/Unlock/RUnlock calls whose method resolves
+// to sync.Mutex/sync.RWMutex (embedding included, via the method object).
+func (lc *lockChecker) collectEvents() []lockEvent {
+	var events []lockEvent
+	add := func(call *ast.CallExpr, defered bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return
+		}
+		fn, ok := lc.p.info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isSyncMutexMethod(fn) {
+			return
+		}
+		events = append(events, lockEvent{
+			key:     exprString(lc.fset, sel.X),
+			method:  name,
+			pos:     call.Pos(),
+			defered: defered,
+		})
+	}
+	ast.Inspect(lc.fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok {
+				add(call, false)
+			}
+		case *ast.DeferStmt:
+			add(node.Call, true)
+		}
+		return true
+	})
+	return events
+}
+
+// nonBlockingConnMethod names the net.Conn methods that never block on the
+// peer: the PR-5 rule is about blocking I/O under gate locks, and closing a
+// socket or stamping a deadline returns immediately.
+func nonBlockingConnMethod(name string) bool {
+	switch name {
+	case "Close", "LocalAddr", "RemoteAddr", "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+		return true
+	}
+	return false
+}
+
+// isBuiltinCall reports whether the call is a language builtin (delete,
+// len, append, ...) — passing a conn to those is bookkeeping, not I/O.
+func isBuiltinCall(p *pkgInfo, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := p.info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isSyncMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// netConnType returns the net.Conn interface if this package imports net.
+func (lc *lockChecker) netConnType() *types.Interface {
+	if lc.p.pkg == nil {
+		return nil
+	}
+	for _, imp := range lc.p.pkg.Imports() {
+		if imp.Path() == "net" {
+			if tn, ok := imp.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func assignableToConn(t types.Type, conn *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic, *types.Signature, *types.Map, *types.Slice, *types.Array, *types.Chan:
+		return false // includes the invalid type package names resolve to
+	case *types.Interface:
+		return types.Identical(u, conn) || (u.NumMethods() > 0 && types.Implements(u, conn))
+	}
+	if types.Implements(t, conn) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), conn)
+	}
+	return false
+}
+
+// unbufferedChans collects channels created in this function by a
+// single-argument make(chan T).
+func (lc *lockChecker) unbufferedChans() map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	ast.Inspect(lc.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, ok := call.Args[0].(*ast.ChanType); !ok {
+				continue
+			}
+			if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := lc.p.info.Defs[lhs]; obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return set
+}

@@ -1,0 +1,40 @@
+// Package hotpath_bad seeds one violation per hotpath rule; the lint tests
+// assert every one of them fires.
+package hotpath_bad
+
+import "fmt"
+
+type item struct {
+	id    uint64
+	label string
+}
+
+type state struct {
+	names []string
+	sink  []item
+}
+
+// frame is the seeded-violation hot function: every allocating construct
+// below must be reported by the hotpath analyzer.
+//
+//arbd:hotpath
+func (s *state) frame(n int) int {
+	m := map[string]int{"a": 1}    // map literal
+	sl := []int{1, 2, 3}           // slice literal
+	p := &item{id: 1}              // &composite literal
+	b := make([]byte, 8)           // make
+	q := new(item)                 // new
+	var acc []item                 // un-presized local slice...
+	acc = append(acc, item{id: 2}) // ...grown by append
+	f := func() int { return n }   // closure capturing n
+	fmt.Println("frame", n)        // fmt call (one finding, args excluded)
+	s.names[0] = s.names[0] + "!"  // runtime string concatenation
+	bs := []byte(s.names[0])       // string conversion copy
+	box(item{id: 4})               // non-pointer value boxed into any
+	return len(m) + len(sl) + int(p.id) + len(b) + int(q.id) + len(acc) + f() + len(bs)
+}
+
+func box(v any) int {
+	_ = v
+	return 0
+}

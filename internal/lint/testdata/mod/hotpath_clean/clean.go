@@ -1,0 +1,37 @@
+// Package hotpath_clean exercises the allocation-free idioms the hotpath
+// analyzer must accept without a single finding: struct literal values,
+// appends backed by caller capacity, non-capturing closures, pointer-shaped
+// boxing, constant-folded concatenation, and the alloc-ok escape hatch.
+package hotpath_clean
+
+type rec struct{ id uint64 }
+
+type buf struct {
+	scratch []rec
+	out     []byte
+}
+
+// frame stays quiet under the hotpath analyzer.
+//
+//arbd:hotpath
+func (b *buf) frame(dst []rec, n int) []rec {
+	b.scratch = b.scratch[:0]
+	b.scratch = append(b.scratch, rec{id: uint64(n)}) // append to field: ok
+	dst = append(dst, rec{id: 2})                     // append to parameter: ok
+	local := dst[:0]
+	local = append(local, rec{id: 3}) // derived from caller capacity: ok
+	var r rec
+	r = rec{id: 4}               // struct literal value: no allocation
+	f := func() int { return 0 } // non-capturing literal: static closure
+	take(b)                      // pointer already fits an interface word
+	const tag = "a" + "b"        // constant-folded concat: free
+	//arbd:alloc-ok fixture demonstrating the escape hatch on a cold branch
+	cold := make([]rec, 0, n)
+	_ = cold
+	_ = f()
+	_ = r
+	_ = tag
+	return local
+}
+
+func take(v any) { _ = v }

@@ -1,0 +1,40 @@
+// Package lockorder_bad seeds the four lockorder violations: a net.Conn
+// write under a mutex, time.Sleep under a read lock, a send on an unbuffered
+// channel under a deferred unlock, and a Lock with no matching Unlock.
+package lockorder_bad
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type gate struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+}
+
+func (g *gate) writeUnderLock(p []byte) {
+	g.mu.Lock()
+	_, _ = g.conn.Write(p) // blocking I/O while held
+	g.mu.Unlock()
+}
+
+func (g *gate) sleepUnderLock() {
+	g.rw.RLock()
+	time.Sleep(time.Millisecond) // sleep while held
+	g.rw.RUnlock()
+}
+
+func (g *gate) sendUnderLock() {
+	ch := make(chan int)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- 1 // unbuffered send while held
+}
+
+func (g *gate) leak() {
+	g.mu.Lock() // no matching Unlock anywhere in this function
+	g.conn = nil
+}

@@ -1,0 +1,40 @@
+// Package lockorder_clean exercises the patterns the lockorder analyzer must
+// accept: staging under the lock and writing after release (the PR-5 shape),
+// non-blocking conn methods under a lock, buffered sends, and the lock-ok
+// escape hatch.
+package lockorder_clean
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type gate struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// writeOutsideLock stages under the lock and performs I/O after releasing
+// it — the canonical fix the analyzer pushes toward.
+func (g *gate) writeOutsideLock(p []byte) {
+	g.mu.Lock()
+	conn := g.conn
+	g.mu.Unlock()
+	_, _ = conn.Write(p)
+}
+
+func (g *gate) deadlineUnderLock(p []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = g.conn.SetWriteDeadline(time.Now().Add(time.Second)) // non-blocking: ok
+	//arbd:lock-ok fixture: deadline-bounded write, lock only serializes this writer
+	_, _ = g.conn.Write(p)
+}
+
+func (g *gate) bufferedSend() {
+	ch := make(chan int, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- 1 // buffered: cannot block while held
+}

@@ -1,0 +1,21 @@
+// Package metricscache_bad seeds the two metricscache violations: a registry
+// lookup with a constant name inside a loop, and one inside a function
+// annotated //arbd:hotpath.
+package metricscache_bad
+
+import "fixture/metrics"
+
+type worker struct{ reg *metrics.Registry }
+
+func (w *worker) loopLookup(n int) {
+	for i := 0; i < n; i++ {
+		w.reg.Counter("bad.loop").Inc() // lookup repeated every iteration
+	}
+}
+
+// hotLookup resolves a histogram handle on the hot path.
+//
+//arbd:hotpath
+func (w *worker) hotLookup() {
+	w.reg.Histogram("bad.hot").Observe(1)
+}

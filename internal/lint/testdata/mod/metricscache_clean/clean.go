@@ -1,0 +1,40 @@
+// Package metricscache_clean exercises the accepted patterns: handles
+// resolved once at construction, cached handles used in loops, cold one-shot
+// lookups outside loops, dynamic names, and the metrics-ok escape hatch.
+package metricscache_clean
+
+import "fixture/metrics"
+
+type worker struct {
+	reg    *metrics.Registry
+	frames *metrics.Counter
+}
+
+// newWorker resolves handles at construction — the pattern the analyzer
+// pushes toward.
+func newWorker(reg *metrics.Registry) *worker {
+	return &worker{reg: reg, frames: reg.Counter("ok.frames")}
+}
+
+func (w *worker) loop(n int) {
+	for i := 0; i < n; i++ {
+		w.frames.Inc() // cached handle: no lookup
+	}
+}
+
+func (w *worker) coldLookup() {
+	w.reg.Counter("ok.cold").Inc() // not in a loop, not hot: fine
+}
+
+func (w *worker) dynamicName(shards []string) {
+	for _, s := range shards {
+		w.reg.Counter(s).Inc() // dynamic name: not cacheable at construction
+	}
+}
+
+func (w *worker) escaped(n int) {
+	for i := 0; i < n; i++ {
+		//arbd:metrics-ok fixture: teardown loop, runs once per shutdown
+		w.reg.Counter("ok.escaped").Inc()
+	}
+}

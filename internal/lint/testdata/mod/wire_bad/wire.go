@@ -1,0 +1,30 @@
+// Package wire_bad seeds every wirepin violation: a duplicate wire value, a
+// constant missing from the pin table, a pin whose value drifted from the
+// compiled constant, a non-exhaustive switch over MsgType, and a protocol
+// version constant no test exercises.
+package wire_bad
+
+type MsgType uint8
+
+const (
+	MsgAlpha MsgType = 1
+	MsgBeta  MsgType = 2
+	MsgGamma MsgType = 3 // not pinned in the test table
+	MsgDup   MsgType = 2 // reuses MsgBeta's wire value
+)
+
+const ProtoV1 uint32 = 1
+
+const ProtoV2 uint32 = 2 // never referenced by any test
+
+// String is deliberately non-exhaustive: MsgGamma and MsgDup are missing.
+func (m MsgType) String() string {
+	switch m {
+	case MsgAlpha:
+		return "alpha"
+	case MsgBeta:
+		return "beta"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,22 @@
+package wire_bad
+
+import "testing"
+
+func TestMsgTypeValuesPinned(t *testing.T) {
+	pinned := []struct {
+		typ  MsgType
+		val  uint8
+		name string
+	}{
+		{MsgAlpha, 1, "alpha"},
+		{MsgBeta, 9, "beta"}, // drifted: compiles to 2
+	}
+	for _, p := range pinned {
+		if uint8(p.typ) != p.val {
+			t.Errorf("%s moved", p.name)
+		}
+	}
+	if ProtoV1 != 1 {
+		t.Fatal("proto moved")
+	}
+}

@@ -1,0 +1,30 @@
+// Package wire_clean is the quiet wirepin fixture: unique values, every
+// exported constant pinned, an exhaustive String switch, and both protocol
+// version constants exercised by the test. The unexported maxMsgType
+// sentinel must be ignored by the analyzer.
+package wire_clean
+
+type MsgType uint8
+
+const (
+	MsgAlpha MsgType = 1
+	MsgBeta  MsgType = 2
+
+	maxMsgType MsgType = 3
+)
+
+const (
+	ProtoV1 uint32 = 1
+	ProtoV2 uint32 = 2
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgAlpha:
+		return "alpha"
+	case MsgBeta:
+		return "beta"
+	default:
+		return "unknown"
+	}
+}

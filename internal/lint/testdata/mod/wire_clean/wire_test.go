@@ -1,0 +1,25 @@
+package wire_clean
+
+import "testing"
+
+func TestMsgTypeValuesPinned(t *testing.T) {
+	pinned := []struct {
+		typ  MsgType
+		val  uint8
+		name string
+	}{
+		{MsgAlpha, 1, "alpha"},
+		{MsgBeta, 2, "beta"},
+	}
+	for _, p := range pinned {
+		if uint8(p.typ) != p.val {
+			t.Errorf("%s moved", p.name)
+		}
+	}
+	if len(pinned) != int(maxMsgType)-1 {
+		t.Fatalf("pin table has %d rows, want %d", len(pinned), int(maxMsgType)-1)
+	}
+	if ProtoV1 != 1 || ProtoV2 != 2 {
+		t.Fatal("protocol version constants moved")
+	}
+}

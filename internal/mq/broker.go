@@ -290,6 +290,7 @@ func (b *Broker) ProduceBatch(topicName string, key []byte, values [][]byte) (in
 	return b.produceBatch(t, key, values)
 }
 
+//arbd:hotpath
 func (b *Broker) produceBatch(t *topic, key []byte, values [][]byte) (int64, error) {
 	if t.cfg.Keyed && len(key) == 0 {
 		return 0, ErrEmptyKey
@@ -319,8 +320,10 @@ func (b *Broker) FetchInto(dst []Record, topicName string, partitionIdx int, off
 	return b.fetchInto(t, dst, partitionIdx, offset, max)
 }
 
+//arbd:hotpath
 func (b *Broker) fetchInto(t *topic, dst []Record, partitionIdx int, offset int64, max int) ([]Record, error) {
 	if partitionIdx < 0 || partitionIdx >= len(t.parts) {
+		//arbd:alloc-ok caller-bug error path, never taken by the steady-state consumer
 		return dst, fmt.Errorf("%w: %d of %d", ErrBadPartition, partitionIdx, len(t.parts))
 	}
 	start := len(dst)

@@ -143,6 +143,8 @@ func (p *partition) tailLocked(payload int) *segment {
 // appendLocked adds one record to the tail segment. The timestamp arrives
 // pre-split so batch appends pay the time.Time decomposition once, not per
 // record. p.mu must be held.
+//
+//arbd:hotpath
 func (p *partition) appendLocked(sec int64, nsec int32, key, value []byte) int64 {
 	seg := p.tailLocked(len(key) + len(value))
 	pos := uint32(len(seg.data))
@@ -187,6 +189,8 @@ func (p *partition) append(now time.Time, key, value []byte, retention int64) in
 // store — no per-record function calls, capacity checks, or bookkeeping.
 // Batches big enough to threaten uint32 arena addressing (≥4 GiB) take the
 // per-record path, which rolls segments as needed.
+//
+//arbd:hotpath
 func (p *partition) appendBatch(now time.Time, key []byte, values [][]byte, retention int64) int64 {
 	if len(values) == 0 {
 		return -1
@@ -261,6 +265,8 @@ func (p *partition) newest() int64 {
 // readInto appends up to max records starting at offset to dst. The record
 // structs are materialized fresh; their Key/Value bytes alias the segment
 // arenas.
+//
+//arbd:hotpath
 func (p *partition) readInto(dst []Record, offset int64, max int) ([]Record, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()

@@ -98,6 +98,8 @@ func (e *Engine) handle(sess *core.Session, env, reply *wire.Envelope) (hasReply
 // encodeFrameReply encodes f into a pooled buffer and fills reply as the
 // annotations response for (session, seq). The returned buffer backs
 // reply.Payload; release it after the write.
+//
+//arbd:hotpath
 func (e *Engine) encodeFrameReply(reply *wire.Envelope, session, seq uint64, f *core.Frame) *wire.Buffer {
 	buf := e.bufs.Get().(*wire.Buffer)
 	buf.Reset()
@@ -114,6 +116,8 @@ func (e *Engine) encodeFrameReply(reply *wire.Envelope, session, seq uint64, f *
 // the frame has no previous layout), a diff against the session's previous
 // frame otherwise. The returned buffer backs reply.Payload; release it
 // after the write.
+//
+//arbd:hotpath
 func (e *Engine) encodeFrameDeltaReply(reply *wire.Envelope, session, seq uint64, f *core.Frame, keyframe bool) *wire.Buffer {
 	buf := e.bufs.Get().(*wire.Buffer)
 	buf.Reset()
@@ -213,6 +217,7 @@ func (w *lockedWriter) writeBatch(msgs []outMsg) error {
 		return err
 	}
 	bufs := net.Buffers(w.batch.Buffers())
+	//arbd:lock-ok mu only serializes this writer, and the write carries a deadline set above
 	_, err := bufs.WriteTo(w.conn)
 	return err
 }

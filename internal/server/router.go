@@ -531,6 +531,7 @@ func (r *Router) shardReader(ss *routerShard, bc *backendConn) {
 // subscriptions stay tracked; on success the streams are replayed on the
 // new connection, and only once the budget is spent are they failed.
 func (r *Router) reconnectShard(ss *routerShard) {
+	reconnects := r.reg.Counter("router.shard.reconnects")
 	for attempt := 1; attempt <= r.opts.Retry.Attempts; attempt++ {
 		select {
 		case <-r.cs.done:
@@ -566,7 +567,7 @@ func (r *Router) reconnectShard(ss *routerShard) {
 		ss.bc = bc
 		ss.connMu.Unlock()
 		ss.down.Store(false)
-		r.reg.Counter("router.shard.reconnects").Inc()
+		reconnects.Inc()
 		go r.shardReader(ss, bc)
 		r.replaySubscriptions(ss)
 		r.logger.Printf("router: shard %d reconnected (attempt %d)", ss.member.ID, attempt)
@@ -713,8 +714,9 @@ func (r *Router) deliver(env *wire.Envelope) {
 		buf.Reset()
 		buf.Append(env.Payload)
 		cl.out.enqueue(outMsg{
-			env:     wire.Envelope{Type: env.Type, Seq: seq, Session: env.Session, Payload: buf.Bytes()},
-			release: func() { r.bufs.Put(buf) },
+			env:  wire.Envelope{Type: env.Type, Seq: seq, Session: env.Session, Payload: buf.Bytes()},
+			buf:  buf,
+			pool: &r.bufs,
 		})
 		return
 	}

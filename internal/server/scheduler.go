@@ -125,6 +125,22 @@ type frameJob struct {
 	// the encoder is reading. done then receives a nil *Frame.
 	visit func(*core.Frame)
 	done  func(*core.Frame, error)
+	// doneErr is the streaming path's completion callback: QueueVisit
+	// callers never see a frame, and carrying the narrower signature
+	// directly spares wrapping it in a per-job adapter closure.
+	doneErr func(error)
+}
+
+// finish invokes whichever completion callback the job carries, exactly
+// once, from the worker (or close drain) that settled it.
+//
+//arbd:hotpath
+func (j *frameJob) finish(f *core.Frame, err error) {
+	if j.done != nil {
+		j.done(f, err)
+		return
+	}
+	j.doneErr(err)
 }
 
 type frameResult struct {
@@ -226,6 +242,7 @@ func (fs *FrameScheduler) EffectiveDeadline() time.Duration {
 	return fs.gate.effective(fs.currentLoad())
 }
 
+//arbd:hotpath
 func (fs *FrameScheduler) run(job frameJob) {
 	wait := time.Since(job.enq)
 	fs.queueWait.Observe(wait)
@@ -236,7 +253,7 @@ func (fs *FrameScheduler) run(job frameJob) {
 			// backend pressure tightened admission.
 			fs.framesShedL.Inc()
 		}
-		job.done(nil, ErrFrameShed)
+		job.finish(nil, ErrFrameShed)
 		return
 	}
 	start := time.Now()
@@ -249,7 +266,7 @@ func (fs *FrameScheduler) run(job frameJob) {
 	}
 	fs.frameLat.Observe(time.Since(start))
 	fs.framesDone.Inc()
-	job.done(f, err)
+	job.finish(f, err)
 }
 
 // Submit enqueues a frame job; done is invoked exactly once, from a worker
@@ -267,10 +284,10 @@ func (fs *FrameScheduler) Submit(sess *core.Session, done func(*core.Frame, erro
 // goroutine, visit strictly before done.
 func (fs *FrameScheduler) SubmitVisit(sess *core.Session, visit func(*core.Frame), done func(error)) error {
 	return fs.submit(frameJob{
-		sess:  sess,
-		enq:   time.Now(),
-		visit: visit,
-		done:  func(_ *core.Frame, err error) { done(err) },
+		sess:    sess,
+		enq:     time.Now(),
+		visit:   visit,
+		doneErr: done,
 	})
 }
 
@@ -291,21 +308,10 @@ func (fs *FrameScheduler) QueueVisit(sess *core.Session, visit func(*core.Frame)
 		return ErrSchedulerClosed
 	}
 	job := frameJob{
-		sess:  sess,
-		enq:   time.Now(),
-		visit: visit,
-		done:  func(_ *core.Frame, err error) { done(err) },
-	}
-	park := func() {
-		fs.ovMu.Lock()
-		fs.ov = append(fs.ov, job)
-		fs.ovMu.Unlock()
-		// The channel may have drained (every worker idle) between the
-		// failed send and the park: kick one worker to come pull it.
-		select {
-		case fs.ovKick <- struct{}{}:
-		default:
-		}
+		sess:    sess,
+		enq:     time.Now(),
+		visit:   visit,
+		doneErr: done,
 	}
 	// A non-empty overflow means jobs are already waiting behind the
 	// channel: park behind them rather than jumping the line, so a
@@ -314,7 +320,7 @@ func (fs *FrameScheduler) QueueVisit(sess *core.Session, visit func(*core.Frame)
 	waiting := len(fs.ov) > 0
 	fs.ovMu.Unlock()
 	if waiting {
-		park()
+		fs.parkOverflow(job)
 		return nil
 	}
 	select {
@@ -323,8 +329,24 @@ func (fs *FrameScheduler) QueueVisit(sess *core.Session, visit func(*core.Frame)
 	case <-fs.quit:
 		return ErrSchedulerClosed
 	default:
-		park()
+		fs.parkOverflow(job)
 		return nil
+	}
+}
+
+// parkOverflow appends a job to the overflow FIFO and kicks one worker:
+// the channel may have drained (every worker idle) between the failed
+// send and the park, and the parked job must not wait for traffic that
+// may never come.
+//
+//arbd:hotpath
+func (fs *FrameScheduler) parkOverflow(job frameJob) {
+	fs.ovMu.Lock()
+	fs.ov = append(fs.ov, job)
+	fs.ovMu.Unlock()
+	select {
+	case fs.ovKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -369,14 +391,14 @@ func (fs *FrameScheduler) Close() {
 		for {
 			select {
 			case job := <-fs.jobs:
-				job.done(nil, ErrSchedulerClosed)
+				job.finish(nil, ErrSchedulerClosed)
 			default:
 				fs.ovMu.Lock()
 				ov := fs.ov
 				fs.ov = nil
 				fs.ovMu.Unlock()
 				for _, job := range ov {
-					job.done(nil, ErrSchedulerClosed)
+					job.finish(nil, ErrSchedulerClosed)
 				}
 				return
 			}

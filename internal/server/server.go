@@ -119,6 +119,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	// nothing.
 	var env, reply wire.Envelope
 	first := true
+	// Resolved before the read loop: the lazily-built outbox must not pay
+	// a registry lookup inside the per-envelope path.
+	droppedCtr := s.eng.sched.Metrics().Counter("server.stream.dropped")
 	for {
 		if err := fr.ReadEnvelopeReuse(&env); err != nil {
 			return // EOF or broken pipe: session over
@@ -166,8 +169,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if ob == nil {
 				// Outbox drops feed back into the stream: a delta subscriber
 				// whose push was dropped needs its next push keyed.
-				ob = newOutbox(w, pushBudget(sub), s.eng.sched.Metrics().Counter("server.stream.dropped"),
-					streams.forceKeyframe)
+				ob = newOutbox(w, pushBudget(sub), droppedCtr, streams.forceKeyframe)
 			}
 			// Ack before the first push so the subscribe round-trip
 			// completes ahead of the stream on the wire.

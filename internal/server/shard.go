@@ -183,6 +183,9 @@ func (sh *Shard) serveConn(conn net.Conn) {
 	}()
 
 	var in wire.Envelope
+	// Resolved before the read loop: the lazily-built outbox must not pay
+	// a registry lookup inside the per-envelope path.
+	droppedCtr := sh.eng.sched.Metrics().Counter("server.stream.dropped")
 	for {
 		if err := fr.ReadEnvelopeReuse(&in); err != nil {
 			return // router gone: deferred cleanup ends owned sessions
@@ -321,8 +324,7 @@ func (sh *Shard) serveConn(conn net.Conn) {
 				if capacity < backendPushQueue {
 					capacity = backendPushQueue
 				}
-				ob = newOutbox(w, capacity, sh.eng.sched.Metrics().Counter("server.stream.dropped"),
-					streams.forceKeyframe)
+				ob = newOutbox(w, capacity, droppedCtr, streams.forceKeyframe)
 			}
 			if w.write(&wire.Envelope{Type: wire.MsgAck, Seq: in.Seq, Session: in.Session}) != nil {
 				return

@@ -60,8 +60,28 @@ func pushBudget(s wire.Subscribe) int {
 // outMsg is one queued push: an envelope whose payload may alias a pooled
 // encode buffer, released after the write (or on drop).
 type outMsg struct {
-	env     wire.Envelope
+	env wire.Envelope
+	// buf is the pooled buffer backing env.Payload; it returns to pool
+	// when the message leaves the outbox. A (buf, pool) pair instead of a
+	// per-push closure: enqueue runs once per pushed frame, and binding a
+	// closure there is a heap allocation the hot path must not pay.
+	buf  *wire.Buffer
+	pool *sync.Pool
+	// release is an optional cleanup hook for non-pooled payloads (tests).
 	release func()
+}
+
+// releaseBuf settles the message's payload ownership: pooled buffers go
+// back to their pool, then any hook runs.
+//
+//arbd:hotpath
+func (m *outMsg) releaseBuf() {
+	if m.pool != nil && m.buf != nil {
+		m.pool.Put(m.buf)
+	}
+	if m.release != nil {
+		m.release()
+	}
 }
 
 // outbox is the per-connection push queue: enqueue never blocks, a writer
@@ -98,6 +118,8 @@ func (ob *outbox) queueLenLocked() int { return len(ob.q) - ob.head }
 // popLocked removes and returns the oldest push; callers hold mu and have
 // checked the queue is non-empty. The vacated slot is zeroed so the
 // release closure isn't retained.
+//
+//arbd:hotpath
 func (ob *outbox) popLocked() outMsg {
 	msg := ob.q[ob.head]
 	ob.q[ob.head] = outMsg{}
@@ -111,6 +133,8 @@ func (ob *outbox) popLocked() outMsg {
 
 // pushLocked appends one push, compacting the consumed prefix only when
 // append would otherwise grow the array — amortised O(1).
+//
+//arbd:hotpath
 func (ob *outbox) pushLocked(msg outMsg) {
 	if ob.head > 0 && len(ob.q) == cap(ob.q) {
 		n := copy(ob.q, ob.q[ob.head:])
@@ -175,13 +199,13 @@ func (ob *outbox) capLocked() int {
 // enqueue queues one push, dropping the oldest queued push when full.
 // Safe from any goroutine; never blocks. After close it releases msg
 // immediately and reports false.
+//
+//arbd:hotpath
 func (ob *outbox) enqueue(msg outMsg) bool {
 	ob.mu.Lock()
 	if ob.closed {
 		ob.mu.Unlock()
-		if msg.release != nil {
-			msg.release()
-		}
+		msg.releaseBuf()
 		return false
 	}
 	var droppedSession uint64
@@ -191,9 +215,7 @@ func (ob *outbox) enqueue(msg outMsg) bool {
 		if ob.dropped != nil {
 			ob.dropped.Inc()
 		}
-		if old.release != nil {
-			old.release()
-		}
+		old.releaseBuf()
 		droppedSession, droppedOne = old.env.Session, true
 	}
 	wasEmpty := ob.queueLenLocked() == 0
@@ -213,9 +235,13 @@ func (ob *outbox) enqueue(msg outMsg) bool {
 	return true
 }
 
+//arbd:hotpath
 func (ob *outbox) writeLoop() {
 	defer close(ob.done)
-	var batch []outMsg
+	// Presized once per connection writer, reused across every drain;
+	// growth past the floor amortises against the connection's lifetime.
+	//arbd:alloc-ok one-time per-connection setup
+	batch := make([]outMsg, 0, defaultPushBudget)
 	for {
 		ob.mu.Lock()
 		n := ob.queueLenLocked()
@@ -238,9 +264,7 @@ func (ob *outbox) writeLoop() {
 		ob.mu.Unlock()
 		err := ob.w.writeBatch(batch)
 		for i := range batch {
-			if batch[i].release != nil {
-				batch[i].release()
-			}
+			batch[i].releaseBuf()
 			batch[i] = outMsg{}
 		}
 		if err != nil {
@@ -274,9 +298,7 @@ func (ob *outbox) purge(session uint64) {
 	ob.q = ob.q[:w]
 	ob.mu.Unlock()
 	for _, m := range dropped {
-		if m.release != nil {
-			m.release()
-		}
+		m.releaseBuf()
 	}
 }
 
@@ -289,9 +311,7 @@ func (ob *outbox) drain() {
 	ob.head = 0
 	ob.mu.Unlock()
 	for _, m := range q {
-		if m.release != nil {
-			m.release()
-		}
+		m.releaseBuf()
 	}
 	select {
 	case ob.wake <- struct{}{}:
@@ -370,6 +390,8 @@ func (w *pacerWheel) close() {
 // schedule arms one tick for st, delay from now. Ticks round up to the
 // wheel granularity — a stream never fires early, preserving the "at the
 // requested rate or slower, never faster" cadence contract.
+//
+//arbd:hotpath
 func (w *pacerWheel) schedule(st *frameStream, delay time.Duration) {
 	if delay < wheelTick {
 		delay = wheelTick
@@ -447,6 +469,8 @@ func (w *pacerWheel) run() {
 
 // advance walks the wheel up to now, collecting every due stream. Entries
 // with rounds left are decremented in place and kept for a later pass.
+//
+//arbd:hotpath
 func (w *pacerWheel) advance(now time.Time) []*frameStream {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -555,6 +579,16 @@ type frameStream struct {
 	pushSeq   uint64
 	lastIndex uint64 // core frame index of the last pushed frame
 	sinceKey  int    // delta pushes since the last keyframe
+
+	// reply and pooled stage the encoded push between the visit and done
+	// callbacks; the single in-flight token orders access (at most one
+	// frame of this stream is ever inside the scheduler). visitFn/doneFn
+	// are bound once at startStream so submit hands the scheduler the same
+	// two values every frame instead of allocating fresh closures.
+	reply   wire.Envelope
+	pooled  *wire.Buffer
+	visitFn func(*core.Frame)
+	doneFn  func(error)
 }
 
 // startStream begins pushing frames for sess on out at the subscription's
@@ -578,6 +612,7 @@ func (e *Engine) startStream(sess *core.Session, sub wire.Subscribe, out *outbox
 		renderErrs: reg.Counter("server.stream.render_errors"),
 		keyframes:  reg.Counter("server.stream.keyframes"),
 	}
+	st.visitFn, st.doneFn = st.visit, st.done
 	out.addReserve(st.budget)
 	e.wheel.schedule(st, st.interval)
 	return st
@@ -611,6 +646,8 @@ func (st *frameStream) ack(a wire.FrameAck) {
 // tick is the wheel's fire callback: submit a frame if the stream is
 // idle, otherwise mark the tick owed (cadence degradation). Runs on the
 // wheel goroutine — everything here is non-blocking.
+//
+//arbd:hotpath
 func (st *frameStream) tick(now time.Time) {
 	st.mu.Lock()
 	if st.stopped {
@@ -646,52 +683,65 @@ func (st *frameStream) scheduleNext(tickAt time.Time) {
 	st.eng.wheel.schedule(st, d)
 }
 
+// visit encodes one frame into the stream's staged reply. It runs under
+// the session lock — the scratch-backed frame cannot be clobbered by a
+// concurrent Frame call mid-encode — and only while this stream holds its
+// in-flight token, which is what makes the staging fields safe.
+//
+//arbd:hotpath
+func (st *frameStream) visit(f *core.Frame) {
+	st.pushSeq++
+	if st.delta {
+		// Keyframe on the first push, on request (ack resync, outbox
+		// drop), every Nth push, and whenever the session rendered for
+		// someone else in between — f.PrevAnnotations is then not the
+		// frame this stream last pushed, so a diff would corrupt.
+		key := st.forceKey.Swap(false) || st.pushSeq == 1 ||
+			st.sinceKey >= keyframeEvery-1 || f.Index != st.lastIndex+1
+		st.pooled = st.eng.encodeFrameDeltaReply(&st.reply, st.session, st.pushSeq, f, key)
+		if key {
+			st.sinceKey = 0
+			st.keyframes.Inc()
+		} else {
+			st.sinceKey++
+		}
+	} else {
+		st.pooled = st.eng.encodeFrameReply(&st.reply, st.session, st.pushSeq, f)
+		st.reply.Type = wire.MsgFramePush
+	}
+	st.lastIndex = f.Index
+}
+
+// done settles one frame job: a successful render's staged reply moves to
+// the outbox (buffer ownership travels with it), sheds and render errors
+// only count. Runs on a scheduler worker, still under the in-flight token.
+//
+//arbd:hotpath
+func (st *frameStream) done(err error) {
+	switch {
+	case err == nil:
+		st.pushes.Inc()
+		st.out.enqueue(outMsg{env: st.reply, buf: st.pooled, pool: &st.eng.bufs})
+		st.pooled = nil
+	case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
+		st.sheds.Inc()
+	default:
+		// Render errors (no pose yet, session ended) are not pushed: an
+		// AR stream with nothing to show stays silent until the
+		// device's sensors give it something. Counted so a persistently
+		// failing stream is visible in metrics.
+		st.renderErrs.Inc()
+	}
+	st.complete()
+}
+
 // submit hands one frame job to the scheduler. The caller holds the
 // in-flight token and has bumped jobs; both are settled by complete (or
 // here, when the scheduler rejects the job synchronously).
+//
+//arbd:hotpath
 func (st *frameStream) submit() {
-	var reply wire.Envelope
-	var pooled *wire.Buffer
-	err := st.eng.sched.QueueVisit(st.sess, func(f *core.Frame) {
-		// Under the session lock: the scratch-backed frame cannot be
-		// clobbered by a concurrent Frame call mid-encode.
-		st.pushSeq++
-		if st.delta {
-			// Keyframe on the first push, on request (ack resync, outbox
-			// drop), every Nth push, and whenever the session rendered for
-			// someone else in between — f.PrevAnnotations is then not the
-			// frame this stream last pushed, so a diff would corrupt.
-			key := st.forceKey.Swap(false) || st.pushSeq == 1 ||
-				st.sinceKey >= keyframeEvery-1 || f.Index != st.lastIndex+1
-			pooled = st.eng.encodeFrameDeltaReply(&reply, st.session, st.pushSeq, f, key)
-			if key {
-				st.sinceKey = 0
-				st.keyframes.Inc()
-			} else {
-				st.sinceKey++
-			}
-		} else {
-			pooled = st.eng.encodeFrameReply(&reply, st.session, st.pushSeq, f)
-			reply.Type = wire.MsgFramePush
-		}
-		st.lastIndex = f.Index
-	}, func(err error) {
-		switch {
-		case err == nil:
-			st.pushes.Inc()
-			buf := pooled
-			st.out.enqueue(outMsg{env: reply, release: func() { st.eng.release(buf) }})
-		case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
-			st.sheds.Inc()
-		default:
-			// Render errors (no pose yet, session ended) are not pushed: an
-			// AR stream with nothing to show stays silent until the
-			// device's sensors give it something. Counted so a persistently
-			// failing stream is visible in metrics.
-			st.renderErrs.Inc()
-		}
-		st.complete()
-	})
+	err := st.eng.sched.QueueVisit(st.sess, st.visitFn, st.doneFn)
 	if err != nil {
 		// Scheduler closed (QueueVisit admits everything else): the server
 		// is going down; stop pacing. done will not fire for this job.
@@ -708,6 +758,8 @@ func (st *frameStream) submit() {
 // that fired while the frame was in flight is owed: the next frame is
 // submitted immediately and the following tick is scheduled relative to
 // the starved tick, matching the old token-blocking pacer's behaviour.
+//
+//arbd:hotpath
 func (st *frameStream) complete() {
 	st.mu.Lock()
 	if st.awaiting && !st.stopped {

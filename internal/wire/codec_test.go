@@ -3,8 +3,11 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -158,6 +161,54 @@ func TestMsgTypeStrings(t *testing.T) {
 	}
 	if MsgType(99).String() != "msgtype(99)" {
 		t.Error("unknown type String format")
+	}
+}
+
+// TestMsgTypeStringExhaustive is the guard the wirepin analyzer leans on:
+// adding a MsgType without a String() case (the fallback form leaks
+// through) or without its row in PROTOCOL.md's message table fails here,
+// not in a code review.
+func TestMsgTypeStringExhaustive(t *testing.T) {
+	proto, err := os.ReadFile(filepath.Join("..", "..", "PROTOCOL.md"))
+	if err != nil {
+		t.Fatalf("reading PROTOCOL.md: %v", err)
+	}
+	doc := string(proto)
+	for m := MsgSensorEvent; m < maxMsgType; m++ {
+		name := m.String()
+		if strings.HasPrefix(name, "msgtype(") {
+			t.Errorf("MsgType %d has no String() case; the switch must be exhaustive", uint8(m))
+			continue
+		}
+		row := fmt.Sprintf("| %-5d | `%s`", uint8(m), name)
+		loose := fmt.Sprintf("`%s`", name)
+		if !strings.Contains(doc, row) && !strings.Contains(doc, loose) {
+			t.Errorf("MsgType %s (= %d) has no PROTOCOL.md row", name, uint8(m))
+		}
+	}
+}
+
+// TestProtoVersionsPinned pins the negotiated protocol versions the same
+// way the message types are pinned: these numbers are spoken on the wire
+// by every peer, so they must never move, and ProtoMin/ProtoMax must
+// bracket exactly the versions this build implements.
+func TestProtoVersionsPinned(t *testing.T) {
+	pins := []struct {
+		got  uint32
+		want uint32
+		name string
+	}{
+		{ProtoV1, 1, "ProtoV1"},
+		{ProtoV2, 2, "ProtoV2"},
+		{ProtoV3, 3, "ProtoV3"},
+		{ProtoV4, 4, "ProtoV4"},
+		{ProtoMin, 1, "ProtoMin"},
+		{ProtoMax, 4, "ProtoMax"},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, want %d — protocol versions must not move", p.name, p.got, p.want)
+		}
 	}
 }
 

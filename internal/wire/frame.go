@@ -142,6 +142,8 @@ type Envelope struct {
 
 // EncodeEnvelope appends the envelope's binary form to buf and returns the
 // extended slice.
+//
+//arbd:hotpath
 func EncodeEnvelope(buf []byte, env *Envelope) []byte {
 	buf = append(buf, byte(env.Type))
 	buf = binary.AppendUvarint(buf, env.Seq)
@@ -164,12 +166,15 @@ func DecodeEnvelope(p []byte) (*Envelope, error) {
 // DecodeEnvelopeInto parses an envelope from p into env, overwriting every
 // field. env.Payload aliases p. Connection loops reuse one Envelope across
 // reads to keep the inbound path allocation-free.
+//
+//arbd:hotpath
 func DecodeEnvelopeInto(env *Envelope, p []byte) error {
 	if len(p) < 1 {
 		return ErrShortBuffer
 	}
 	env.Type = MsgType(p[0])
 	if !env.Type.Valid() {
+		//arbd:alloc-ok malformed-input error path; valid envelopes never reach it
 		return fmt.Errorf("wire: invalid message type %d", p[0])
 	}
 	r := Reader{b: p[1:]}
@@ -203,6 +208,8 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 }
 
 // WriteFrame writes one frame containing payload.
+//
+//arbd:hotpath
 func (fw *FrameWriter) WriteFrame(payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrTooLarge
@@ -210,9 +217,11 @@ func (fw *FrameWriter) WriteFrame(payload []byte) error {
 	binary.LittleEndian.PutUint32(fw.hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(fw.hdr[4:8], crc32.Checksum(payload, castagnoli))
 	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		//arbd:alloc-ok connection-failure error path
 		return fmt.Errorf("wire: writing frame header: %w", err)
 	}
 	if _, err := fw.w.Write(payload); err != nil {
+		//arbd:alloc-ok connection-failure error path
 		return fmt.Errorf("wire: writing frame payload: %w", err)
 	}
 	return nil
@@ -264,6 +273,8 @@ func (fr *FrameReader) ReadFrame() ([]byte, error) {
 
 // WriteEnvelope frames and writes env in one call, reusing the writer's
 // internal encode buffer across calls.
+//
+//arbd:hotpath
 func (fw *FrameWriter) WriteEnvelope(env *Envelope) error {
 	fw.env = EncodeEnvelope(fw.env[:0], env)
 	return fw.WriteFrame(fw.env)
@@ -294,6 +305,8 @@ func (b *EnvelopeBatch) Reset() {
 }
 
 // Add encodes env and stages it for the next Buffers call.
+//
+//arbd:hotpath
 func (b *EnvelopeBatch) Add(env *Envelope) error {
 	start := len(b.body)
 	b.body = EncodeEnvelope(b.body, env)
@@ -315,6 +328,8 @@ func (b *EnvelopeBatch) Add(env *Envelope) error {
 // arena growth can never invalidate them) and are valid until the next Add
 // or Reset. Callers on a net.Conn typically wrap the result in net.Buffers
 // and WriteTo it for one writev.
+//
+//arbd:hotpath
 func (b *EnvelopeBatch) Buffers() [][]byte {
 	b.vecs = b.vecs[:0]
 	start := 0
