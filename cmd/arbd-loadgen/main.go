@@ -14,6 +14,13 @@
 //	arbd-loadgen -addr 127.0.0.1:7600 -sweep 1,8,64,512 -duration 5s
 //	arbd-loadgen -addr 127.0.0.1:7600 -stream -clients 64 \
 //	    -churn 3s -admin 127.0.0.1:7650 -churn-shard 2=127.0.0.1:7702
+//	arbd-loadgen -addr 127.0.0.1:7600 -stream -obs-scrape 127.0.0.1:7660
+//
+// With -obs-scrape pointed at the server's -obs introspection endpoint, the
+// run also samples the server-side /metrics frame counters before and after
+// each load point and reports the server's frames/s next to the rate the
+// clients observed — the quickest way to see whether a throughput gap is
+// loss in flight (outbox drops, shed pushes) or the server not producing.
 //
 // With -sweep, the E14 multi-session scenario runs against a live server:
 // each listed client count runs for -duration and the end-to-end frame
@@ -32,10 +39,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -70,6 +79,7 @@ func run() error {
 		adminAddr  = flag.String("admin", "", "router admin endpoint for -churn")
 		churnShard = flag.String("churn-shard", "", "shard to cycle during -churn, as id=host:port")
 		maxProto   = flag.Uint("max-proto", 0, "cap the negotiated protocol version in -stream mode (0 = newest; 3 disables delta pushes)")
+		obsScrape  = flag.String("obs-scrape", "", "server obs endpoint (arbd-server -obs) to sample /metrics across the run")
 	)
 	flag.Parse()
 
@@ -86,7 +96,9 @@ func run() error {
 		metric = "frame gap"
 	}
 	if *sweep == "" {
+		before, okBefore := scrapeObs(*obsScrape)
 		res := runLoad(*addr, *clients, *duration, *fps, center, *stream, uint32(*maxProto))
+		after, okAfter := scrapeObs(*obsScrape)
 		s := res.hist.Snapshot()
 		fmt.Printf("clients=%d duration=%v fps=%d stream=%v\n", *clients, *duration, *fps, *stream)
 		fmt.Printf("frames=%d shed=%d errors=%d\n", res.frames, res.shed, res.errors)
@@ -94,6 +106,14 @@ func run() error {
 			fmt.Printf("rx bytes/frame=%.0f\n", float64(res.rxBytes)/float64(res.frames))
 		}
 		fmt.Printf("%s: p50=%v p95=%v p99=%v max=%v\n", metric, s.P50, s.P95, s.P99, s.Max)
+		if okBefore && okAfter {
+			// Two views of the same run: what devices saw arrive vs what the
+			// server's own counters say it produced. A gap points at loss
+			// between render and the device (outbox drops, shed pushes).
+			fmt.Printf("frames/s: client=%.1f server=%.1f (scraped %s)\n",
+				float64(res.frames)/res.elapsed.Seconds(),
+				(after-before)/res.elapsed.Seconds(), *obsScrape)
+		}
 		if res.errors > 0 {
 			return fmt.Errorf("%d client errors", res.errors)
 		}
@@ -104,12 +124,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cols := []string{"clients", "frames", "frames/s", "p50", "p95", "p99", "B/frame", "shed", "errors"}
+	if *obsScrape != "" {
+		cols = append(cols, "srv f/s")
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("multi-session sweep against %s (%v per point, %d fps/client, %s)", *addr, *duration, *fps, metric),
-		"clients", "frames", "frames/s", "p50", "p95", "p99", "B/frame", "shed", "errors")
+		cols...)
 	var totalErrs int64
 	for _, n := range counts {
+		before, okBefore := scrapeObs(*obsScrape)
 		res := runLoad(*addr, n, *duration, *fps, center, *stream, uint32(*maxProto))
+		after, okAfter := scrapeObs(*obsScrape)
 		s := res.hist.Snapshot()
 		bpf := "—" // polling replies aren't counted; only -stream wraps the conn
 		if *stream && res.frames > 0 {
@@ -117,8 +143,16 @@ func run() error {
 		}
 		// Divide by measured wall time, not the nominal -duration: at high
 		// client counts connection setup eats into the window.
-		t.AddRow(n, res.frames, fmt.Sprintf("%.0f", float64(res.frames)/res.elapsed.Seconds()),
-			s.P50, s.P95, s.P99, bpf, res.shed, res.errors)
+		row := []any{n, res.frames, fmt.Sprintf("%.0f", float64(res.frames)/res.elapsed.Seconds()),
+			s.P50, s.P95, s.P99, bpf, res.shed, res.errors}
+		if *obsScrape != "" {
+			srv := "—"
+			if okBefore && okAfter {
+				srv = fmt.Sprintf("%.0f", (after-before)/res.elapsed.Seconds())
+			}
+			row = append(row, srv)
+		}
+		t.AddRow(row...)
 		totalErrs += res.errors
 	}
 	fmt.Println(t.String())
@@ -190,6 +224,67 @@ func startChurn(adminAddr, shard string, interval time.Duration) (stop func(), e
 		<-finished
 		ac.Close()
 	}, nil
+}
+
+// scrapeObs samples the obs endpoint's delivered-frame counter, reporting
+// failures to stderr instead of failing the run: a flaky scrape should not
+// sink a load test.
+func scrapeObs(addr string) (float64, bool) {
+	if addr == "" {
+		return 0, false
+	}
+	v, err := obsFrames(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arbd-loadgen: obs scrape %s: %v\n", addr, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// obsFrames GETs the plane's Prometheus /metrics and returns the server's
+// cumulative delivered-frame counter: arbd_server_frames_done where a
+// platform renders, falling back to arbd_obs_frames_recorded on routers
+// (which render nothing but settle one flight per forwarded push).
+func obsFrames(addr string) (float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s /metrics: HTTP %d", addr, resp.StatusCode)
+	}
+	var done, recorded float64
+	haveDone := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "arbd_server_frames_done":
+			done, haveDone = v, true
+		case "arbd_obs_frames_recorded":
+			recorded = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if haveDone {
+		return done, nil
+	}
+	return recorded, nil
 }
 
 func parseSweep(s string) ([]int, error) {

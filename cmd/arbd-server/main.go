@@ -35,7 +35,13 @@
 //	# inspect the membership epoch
 //	arbd-server -role admin -admin 127.0.0.1:7650
 //
-//	# any role: expose net/http/pprof for live profiling
+//	# any serving role: expose the introspection plane (/metrics in
+//	# Prometheus text format, /debug/arbd/{sessions,streams,slow}) — the
+//	# surface cmd/arbd-top and Prometheus scrape
+//	arbd-server -addr :7600 -obs 127.0.0.1:7660
+//
+//	# any role: expose net/http/pprof for live profiling; pointing -pprof
+//	# at the -obs address folds both onto one listener
 //	arbd-server -addr :7600 -pprof 127.0.0.1:6060
 //
 // A router process hosts no platform: world flags (-pois, -seed, ...) apply
@@ -49,7 +55,7 @@ import (
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -59,6 +65,7 @@ import (
 
 	"arbd/internal/core"
 	"arbd/internal/geo"
+	"arbd/internal/obs"
 	"arbd/internal/server"
 )
 
@@ -86,29 +93,40 @@ func run() error {
 		lon       = flag.Float64("lon", 114.2655, "city center longitude")
 		epsilon   = flag.Float64("epsilon", 0, "location privacy epsilon per fix (0 = off)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		obsAddr   = flag.String("obs", "", "serve the introspection plane (/metrics, /debug/arbd/*) on this address (empty = off)")
 	)
 	flag.Parse()
 
 	// Profiling applies to every role — bring it up before the role switch
-	// so routers and the one-shot admin client get it too. The listener is
-	// bound synchronously (a bad address fails startup loudly); the serve
-	// loop runs for the life of the process.
-	if *pprofAddr != "" {
-		ln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			return fmt.Errorf("pprof listen: %w", err)
+	// so routers and the one-shot admin client get it too. The handlers live
+	// on a dedicated mux, never http.DefaultServeMux, so nothing any import
+	// registers globally can leak onto the profiling port. When -pprof and
+	// -obs name the same address, pprof folds onto the plane's mux instead
+	// of binding twice.
+	foldPprof := *pprofAddr != "" && *pprofAddr == *obsAddr
+	if *pprofAddr != "" && !foldPprof {
+		mux := http.NewServeMux()
+		registerPprof(mux)
+		if err := serveHTTP(*pprofAddr, "pprof", mux); err != nil {
+			return err
 		}
-		log.Printf("arbd-server pprof on http://%s/debug/pprof/", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
+	}
+	// serveObs brings up the role's introspection plane once the role has
+	// built it.
+	serveObs := func(plane *obs.Plane) error {
+		if *obsAddr == "" {
+			return nil
+		}
+		mux := plane.Mux()
+		if foldPprof {
+			registerPprof(mux)
+		}
+		return serveHTTP(*obsAddr, "obs", mux)
 	}
 
 	switch *role {
 	case "router":
-		return runRouter(*addr, *admin, *shards)
+		return runRouter(*addr, *admin, *shards, serveObs)
 	case "admin":
 		return runAdmin(*admin, *join, *drain)
 	}
@@ -142,6 +160,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if err := serveObs(srv.ObsPlane()); err != nil {
+			return err
+		}
 		log.Printf("arbd-server listening on %s (%d POIs, seed %d)", bound, *pois, *seed)
 		awaitSignal()
 		return srv.Close()
@@ -149,6 +170,9 @@ func run() error {
 		sh := server.NewShard(platform, log.Default(), server.ShardOptions{ID: *shardID})
 		bound, err := sh.Listen(*addr)
 		if err != nil {
+			return err
+		}
+		if err := serveObs(sh.ObsPlane()); err != nil {
 			return err
 		}
 		log.Printf("arbd-server shard %d listening on %s (%d POIs, seed %d)", *shardID, bound, *pois, *seed)
@@ -172,7 +196,7 @@ func run() error {
 	}
 }
 
-func runRouter(addr, adminAddr, shards string) error {
+func runRouter(addr, adminAddr, shards string, serveObs func(*obs.Plane) error) error {
 	members, err := parseMembers(shards)
 	if err != nil {
 		return err
@@ -186,6 +210,9 @@ func runRouter(addr, adminAddr, shards string) error {
 	}
 	bound, err := r.Listen(addr)
 	if err != nil {
+		return err
+	}
+	if err := serveObs(r.ObsPlane()); err != nil {
 		return err
 	}
 	if adminAddr != "" {
@@ -288,6 +315,33 @@ func parseMembers(s string) ([]server.Member, error) {
 		members = append(members, m)
 	}
 	return members, nil
+}
+
+// registerPprof installs the net/http/pprof handlers on an explicit mux —
+// the same set the package's init registers on http.DefaultServeMux, minus
+// the default mux.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// serveHTTP binds addr synchronously (a bad address fails startup loudly)
+// and serves mux for the life of the process.
+func serveHTTP(addr, what string, mux *http.ServeMux) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("%s listen: %w", what, err)
+	}
+	log.Printf("arbd-server %s on http://%s/", what, ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("%s server: %v", what, err)
+		}
+	}()
+	return nil
 }
 
 func awaitSignal() {

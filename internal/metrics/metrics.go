@@ -173,6 +173,7 @@ func (h *Histogram) quantileLocked(q float64) time.Duration {
 // Snapshot is a point-in-time summary of a histogram.
 type Snapshot struct {
 	Count          uint64
+	Sum            time.Duration
 	Min, Mean, Max time.Duration
 	P50, P95, P99  time.Duration
 }
@@ -190,6 +191,7 @@ func (h *Histogram) Snapshot() Snapshot {
 	}
 	return Snapshot{
 		Count: h.count,
+		Sum:   h.sum,
 		Min:   h.min,
 		Mean:  mean,
 		Max:   h.max,
@@ -274,35 +276,104 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Dump renders every metric as "name value" lines, sorted by name. Intended
-// for debugging and log output.
-func (r *Registry) Dump() string {
+// Kind discriminates the instrument types a Registry holds.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind ("counter", "gauge", "histogram").
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Instrument is one registered metric in a typed registry snapshot. Exactly
+// one of Counter, Gauge, or Hist is meaningful, selected by Kind.
+type Instrument struct {
+	Name    string
+	Kind    Kind
+	Counter int64    // KindCounter: the count
+	Gauge   float64  // KindGauge: the stored value
+	Hist    Snapshot // KindHistogram: the full quantile summary
+}
+
+// Snapshot returns every registered instrument with its current value,
+// stable-sorted by name (then kind, for the unlikely case of one name
+// registered as two kinds). Consumers that render or export metrics — the
+// Prometheus encoder, arbd-top, Dump — read this typed form instead of
+// parsing strings. Instrument handles are captured under one registry lock,
+// then values are read without it, so a snapshot never blocks writers for
+// longer than the map copy.
+func (r *Registry) Snapshot() []Instrument {
 	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
+	out := make([]Instrument, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	counters := make([]*Counter, 0, len(r.counters))
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for n, c := range r.counters {
+		out = append(out, Instrument{Name: n, Kind: KindCounter})
+		counters = append(counters, c)
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
+	for n, g := range r.gauges {
+		out = append(out, Instrument{Name: n, Kind: KindGauge})
+		gauges = append(gauges, g)
 	}
-	hists := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		hists[k] = v
+	for n, h := range r.histograms {
+		out = append(out, Instrument{Name: n, Kind: KindHistogram})
+		hists = append(hists, h)
 	}
 	r.mu.Unlock()
 
-	var lines []string
-	for n, c := range counters {
-		lines = append(lines, fmt.Sprintf("%s %d", n, c.Value()))
+	ci, gi, hi := 0, 0, 0
+	for i := range out {
+		switch out[i].Kind {
+		case KindCounter:
+			out[i].Counter = counters[ci].Value()
+			ci++
+		case KindGauge:
+			out[i].Gauge = gauges[gi].Value()
+			gi++
+		case KindHistogram:
+			out[i].Hist = hists[hi].Snapshot()
+			hi++
+		}
 	}
-	for n, g := range gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", n, g.Value()))
-	}
-	for n, h := range hists {
-		s := h.Snapshot()
-		lines = append(lines, fmt.Sprintf("%s count=%d mean=%v p50=%v p95=%v p99=%v max=%v",
-			n, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max))
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Dump renders every metric as "name value" lines, sorted by name. Intended
+// for debugging and log output; programs should consume Snapshot instead.
+func (r *Registry) Dump() string {
+	snap := r.Snapshot()
+	lines := make([]string, 0, len(snap))
+	for _, in := range snap {
+		switch in.Kind {
+		case KindCounter:
+			lines = append(lines, fmt.Sprintf("%s %d", in.Name, in.Counter))
+		case KindGauge:
+			lines = append(lines, fmt.Sprintf("%s %g", in.Name, in.Gauge))
+		case KindHistogram:
+			s := in.Hist
+			lines = append(lines, fmt.Sprintf("%s count=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+				in.Name, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max))
+		}
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"arbd/internal/metrics"
+)
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "arbd_"
+
+// promName sanitizes a registry name into a Prometheus metric name: every
+// character outside [a-zA-Z0-9_] becomes '_', and the arbd_ namespace is
+// prepended ("server.frame.queue_wait" → "arbd_server_frame_queue_wait").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		// Digits are fine anywhere here: the prefix guarantees the metric
+		// name never starts with one.
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// seconds renders a duration as a float64 second count.
+func seconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument in reg in Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as summaries with 0.5/0.95/0.99 quantile labels plus
+// _sum and _count series. Histogram values are durations and export in
+// seconds with a _seconds name suffix. Instruments come from the typed
+// Registry.Snapshot — nothing here parses Dump output.
+func WritePrometheus(w io.Writer, reg *metrics.Registry) error {
+	var b strings.Builder
+	for _, in := range reg.Snapshot() {
+		name := promName(in.Name)
+		switch in.Kind {
+		case metrics.KindCounter:
+			b.WriteString("# HELP " + name + " Counter " + in.Name + "\n")
+			b.WriteString("# TYPE " + name + " counter\n")
+			b.WriteString(name + " " + strconv.FormatInt(in.Counter, 10) + "\n")
+		case metrics.KindGauge:
+			b.WriteString("# HELP " + name + " Gauge " + in.Name + "\n")
+			b.WriteString("# TYPE " + name + " gauge\n")
+			b.WriteString(name + " " + strconv.FormatFloat(in.Gauge, 'g', -1, 64) + "\n")
+		case metrics.KindHistogram:
+			name += "_seconds"
+			s := in.Hist
+			b.WriteString("# HELP " + name + " Latency summary " + in.Name + "\n")
+			b.WriteString("# TYPE " + name + " summary\n")
+			b.WriteString(name + `{quantile="0.5"} ` + seconds(s.P50) + "\n")
+			b.WriteString(name + `{quantile="0.95"} ` + seconds(s.P95) + "\n")
+			b.WriteString(name + `{quantile="0.99"} ` + seconds(s.P99) + "\n")
+			b.WriteString(name + "_sum " + seconds(s.Sum) + "\n")
+			b.WriteString(name + "_count " + strconv.FormatUint(s.Count, 10) + "\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"arbd/internal/core"
+	"arbd/internal/obs"
 	"arbd/internal/sensor"
 	"arbd/internal/wire"
 )
@@ -30,6 +31,14 @@ type Engine struct {
 	// wheel is the shared pacing clock for every subscription stream the
 	// engine serves: one goroutine regardless of subscriber count.
 	wheel *pacerWheel
+	// rec is the frame flight recorder: every streamed frame's stage spans
+	// (admission, queue, render, encode, outbox, write) land in its ring,
+	// always on. Its instruments live in the platform registry.
+	rec *obs.Recorder
+	// live tracks the engine's running subscription streams for the
+	// introspection plane's /debug/arbd/streams summary.
+	liveMu sync.Mutex
+	live   map[*frameStream]struct{}
 	// bufs pools frame-response encode buffers: a frame is encoded once
 	// into a pooled wire.Buffer handed to the framed writer, then the
 	// buffer returns to the pool — no per-response allocations.
@@ -54,11 +63,16 @@ func NewEngine(p *core.Platform, opts Options) *Engine {
 	e := &Engine{
 		platform: p,
 		sched:    NewFrameScheduler(opts.Scheduler, p.Metrics()),
+		rec:      obs.NewRecorder(p.Metrics(), obs.Options{}),
+		live:     make(map[*frameStream]struct{}),
 	}
 	e.wheel = newPacerWheel(p.Metrics().Gauge("server.stream.pacers"))
 	e.bufs.New = func() any { return wire.NewBuffer(1024) }
 	return e
 }
+
+// Recorder exposes the engine's frame flight recorder.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Platform exposes the engine's platform.
 func (e *Engine) Platform() *core.Platform { return e.platform }

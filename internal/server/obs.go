@@ -1,0 +1,158 @@
+// Introspection-plane wiring: each role builds an obs.Plane over its own
+// registry, flight recorder, and live session/stream state. The plane is
+// pull-only — handlers snapshot state on request — so wiring it costs the
+// serving path nothing.
+package server
+
+import (
+	"sort"
+	"time"
+
+	"arbd/internal/core"
+	"arbd/internal/obs"
+	"arbd/internal/wire"
+)
+
+// registerStream tracks a live subscription stream for /debug/arbd/streams.
+func (e *Engine) registerStream(st *frameStream) {
+	e.liveMu.Lock()
+	e.live[st] = struct{}{}
+	e.liveMu.Unlock()
+}
+
+func (e *Engine) unregisterStream(st *frameStream) {
+	e.liveMu.Lock()
+	delete(e.live, st)
+	e.liveMu.Unlock()
+}
+
+// StreamSummaries snapshots the engine's live subscription streams, sorted
+// by session ID.
+func (e *Engine) StreamSummaries() []obs.StreamSummary {
+	e.liveMu.Lock()
+	out := make([]obs.StreamSummary, 0, len(e.live))
+	for st := range e.live {
+		out = append(out, obs.StreamSummary{
+			Session:    st.session,
+			IntervalMS: float64(st.interval) / float64(time.Millisecond),
+			Delta:      st.delta,
+			Pushes:     st.pushSeq.Load(),
+			AckedSeq:   st.ackedSeq.Load(),
+		})
+	}
+	e.liveMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+// sessionSummaries snapshots every live session on the platform, sorted by
+// ID.
+func sessionSummaries(p *core.Platform) []obs.SessionSummary {
+	out := make([]obs.SessionSummary, 0, p.NumSessions())
+	p.ForEachSession(func(s *core.Session) bool {
+		st := s.Stats()
+		out = append(out, obs.SessionSummary{
+			ID:       s.ID,
+			Frames:   st.Frames,
+			Overruns: st.Overruns,
+			Level:    st.Level.String(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// loadFn adapts a core.LoadSignal source to the plane's Load callback.
+func loadFn(sig func() core.LoadSignal) func() (time.Duration, int64) {
+	return func() (time.Duration, int64) {
+		s := sig()
+		return s.FlushLatency, s.Backlog
+	}
+}
+
+// ObsPlane builds the standalone server's introspection plane.
+func (s *Server) ObsPlane() *obs.Plane {
+	return obs.NewPlane(obs.PlaneConfig{
+		Role:     "standalone",
+		Registry: s.eng.platform.Metrics(),
+		Recorder: s.eng.rec,
+		Sessions: func() []obs.SessionSummary { return sessionSummaries(s.eng.platform) },
+		Streams:  s.eng.StreamSummaries,
+		Load:     loadFn(s.eng.platform.LoadSignal),
+	})
+}
+
+// ObsPlane builds the shard's introspection plane. Node carries the shard's
+// ring member ID so scraped traces attribute to the right partition.
+func (sh *Shard) ObsPlane() *obs.Plane {
+	return obs.NewPlane(obs.PlaneConfig{
+		Role:     "shard",
+		Node:     sh.id,
+		Registry: sh.eng.platform.Metrics(),
+		Recorder: sh.eng.rec,
+		Sessions: func() []obs.SessionSummary { return sessionSummaries(sh.eng.platform) },
+		Streams:  sh.eng.StreamSummaries,
+		Load:     loadFn(sh.load),
+	})
+}
+
+// ObsPlane builds the router's introspection plane. The router owns no core
+// sessions — its session list is the connected-client map, its streams the
+// tracked subscriptions (interval/delta decoded from the replay payload),
+// and its load the maximum any shard last reported.
+func (r *Router) ObsPlane() *obs.Plane {
+	return obs.NewPlane(obs.PlaneConfig{
+		Role:     "router",
+		Registry: r.reg,
+		Recorder: r.rec,
+		Sessions: r.clientSummaries,
+		Streams:  r.subSummaries,
+		Load: func() (time.Duration, int64) {
+			var sig core.LoadSignal
+			r.shardsMu.RLock()
+			for _, ss := range r.shards {
+				s := ss.loadSignal()
+				if s.FlushLatency > sig.FlushLatency {
+					sig.FlushLatency = s.FlushLatency
+				}
+				if s.Backlog > sig.Backlog {
+					sig.Backlog = s.Backlog
+				}
+			}
+			r.shardsMu.RUnlock()
+			return sig.FlushLatency, sig.Backlog
+		},
+	})
+}
+
+// clientSummaries lists the router's connected client sessions (IDs only:
+// frame counters live on the owning shard).
+func (r *Router) clientSummaries() []obs.SessionSummary {
+	r.sessMu.RLock()
+	out := make([]obs.SessionSummary, 0, len(r.sessions))
+	for id := range r.sessions {
+		out = append(out, obs.SessionSummary{ID: id})
+	}
+	r.sessMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// subSummaries lists the router's tracked subscriptions with their
+// client-visible (rebased) push progress.
+func (r *Router) subSummaries() []obs.StreamSummary {
+	r.subsMu.Lock()
+	out := make([]obs.StreamSummary, 0, len(r.subs))
+	for id, e := range r.subs {
+		sum := obs.StreamSummary{Session: id, Pushes: e.last}
+		if sub, err := wire.DecodeSubscribe(e.payload); err == nil {
+			sum.IntervalMS = float64(pushInterval(sub)) / float64(time.Millisecond)
+			sum.Delta = sub.Flags&wire.SubFlagDelta != 0
+		}
+		out = append(out, sum)
+	}
+	r.subsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"arbd/internal/core"
 	"arbd/internal/metrics"
+	"arbd/internal/obs"
 	"arbd/internal/server/membership"
 	"arbd/internal/wire"
 )
@@ -211,6 +212,10 @@ type Router struct {
 	// outboxes (the shard reader's frame buffer cannot outlive one read).
 	bufs sync.Pool
 
+	// rec records the router-side half of every push's flight (outbox wait
+	// and client write); shard-side traces join on (session, seq).
+	rec *obs.Recorder
+
 	connected bool
 	closeOnce sync.Once
 	closeErr  error
@@ -372,6 +377,8 @@ func NewRouter(members []Member, logger *log.Logger, reg *metrics.Registry, opts
 		framesShed:  reg.Counter("router.frames.shed"),
 		forwardErrs: reg.Counter("router.forward.errors"),
 		pushesStale: reg.Counter("router.pushes.stale"),
+
+		rec: obs.NewRecorder(reg, obs.Options{}),
 	}
 	r.bufs.New = func() any { return wire.NewBuffer(1024) }
 	r.cs = newConnServer(logger, r.serveClient)
@@ -713,10 +720,16 @@ func (r *Router) deliver(env *wire.Envelope) {
 		buf := r.bufs.Get().(*wire.Buffer)
 		buf.Reset()
 		buf.Append(env.Payload)
+		// Open the router-side flight here, at push arrival: its spans cover
+		// the client outbox wait and the client write, and it carries the
+		// rebased seq so it joins the shard's trace on (session, seq).
+		fl := r.rec.Begin(env.Session, time.Now())
+		fl.SetSeq(seq)
 		cl.out.enqueue(outMsg{
-			env:  wire.Envelope{Type: env.Type, Seq: seq, Session: env.Session, Payload: buf.Bytes()},
-			buf:  buf,
-			pool: &r.bufs,
+			env:    wire.Envelope{Type: env.Type, Seq: seq, Session: env.Session, Payload: buf.Bytes()},
+			buf:    buf,
+			pool:   &r.bufs,
+			flight: fl,
 		})
 		return
 	}

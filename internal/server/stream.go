@@ -17,6 +17,7 @@ import (
 
 	"arbd/internal/core"
 	"arbd/internal/metrics"
+	"arbd/internal/obs"
 	"arbd/internal/wire"
 )
 
@@ -67,15 +68,26 @@ type outMsg struct {
 	// closure there is a heap allocation the hot path must not pay.
 	buf  *wire.Buffer
 	pool *sync.Pool
+	// flight is the frame's flight-recorder handle; it rides the outbox with
+	// the payload so the write loop can close the trace at write completion.
+	// Any path that releases the message without writing it settles the
+	// flight as dropped.
+	flight *obs.Flight
 	// release is an optional cleanup hook for non-pooled payloads (tests).
 	release func()
 }
 
 // releaseBuf settles the message's payload ownership: pooled buffers go
-// back to their pool, then any hook runs.
+// back to their pool, then any hook runs. A flight still attached here was
+// never written — drop-oldest, purge, drain, or enqueue-after-close — and
+// is recorded as dropped.
 //
 //arbd:hotpath
 func (m *outMsg) releaseBuf() {
+	if m.flight != nil {
+		m.flight.FinishDropped()
+		m.flight = nil
+	}
 	if m.pool != nil && m.buf != nil {
 		m.pool.Put(m.buf)
 	}
@@ -262,8 +274,27 @@ func (ob *outbox) writeLoop() {
 			batch = append(batch, ob.popLocked())
 		}
 		ob.mu.Unlock()
-		err := ob.w.writeBatch(batch)
+		// One timestamp pair bounds the whole batch: outbox wait ends and the
+		// vectored write begins for every message at writeStart, and the
+		// write's cost lands on each flight at end.
+		writeStart := time.Now()
 		for i := range batch {
+			if fl := batch[i].flight; fl != nil {
+				fl.MarkAt(obs.StageOutbox, writeStart)
+			}
+		}
+		err := ob.w.writeBatch(batch)
+		end := time.Now()
+		for i := range batch {
+			if fl := batch[i].flight; fl != nil {
+				if err == nil {
+					fl.MarkAt(obs.StageWrite, end)
+					fl.FinishAt(end)
+				} else {
+					fl.FinishDropped()
+				}
+				batch[i].flight = nil
+			}
 			batch[i].releaseBuf()
 			batch[i] = outMsg{}
 		}
@@ -575,18 +606,21 @@ type frameStream struct {
 	awaitAt  time.Time // when the owed tick fired
 	jobs     sync.WaitGroup
 
-	// Written only inside visit callbacks, ordered by the in-flight token.
-	pushSeq   uint64
+	// pushSeq is written only inside visit callbacks (ordered by the
+	// in-flight token) but read unsynchronised by stream summaries.
+	pushSeq   atomic.Uint64
 	lastIndex uint64 // core frame index of the last pushed frame
 	sinceKey  int    // delta pushes since the last keyframe
 
-	// reply and pooled stage the encoded push between the visit and done
-	// callbacks; the single in-flight token orders access (at most one
-	// frame of this stream is ever inside the scheduler). visitFn/doneFn
-	// are bound once at startStream so submit hands the scheduler the same
-	// two values every frame instead of allocating fresh closures.
+	// reply, pooled, and fl stage the in-flight frame between the tick,
+	// visit, and done callbacks; the single in-flight token orders access
+	// (at most one frame of this stream is ever inside the scheduler).
+	// visitFn/doneFn are bound once at startStream so submit hands the
+	// scheduler the same two values every frame instead of allocating fresh
+	// closures.
 	reply   wire.Envelope
 	pooled  *wire.Buffer
+	fl      *obs.Flight
 	visitFn func(*core.Frame)
 	doneFn  func(error)
 }
@@ -614,6 +648,7 @@ func (e *Engine) startStream(sess *core.Session, sub wire.Subscribe, out *outbox
 	}
 	st.visitFn, st.doneFn = st.visit, st.done
 	out.addReserve(st.budget)
+	e.registerStream(st)
 	e.wheel.schedule(st, st.interval)
 	return st
 }
@@ -630,6 +665,7 @@ func (st *frameStream) stopStream() {
 	st.mu.Unlock()
 	if !already {
 		st.out.addReserve(-st.budget)
+		st.eng.unregisterStream(st)
 	}
 	st.jobs.Wait()
 }
@@ -669,6 +705,9 @@ func (st *frameStream) tick(now time.Time) {
 	st.inFlight = true
 	st.jobs.Add(1)
 	st.mu.Unlock()
+	// The flight opens at the tick: admission is the gap between the wheel
+	// firing and the scheduler accepting the job.
+	st.fl = st.eng.rec.Begin(st.session, now)
 	st.submit()
 	st.scheduleNext(now)
 }
@@ -690,15 +729,22 @@ func (st *frameStream) scheduleNext(tickAt time.Time) {
 //
 //arbd:hotpath
 func (st *frameStream) visit(f *core.Frame) {
-	st.pushSeq++
+	seq := st.pushSeq.Add(1)
+	if st.fl != nil {
+		// visit runs right after the render, so the window since the last
+		// mark spans queue wait plus render; the render's own duration
+		// (f.Elapsed) splits it.
+		st.fl.SetSeq(seq)
+		st.fl.MarkSplit(obs.StageQueue, obs.StageRender, f.Elapsed)
+	}
 	if st.delta {
 		// Keyframe on the first push, on request (ack resync, outbox
 		// drop), every Nth push, and whenever the session rendered for
 		// someone else in between — f.PrevAnnotations is then not the
 		// frame this stream last pushed, so a diff would corrupt.
-		key := st.forceKey.Swap(false) || st.pushSeq == 1 ||
+		key := st.forceKey.Swap(false) || seq == 1 ||
 			st.sinceKey >= keyframeEvery-1 || f.Index != st.lastIndex+1
-		st.pooled = st.eng.encodeFrameDeltaReply(&st.reply, st.session, st.pushSeq, f, key)
+		st.pooled = st.eng.encodeFrameDeltaReply(&st.reply, st.session, seq, f, key)
 		if key {
 			st.sinceKey = 0
 			st.keyframes.Inc()
@@ -706,8 +752,11 @@ func (st *frameStream) visit(f *core.Frame) {
 			st.sinceKey++
 		}
 	} else {
-		st.pooled = st.eng.encodeFrameReply(&st.reply, st.session, st.pushSeq, f)
+		st.pooled = st.eng.encodeFrameReply(&st.reply, st.session, seq, f)
 		st.reply.Type = wire.MsgFramePush
+	}
+	if st.fl != nil {
+		st.fl.Mark(obs.StageEncode)
 	}
 	st.lastIndex = f.Index
 }
@@ -721,16 +770,27 @@ func (st *frameStream) done(err error) {
 	switch {
 	case err == nil:
 		st.pushes.Inc()
-		st.out.enqueue(outMsg{env: st.reply, buf: st.pooled, pool: &st.eng.bufs})
+		// The flight travels with the push; the outbox write loop closes it
+		// at write completion (or as dropped if the push never writes).
+		st.out.enqueue(outMsg{env: st.reply, buf: st.pooled, pool: &st.eng.bufs, flight: st.fl})
 		st.pooled = nil
+		st.fl = nil
 	case errors.Is(err, ErrFrameShed) || errors.Is(err, ErrSchedulerClosed):
 		st.sheds.Inc()
+		if st.fl != nil {
+			st.fl.FinishShed()
+			st.fl = nil
+		}
 	default:
 		// Render errors (no pose yet, session ended) are not pushed: an
 		// AR stream with nothing to show stays silent until the
 		// device's sensors give it something. Counted so a persistently
 		// failing stream is visible in metrics.
 		st.renderErrs.Inc()
+		if st.fl != nil {
+			st.fl.FinishError()
+			st.fl = nil
+		}
 	}
 	st.complete()
 }
@@ -745,6 +805,10 @@ func (st *frameStream) submit() {
 	if err != nil {
 		// Scheduler closed (QueueVisit admits everything else): the server
 		// is going down; stop pacing. done will not fire for this job.
+		if st.fl != nil {
+			st.fl.FinishError()
+			st.fl = nil
+		}
 		st.mu.Lock()
 		st.stopped = true
 		st.inFlight = false
@@ -767,6 +831,9 @@ func (st *frameStream) complete() {
 		st.awaiting = false
 		st.jobs.Add(1) // the owed job, added before this one's Done
 		st.mu.Unlock()
+		// The owed frame's flight opens at the starved tick, so its
+		// admission span is the full completion-pacing wait.
+		st.fl = st.eng.rec.Begin(st.session, tickAt)
 		st.submit()
 		st.scheduleNext(tickAt)
 		st.jobs.Done()
